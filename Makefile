@@ -1,0 +1,27 @@
+# Precursor reproduction -- common workflows.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-quick scorecard examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+scorecard:
+	$(PYTHON) -m repro.cli scorecard
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis bench_reports src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

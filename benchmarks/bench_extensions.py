@@ -1,0 +1,55 @@
+"""Extension experiments: sensitivity studies beyond the paper's figures."""
+
+from conftest import quick_mode
+
+from repro.bench.extensions import (
+    run_ext_epc_sweep,
+    run_ext_inline,
+    run_ext_zipfian,
+)
+
+
+def bench_extension_zipfian_sensitivity(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_ext_zipfian, kwargs={"quick": quick_mode()}, rounds=1, iterations=1
+    )
+    report_sink("ext_zipfian", result.report())
+    systems = list(result.systems)
+    p = systems.index("precursor")
+    ss = systems.index("shieldstore")
+    # Precursor is insensitive to skew; ShieldStore loses throughput.
+    assert result.zipfian_kops[p] > 0.9 * result.uniform_kops[p]
+    assert result.zipfian_kops[ss] < 0.95 * result.uniform_kops[ss]
+
+
+def bench_extension_epc_paging_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_ext_epc_sweep,
+        kwargs={"quick": quick_mode()},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("ext_epc_sweep", result.report())
+    # No paging below the EPC boundary, monotone fault growth above it.
+    assert result.fault_fraction[0] == 0.0
+    assert result.fault_fraction[-1] > result.fault_fraction[-2] > 0
+    # Paging onset between 2.8 M and 3.0 M entries (93 MiB / 34 B).
+    assert 2_800_000 <= result.paging_onset_keys() <= 3_000_000
+    # Mild oversubscription (<= 4 M keys, ~30 % faults) leaves the median
+    # intact -- the tail pays; deep oversubscription (6 M, ~65 % faults)
+    # finally moves the median too.  Both regimes must show.
+    assert result.p50_us[-2] < 1.6 * result.p50_us[0]
+    assert result.p50_us[-1] > 1.5 * result.p50_us[0]
+    assert result.p99_us[-1] > result.p99_us[0]
+
+
+def bench_extension_inline_small_values_model(benchmark, report_sink):
+    result = benchmark.pedantic(run_ext_inline, rounds=1, iterations=1)
+    report_sink("ext_inline_model", result.report())
+    # Inline always saves client cycles for values below the threshold.
+    for ext, inl in zip(
+        result.client_cycles_external, result.client_cycles_inline
+    ):
+        assert inl < ext
+    # And the trusted cost is bounded by threshold + MAC.
+    assert max(result.trusted_bytes_per_key_inline) <= 60 + 16

@@ -1,0 +1,29 @@
+"""Figure 4: throughput across YCSB mixes, 32 B values, 50 clients.
+
+Reproduces the paper's headline comparison: Precursor vs its
+server-encryption variant vs ShieldStore at 100/95/50/5 % read ratios.
+Asserts the headline speedups (6-8.5x over ShieldStore; client-encryption
+over server-encryption) rather than absolute Kops.
+"""
+
+from conftest import quick_mode
+
+from repro.bench.experiments import run_fig4
+
+
+def bench_figure4_workload_mixes(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"quick": quick_mode()}, rounds=1, iterations=1
+    )
+    report_sink("fig4_workloads", result.report())
+
+    # Paper: 8.5x on read-heavy, 6.9x mixed, 5.9x update-mostly.
+    assert 6 < result.speedup_over_shieldstore(1.00) < 11
+    assert 6 < result.speedup_over_shieldstore(0.50) < 11
+    assert 5 < result.speedup_over_shieldstore(0.05) < 11
+
+    # Client-encryption beats server-encryption at every mix (up to ~40 %).
+    for i in range(len(result.read_ratios)):
+        precursor = result.simulated["precursor"][i]
+        server_enc = result.simulated["precursor-se"][i]
+        assert 1.1 < precursor / server_enc < 1.6

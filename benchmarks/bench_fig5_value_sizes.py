@@ -1,0 +1,35 @@
+"""Figures 5a/5b: throughput vs value size (16 B - 16 KiB, 50 clients).
+
+Read-only and update-mostly sweeps for all three systems.  The shape
+requirements: Precursor's server cost is flat in value size until the NIC
+line rate binds; the server-encryption variant decays with size (payload
+crypto in the enclave); ShieldStore stays an order of magnitude below.
+"""
+
+from conftest import quick_mode
+
+from repro.bench.experiments import run_fig5
+
+
+def bench_figure5_value_size_sweeps(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"quick": quick_mode()}, rounds=1, iterations=1
+    )
+    report_sink("fig5_value_sizes", result.report())
+
+    sizes = list(result.sizes)
+    read = result.read_only
+    update = result.update_mostly
+
+    # Ordering holds at every size, in both mixes.
+    for mix in (read, update):
+        for i in range(len(sizes)):
+            assert mix["precursor"][i] > mix["precursor-se"][i]
+            assert mix["precursor-se"][i] > mix["shieldstore"][i]
+
+    # Paper: SE loses ~34-49 % read-only at large sizes vs Precursor;
+    # ShieldStore peaks ~121/99 Kops and decays.
+    i4k = sizes.index(4096)
+    assert read["precursor-se"][i4k] < 0.66 * read["precursor"][i4k]
+    assert read["shieldstore"][0] < 135
+    assert update["shieldstore"][-1] < update["shieldstore"][0]

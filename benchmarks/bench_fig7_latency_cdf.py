@@ -1,0 +1,37 @@
+"""Figure 7: get() latency CDFs (32 B / 512 B / 1024 B) + EPC paging.
+
+Reproduces the latency distributions: Precursor steady until ~p95 with a
+~21 us p99; ShieldStore two orders of magnitude slower with a long TCP
+tail; and the dashed "Precursor with EPC paging" line (3 M keys) whose
+impact is confined to the upper tail.
+"""
+
+from conftest import quick_mode
+
+from repro.bench.experiments import run_fig7
+
+
+def bench_figure7_latency_cdfs(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"quick": quick_mode()}, rounds=1, iterations=1
+    )
+    report_sink("fig7_latency_cdf", result.report())
+
+    small = result.curves[32]
+    precursor = small["Precursor"].summary
+    shieldstore = small["ShieldStore"].summary
+    paged = small["Precursor+EPC"].summary
+
+    # Paper: p99 ~21 us, steady to p95.
+    assert 8 < precursor["p99_us"] < 45
+    assert precursor["p95_us"] < 0.8 * precursor["p99_us"] + 10
+    # ShieldStore is orders of magnitude slower (TCP + server crypto).
+    assert shieldstore["p50_us"] > 10 * precursor["p50_us"]
+    # EPC paging: tail-visible, median-invisible.
+    assert paged["p99_us"] >= precursor["p99_us"]
+    assert paged["p50_us"] < 1.4 * precursor["p50_us"]
+
+    # Bigger values do not blow up Precursor's tail (paper: "with bigger
+    # values, Precursor tail-latency remains good").
+    for size in result.curves:
+        assert result.curves[size]["Precursor"].summary["p99_us"] < 60

@@ -1,0 +1,25 @@
+"""Figure 8: average get() latency split into networking vs server time.
+
+Analytic decomposition from the calibrated cost models.  The paper's
+claims: ShieldStore's server processing is 1.34x Precursor's at small
+values, growing to ~2.15x at large ones (Precursor's stays flat because
+only control data enters the enclave), and the right networking
+technology is worth ~26x in latency.
+"""
+
+from repro.bench.experiments import run_fig8
+
+
+def bench_figure8_latency_breakdown(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    report_sink("fig8_latency_breakdown", result.report())
+
+    assert abs(result.server_ratio(16) - 1.34) < 0.15
+    assert result.server_ratio(8192) > 1.6
+    assert 20 < result.network_ratio(16) < 35
+    # Precursor server time flat across the sweep.
+    assert max(result.precursor_server_us) < 1.02 * min(
+        result.precursor_server_us
+    )
+    # ShieldStore server time grows with value size.
+    assert result.shieldstore_server_us[-1] > 1.3 * result.shieldstore_server_us[0]

@@ -1,0 +1,111 @@
+"""Microbenchmarks of the substrate data structures.
+
+Wall-clock performance of the building blocks (pure Python): the
+enclave's Robin Hood table, ShieldStore's Merkle tree, the ring buffers,
+the payload pool, and the discrete-event kernel.  These are real
+pytest-benchmark measurements, useful for tracking regressions in the
+library itself (they say nothing about the paper's hardware numbers).
+"""
+
+from conftest import quick_mode
+
+from repro.htable import RobinHoodTable
+from repro.merkle import MerkleTree
+from repro.core.payload_store import PayloadStore
+from repro.core.ring_buffer import RingConsumer, RingLayout, RingProducer
+from repro.rdma.memory import AccessFlags, ProtectionDomain
+from repro.sim import Simulator, Timeout
+
+
+def _scale(n):
+    return max(10, n // 10) if quick_mode() else n
+
+
+def bench_robinhood_insert(benchmark):
+    keys = [f"key-{i:08d}".encode() for i in range(_scale(5000))]
+
+    def insert_all():
+        table = RobinHoodTable(initial_capacity=64)
+        for i, key in enumerate(keys):
+            table.put(key, i)
+        return table
+
+    table = benchmark(insert_all)
+    assert len(table) == len(keys)
+
+
+def bench_robinhood_lookup(benchmark):
+    table = RobinHoodTable()
+    keys = [f"key-{i:08d}".encode() for i in range(_scale(5000))]
+    for i, key in enumerate(keys):
+        table.put(key, i)
+
+    def lookup_all():
+        total = 0
+        for key in keys:
+            total += table.get(key)
+        return total
+
+    benchmark(lookup_all)
+
+
+def bench_merkle_update_path(benchmark):
+    tree = MerkleTree(16384)  # ShieldStore-sized
+
+    def update():
+        tree.update_leaf(1234, b"mac-list-bytes" * 4)
+
+    benchmark(update)
+
+
+def bench_merkle_verify_path(benchmark):
+    tree = MerkleTree(16384)
+    tree.update_leaf(99, b"leaf-data")
+    benchmark(tree.verify_leaf, 99, b"leaf-data")
+
+
+def bench_ring_buffer_roundtrip(benchmark):
+    layout = RingLayout(64, 256)
+    pd = ProtectionDomain()
+    region = pd.register(layout.total_bytes, AccessFlags.LOCAL_WRITE)
+    consumer = RingConsumer(layout, region)
+    producer = RingProducer(layout, write_remote=region.write_local)
+    frame = b"request-frame" * 8
+
+    def roundtrip():
+        producer.produce(frame)
+        consumer.poll_one()
+        credit = consumer.credits_due()
+        if credit is not None:
+            producer.credit_update(credit)
+
+    benchmark(roundtrip)
+
+
+def bench_payload_store_store_load(benchmark):
+    store = PayloadStore(arena_size=64 * 1024 * 1024)
+    blob = b"x" * 128
+
+    def store_and_load():
+        ptr = store.store(blob)
+        return store.load(ptr)
+
+    benchmark(store_and_load)
+
+
+def bench_sim_engine_event_throughput(benchmark):
+    """Events per second of the DES kernel (drives all figure sims)."""
+    n = _scale(20_000)
+
+    def run_sim():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(n):
+                yield Timeout(10)
+
+        sim.spawn(ticker())
+        sim.run()
+        return sim.now
+
+    benchmark.pedantic(run_sim, rounds=3, iterations=1)

@@ -1,0 +1,15 @@
+"""The reproduction scorecard: every prose claim of the paper, verified."""
+
+from conftest import quick_mode
+
+from repro.bench.scorecard import run_scorecard
+
+
+def bench_reproduction_scorecard(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_scorecard, kwargs={"quick": quick_mode()}, rounds=1, iterations=1
+    )
+    report_sink("scorecard", result.report())
+    failing = [claim for claim in result.claims if not claim.holds]
+    assert not failing, result.report()
+    assert result.total >= 10

@@ -1,0 +1,32 @@
+"""Table 1: EPC working set at 0 / 1 / 100 k inserted keys.
+
+Runs the *functional* servers (real allocators, tables, pools) and takes
+sgx-perf-style page censuses.  The paper's numbers:
+
+    Precursor    52 pages (0.2 MiB) -> 65 (0.25 MiB) -> 2 981 (11.6 MiB)
+    ShieldStore  17 392 (67.9 MiB) -> 17 586 (68.6) -> 17 594 (68.7)
+"""
+
+from conftest import quick_mode
+
+from repro.bench.experiments import PAPER_TABLE1, run_table1
+
+
+def bench_table1_epc_working_set(benchmark, report_sink):
+    max_keys = 10_000 if quick_mode() else 100_000
+    result = benchmark.pedantic(
+        run_table1, kwargs={"max_keys": max_keys}, rounds=1, iterations=1
+    )
+    report_sink("table1_epc_working_set", result.report())
+
+    # Exact matches at the static checkpoints.
+    assert result.pages["precursor"][0] == 52
+    assert result.pages["precursor"][1] == 65
+    assert result.pages["shieldstore"][0] == 17392
+    assert result.pages["shieldstore"][1] == 17586
+
+    if not quick_mode():
+        paper_pages = PAPER_TABLE1["precursor"][100_000][0]
+        measured = result.pages["precursor"][2]
+        assert abs(measured - paper_pages) / paper_pages < 0.03
+        assert result.pages["shieldstore"][2] == 17594

@@ -1,0 +1,34 @@
+"""Benchmark-suite fixtures.
+
+Each figure/table benchmark runs its experiment once under
+pytest-benchmark (``pedantic(rounds=1)``: the experiment is itself an
+aggregate over thousands of simulated operations, so repeating it buys
+nothing) and writes the paper-style report to ``bench_reports/``.
+
+Set ``REPRO_BENCH_QUICK=1`` to shorten the simulations (CI smoke runs).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_reports"
+
+
+def quick_mode() -> bool:
+    """Whether to run shortened simulations."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write one experiment report to bench_reports/<name>.txt and echo it."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return write

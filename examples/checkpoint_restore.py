@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Persistence with rollback protection: checkpoint, crash, restore.
+
+SGX state that leaves the enclave (e.g. to disk) is exposed to rollback
+and forking attacks: an operator can restart the service from an *old*
+snapshot to resurrect deleted secrets or undo updates.  The paper (§2.1)
+points to monotonic counters as the standard defence and notes such
+techniques "can be integrated into our design" -- this example shows that
+integration working.
+
+Run:  python examples/checkpoint_restore.py
+"""
+
+from repro.core import PrecursorClient, PrecursorServer, make_pair
+from repro.core.persistence import CheckpointManager
+from repro.errors import IntegrityError
+from repro.rdma.fabric import Fabric
+
+
+def main() -> None:
+    server, client = make_pair(seed=99)
+    manager = CheckpointManager()
+
+    client.put(b"deploy-key", b"v1-SECRET-TO-BE-ROTATED")
+    stale = manager.checkpoint(server)
+    print("checkpoint #1 taken (contains the old secret)")
+
+    client.put(b"deploy-key", b"v2-rotated")
+    fresh = manager.checkpoint(server)
+    print("secret rotated; checkpoint #2 taken")
+
+    # --- crash & honest restart -------------------------------------------
+    print("\n[restart] restoring from the FRESH checkpoint")
+    restarted = PrecursorServer(fabric=Fabric(), config=server.config)
+    restarted.start()
+    manager.restore(restarted, fresh)
+    reader = PrecursorClient(restarted, client_id=500)
+    print("  deploy-key =", reader.get(b"deploy-key"))
+
+    # --- the rollback attack -----------------------------------------------
+    print("\n[attack] operator restarts from the STALE checkpoint instead")
+    attacked = PrecursorServer(fabric=Fabric(), config=server.config)
+    attacked.start()
+    try:
+        manager.restore(attacked, stale)
+        print("  !! rollback went undetected")
+    except IntegrityError as exc:
+        print("  rejected:", exc)
+
+    print(f"\nmonotonic counter increments: {manager.counters.increments} "
+          f"(~{manager.counters.modelled_cost_ms():.0f} ms on real SGX "
+          "hardware -- cheap per checkpoint, prohibitive per request)")
+
+
+if __name__ == "__main__":
+    main()

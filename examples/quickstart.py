@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: a Precursor server and client in one process.
+
+Walks through the full lifecycle the paper describes:
+
+1. the server starts its enclave (three ecalls total);
+2. the client attests the enclave and derives a session key;
+3. RDMA is bootstrapped (registered rings, rkeys exchanged);
+4. put()/get()/delete() run with client-side payload encryption under
+   one-time keys -- and we inspect what each side actually saw.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_pair
+from repro.errors import KeyNotFoundError
+
+
+def main() -> None:
+    # make_pair wires a server and an attested client over an in-memory
+    # RDMA fabric.  A seed makes key material reproducible.
+    server, client = make_pair(seed=2024)
+    print("connected: client", client.client_id, "-> enclave",
+          server.enclave.measurement.hex()[:16], "...")
+
+    # -- basic operations ---------------------------------------------------
+    client.put(b"user:1001", b"alice")
+    client.put(b"user:1002", b"bob")
+    print("get user:1001 ->", client.get(b"user:1001"))
+
+    client.put(b"user:1001", b"alice-v2")  # update rotates the one-time key
+    print("after update  ->", client.get(b"user:1001"))
+
+    client.delete(b"user:1002")
+    try:
+        client.get(b"user:1002")
+    except KeyNotFoundError:
+        print("user:1002 deleted")
+
+    # -- what made this 'Precursor' -----------------------------------------
+    print("\n--- split-transfer evidence ---")
+    print(f"keys stored:                {server.key_count}")
+    print(f"untrusted payload bytes:    {server.payload_store.live_bytes}")
+    print(f"enclave ecalls (total):     {server.enclave.transitions.ecalls}"
+          "  <- startup + add_client only; zero per request")
+    print(f"enclave trusted pages:      {server.enclave.trusted_pages}"
+          f"  ({server.enclave.trusted_bytes / 1024:.0f} KiB)")
+    tags = server.enclave.allocator.tags()
+    print("trusted memory by section: ",
+          {tag: size for tag, size in tags.items() if size})
+    print("\nNote: the value bytes live ONLY in the untrusted pool; the "
+          "enclave holds just key -> (K_operation, pointer) metadata.")
+
+
+if __name__ == "__main__":
+    main()

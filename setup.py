@@ -1,0 +1,4 @@
+"""Setuptools shim enabling offline editable installs (no wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Precursor reproduction: a client-centric trusted key-value store.
+
+This package reproduces *Precursor: A Fast, Client-Centric and Trusted
+Key-Value Store using RDMA and Intel SGX* (Messadi et al., Middleware '21)
+as a pure-Python library.  It contains:
+
+- :mod:`repro.core` -- the Precursor key-value store (client, server,
+  protocol) with real client-side payload encryption under one-time keys.
+- :mod:`repro.crypto` -- pure-Python Salsa20, AES-128, AES-GCM and AES-CMAC
+  plus a cycle-accurate cost model used by the simulator.
+- :mod:`repro.sgx` -- a software model of Intel SGX enclaves: trusted-heap
+  accounting, ecall/ocall gates, EPC paging, remote attestation and an
+  sgx-perf-style working-set tracer.
+- :mod:`repro.rdma` -- an RDMA substrate: queue pairs, registered memory
+  regions, one-sided verbs, completion queues and an RNIC model.
+- :mod:`repro.net` -- a TCP transport model used by the ShieldStore baseline.
+- :mod:`repro.baselines` -- the ShieldStore baseline (Merkle tree over MAC
+  buckets, server-side encryption scheme).
+- :mod:`repro.ycsb` -- YCSB workload generation.
+- :mod:`repro.sim` -- the discrete-event simulation engine.
+- :mod:`repro.bench` -- harnesses that regenerate every figure and table of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro import make_pair
+
+    server, client = make_pair()
+    client.put(b"user:42", b"alice")
+    assert client.get(b"user:42") == b"alice"
+"""
+
+from repro.core import (
+    PrecursorClient,
+    PrecursorServer,
+    PrecursorServerEncryption,
+    make_pair,
+)
+from repro.errors import (
+    AuthenticationError,
+    IntegrityError,
+    KeyNotFoundError,
+    PrecursorError,
+    ReplayError,
+)
+
+__all__ = [
+    "PrecursorClient",
+    "PrecursorServer",
+    "PrecursorServerEncryption",
+    "make_pair",
+    "PrecursorError",
+    "IntegrityError",
+    "AuthenticationError",
+    "ReplayError",
+    "KeyNotFoundError",
+]
+
+__version__ = "1.0.0"

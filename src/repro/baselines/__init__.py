@@ -1,0 +1,16 @@
+"""Baseline systems the paper compares against.
+
+- :mod:`repro.baselines.shieldstore` -- ShieldStore (Kim et al.,
+  EuroSys '19), the state-of-the-art SGX-tailored key-value store used as
+  the paper's primary baseline: encrypted entries in untrusted memory,
+  per-bucket MAC lists under a Merkle tree rooted in the enclave,
+  server-side encryption, socket (TCP) transport.
+
+The second baseline, the Precursor *server-encryption* variant, shares
+Precursor's transport stack and lives in
+:mod:`repro.core.server_encryption`.
+"""
+
+from repro.baselines.shieldstore import ShieldStoreClient, ShieldStoreServer
+
+__all__ = ["ShieldStoreServer", "ShieldStoreClient"]

@@ -1,0 +1,26 @@
+"""ShieldStore: shielded in-memory key-value storage with SGX.
+
+A faithful functional reimplementation of the design the paper benchmarks
+against (§5.1):
+
+- encrypted key-value entries live in **untrusted** memory, organised as
+  bucket chains; each entry carries a MAC;
+- the enclave holds a statically allocated main structure and a Merkle
+  tree over per-bucket MAC lists; the root is the integrity anchor;
+- every GET decrypts bucket entries server-side to locate the key, then
+  verifies the bucket's MAC list against the tree root; every PUT
+  re-encrypts and updates the leaf-to-root path;
+- clients talk to the server over kernel TCP sockets.
+
+These are exactly the per-request costs -- server-side cryptography,
+Merkle verification, TCP processing -- that Precursor's client-centric
+design eliminates.
+"""
+
+from repro.baselines.shieldstore.client import ShieldStoreClient
+from repro.baselines.shieldstore.server import (
+    ShieldStoreConfig,
+    ShieldStoreServer,
+)
+
+__all__ = ["ShieldStoreServer", "ShieldStoreClient", "ShieldStoreConfig"]

@@ -1,0 +1,102 @@
+"""The ShieldStore client: a thin, trusting socket client.
+
+Unlike a Precursor client, a ShieldStore client performs no payload
+cryptography and no integrity verification -- it trusts the server enclave
+to do both, and only shares a transport session key with it (established
+via the same attestation flow).  The asymmetry is the point of the
+comparison: here the server pays for all cryptographic work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from typing import Callable, Optional
+
+from repro.baselines.shieldstore.server import ShieldStoreServer
+from repro.core.protocol import OpCode, Status
+from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.crypto.keys import KeyGenerator, SessionKey
+from repro.errors import (
+    AuthenticationError,
+    KeyNotFoundError,
+    PrecursorError,
+    ProtocolError,
+)
+
+__all__ = ["ShieldStoreClient"]
+
+_client_ids = itertools.count(1)
+
+
+class ShieldStoreClient:
+    """A connected ShieldStore client over the TCP fabric."""
+
+    def __init__(
+        self,
+        server: ShieldStoreServer,
+        client_id: Optional[int] = None,
+        keygen: Optional[KeyGenerator] = None,
+        auto_pump: bool = True,
+    ):
+        self.client_id = client_id if client_id is not None else next(_client_ids)
+        self.keygen = keygen if keygen is not None else KeyGenerator()
+        session_key = self.keygen.session_key()
+        self.session = SessionKey(key=session_key, client_id=self.client_id)
+        self._endpoint = server.connect_client(self.client_id, session_key)
+        self._pump: Optional[Callable[[], int]] = (
+            server.process_pending if auto_pump else None
+        )
+        self.operations = 0
+
+    def _roundtrip(self, opcode: OpCode, key: bytes, value: bytes) -> bytes:
+        if not key:
+            raise ProtocolError("keys must be non-empty bytes")
+        blob = bytes([int(opcode)]) + struct.pack(">H", len(key)) + key + value
+        iv = self.session.next_iv()
+        sealed = AesGcm(self.session.key).seal(
+            iv, blob, aad=struct.pack(">I", self.client_id)
+        )
+        self._endpoint.send(iv + sealed)
+        self.operations += 1
+        if self._pump is not None:
+            self._pump()
+        reply = self._endpoint.recv()
+        if reply is None:
+            raise PrecursorError(
+                "no reply available; pump the server when auto_pump is off"
+            )
+        reply_iv, reply_sealed = reply[:12], reply[12:]
+        try:
+            return AesGcm(self.session.key).open(
+                reply_iv,
+                reply_sealed,
+                aad=b"resp" + struct.pack(">I", self.client_id),
+            )
+        except GcmFailure as exc:
+            raise AuthenticationError(str(exc)) from exc
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Store ``value`` under ``key`` (server does all the crypto)."""
+        reply = self._roundtrip(OpCode.PUT, key, value)
+        if Status(reply[0]) is not Status.OK:
+            raise PrecursorError(f"put failed: {Status(reply[0]).name}")
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch the value for ``key``."""
+        reply = self._roundtrip(OpCode.GET, key, b"")
+        status = Status(reply[0])
+        if status is Status.NOT_FOUND:
+            raise KeyNotFoundError(key)
+        if status is not Status.OK:
+            raise PrecursorError(f"get failed: {status.name}")
+        return reply[1:]
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``."""
+        reply = self._roundtrip(OpCode.DELETE, key, b"")
+        status = Status(reply[0])
+        if status is Status.NOT_FOUND:
+            raise KeyNotFoundError(key)
+        if status is not Status.OK:
+            raise PrecursorError(f"delete failed: {status.name}")

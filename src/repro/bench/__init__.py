@@ -1,0 +1,33 @@
+"""Benchmark harnesses: one generator per figure/table of the paper.
+
+Every experiment in §5 of the paper is regenerated here:
+
+========  ============================================  =======================
+ID        Paper artifact                                Entry point
+========  ============================================  =======================
+fig1      crypto throughput vs RDMA line rate           :func:`repro.bench.experiments.run_fig1`
+fig4      throughput vs read ratio (4 mixes)            :func:`repro.bench.experiments.run_fig4`
+fig5a/b   throughput vs value size (read / update)      :func:`repro.bench.experiments.run_fig5`
+fig6      throughput vs client count                    :func:`repro.bench.experiments.run_fig6`
+fig7      get() latency CDFs (+ EPC paging)             :func:`repro.bench.experiments.run_fig7`
+fig8      latency breakdown networking vs server        :func:`repro.bench.experiments.run_fig8`
+tab1      EPC working set vs inserted keys              :func:`repro.bench.experiments.run_table1`
+========  ============================================  =======================
+
+Throughput/latency numbers come from a discrete-event simulation of the
+testbed (:mod:`repro.bench.simulation`) whose cost constants are documented
+in :mod:`repro.bench.calibration`; Table 1 runs the *functional* servers and
+counts real trusted allocations.
+"""
+
+from repro.bench.calibration import Calibration
+from repro.bench.simulation import SimulationConfig, SimulationResult, simulate
+from repro.bench import experiments
+
+__all__ = [
+    "Calibration",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate",
+    "experiments",
+]

@@ -1,0 +1,206 @@
+"""Per-operation cost functions for the three systems under test.
+
+Turns a :class:`~repro.bench.calibration.Calibration` into the quantities
+the discrete-event simulation charges:
+
+- server cycles per GET/PUT (total occupancy, and the critical-path slice
+  that precedes the reply);
+- client cycles per operation (payload crypto for Precursor, transport
+  crypto for the others, request assembly);
+- request/response byte volumes (for wire time and the line-rate cap).
+
+The decompositions follow §3.7/§3.8 (Precursor), §5.1 (server-encryption
+variant) and §2.4/§5.2 (ShieldStore).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.calibration import Calibration
+from repro.core.protocol import OpCode
+from repro.errors import ConfigurationError
+
+__all__ = ["SystemCosts", "make_costs", "SYSTEMS"]
+
+SYSTEMS = ("precursor", "precursor-se", "shieldstore")
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Everything one operation costs, by location."""
+
+    server_total_cycles: float
+    server_crit_cycles: float
+    client_cycles: float
+    request_bytes: int
+    response_bytes: int
+
+
+class SystemCosts:
+    """Cost model for one system at one workload configuration."""
+
+    def __init__(
+        self,
+        system: str,
+        calibration: Calibration,
+        read_fraction: float,
+    ):
+        if system not in SYSTEMS:
+            raise ConfigurationError(f"unknown system {system!r}")
+        self.system = system
+        self.cal = calibration
+        self.read_fraction = read_fraction
+        self._contention = calibration.mix_contention_cycles(read_fraction)
+
+    # -- public API ----------------------------------------------------------
+
+    def op_cost(self, opcode: OpCode, value_size: int) -> OpCost:
+        """Full cost breakdown of one operation."""
+        if self.system == "precursor":
+            return self._precursor(opcode, value_size)
+        if self.system == "precursor-se":
+            return self._server_encryption(opcode, value_size)
+        return self._shieldstore(opcode, value_size)
+
+    def mean_cycles(self, value_size: int) -> float:
+        """Mix-weighted mean server cycles per op (analytic capacity)."""
+        r = self.read_fraction
+        get = self.op_cost(OpCode.GET, value_size).server_total_cycles
+        put = self.op_cost(OpCode.PUT, value_size).server_total_cycles
+        return r * get + (1 - r) * put
+
+    def mean_server_bytes(self, value_size: int) -> float:
+        """Mix-weighted bytes crossing the server NIC per op (in + out)."""
+        r = self.read_fraction
+        get = self.op_cost(OpCode.GET, value_size)
+        put = self.op_cost(OpCode.PUT, value_size)
+        get_bytes = max(get.request_bytes, get.response_bytes)
+        put_bytes = max(put.request_bytes, put.response_bytes)
+        return r * get_bytes + (1 - r) * put_bytes
+
+    # -- Precursor: client-centric scheme ------------------------------------
+
+    def _precursor(self, opcode: OpCode, value_size: int) -> OpCost:
+        cal = self.cal
+        crypto = cal.crypto
+        payload = value_size + 16  # ciphertext + CMAC
+        # Server: open request control, (store payload), seal reply control.
+        server_crypto = crypto.gcm_open_cycles(
+            cal.request_control_bytes
+        ) + crypto.gcm_seal_cycles(cal.response_control_bytes)
+        if opcode is OpCode.GET:
+            total = (
+                cal.precursor_get_base_cycles + server_crypto + self._contention
+            )
+            crit = server_crypto + cal.precursor_crit_extra_cycles
+            client = (
+                crypto.gcm_seal_cycles(cal.request_control_bytes)  # seal ctrl
+                + crypto.gcm_open_cycles(cal.response_control_bytes)
+                + crypto.cmac_cycles(value_size)  # verify fetched payload
+                + crypto.salsa_cycles(value_size)  # decrypt it
+            )
+            request = cal.request_overhead_bytes + cal.request_control_bytes
+            response = (
+                cal.response_overhead_bytes
+                + cal.response_control_bytes
+                + payload
+            )
+        else:
+            total = (
+                cal.precursor_get_base_cycles
+                + cal.precursor_put_extra_cycles
+                + server_crypto
+                + crypto.memcpy_cycles(payload)  # untrusted pool store
+                + self._contention
+            )
+            crit = (
+                server_crypto
+                + cal.precursor_put_crit_extra_cycles
+                + crypto.memcpy_cycles(payload)
+            )
+            client = (
+                crypto.salsa_cycles(value_size)  # one-time-key encrypt
+                + crypto.cmac_cycles(value_size)  # MAC the ciphertext
+                + crypto.gcm_seal_cycles(cal.request_control_bytes)
+                + crypto.gcm_open_cycles(cal.response_control_bytes)
+            )
+            request = (
+                cal.request_overhead_bytes + cal.request_control_bytes + payload
+            )
+            response = cal.response_overhead_bytes + cal.response_control_bytes
+        return OpCost(total, min(crit, total), client, request, response)
+
+    # -- Precursor server-encryption variant -----------------------------------
+
+    def _server_encryption(self, opcode: OpCode, value_size: int) -> OpCost:
+        cal = self.cal
+        crypto = cal.crypto
+        base = self._precursor(opcode, value_size)
+        # The payload now rides inside the sealed segment and is processed
+        # in the enclave: GCM over the value twice (transport + storage on
+        # PUT; storage + transport on GET) and two boundary copies.
+        payload_crypto = 2 * crypto.gcm_seal_cycles(value_size)
+        copies = 2 * cal.boundary_copy_cycles(value_size)
+        if opcode is OpCode.GET:
+            extra = cal.se_get_extra_fixed_cycles + payload_crypto + copies
+            request = cal.request_overhead_bytes + cal.request_control_bytes
+            response = (
+                cal.response_overhead_bytes
+                + cal.response_control_bytes
+                + value_size
+                + 16
+            )
+        else:
+            extra = cal.se_put_extra_fixed_cycles + payload_crypto + copies
+            request = (
+                cal.request_overhead_bytes
+                + cal.request_control_bytes
+                + value_size
+                + 16
+            )
+            response = cal.response_overhead_bytes + cal.response_control_bytes
+        total = base.server_total_cycles + extra
+        # Payload crypto happens before the reply: it is critical path.
+        crit = base.server_crit_cycles + payload_crypto + copies
+        client = (
+            crypto.gcm_seal_cycles(cal.request_control_bytes + value_size)
+            + crypto.gcm_open_cycles(cal.response_control_bytes + value_size)
+        )
+        return OpCost(total, min(crit, total), client, request, response)
+
+    # -- ShieldStore -------------------------------------------------------------
+
+    def _shieldstore(self, opcode: OpCode, value_size: int) -> OpCost:
+        cal = self.cal
+        crypto = cal.crypto
+        if opcode is OpCode.GET:
+            total = (
+                cal.shieldstore_base_cycles
+                + cal.shieldstore_read_per_byte_cycles * value_size
+            )
+        else:
+            total = (
+                cal.shieldstore_base_cycles
+                + cal.shieldstore_put_fixed_cycles
+                + cal.shieldstore_put_per_byte_cycles * value_size
+            )
+        crit = cal.shieldstore_crit_fraction * total
+        # ShieldStore clients only do transport crypto.
+        client = crypto.gcm_seal_cycles(
+            value_size + 32
+        ) + crypto.gcm_open_cycles(value_size + 16)
+        request = 64 + (value_size if opcode is OpCode.PUT else 0)
+        response = 48 + (value_size if opcode is OpCode.GET else 0)
+        return OpCost(total, crit, client, request, response)
+
+
+def make_costs(
+    system: str, calibration: Calibration = None, read_fraction: float = 1.0
+) -> SystemCosts:
+    """Convenience constructor with a default calibration."""
+    return SystemCosts(
+        system,
+        calibration if calibration is not None else Calibration(),
+        read_fraction,
+    )

@@ -1,0 +1,131 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig4
+    python -m repro.cli fig5 --quick
+    python -m repro.cli all --quick --out bench_reports/
+
+Each command prints the paper-style report (and optionally writes it to a
+file); ``all`` runs every artifact in sequence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict
+
+from repro.bench import experiments
+
+__all__ = ["main"]
+
+_RUNNERS: Dict[str, Callable] = {
+    "fig1": experiments.run_fig1,
+    "fig4": experiments.run_fig4,
+    "fig5": experiments.run_fig5,
+    "fig6": experiments.run_fig6,
+    "fig7": experiments.run_fig7,
+    "fig8": experiments.run_fig8,
+    "table1": experiments.run_table1,
+}
+
+_DESCRIPTIONS = {
+    "fig1": "crypto decrypt+encrypt throughput vs 40 Gbit RDMA line rate",
+    "fig4": "throughput vs read ratio (YCSB mixes, 32 B, 50 clients)",
+    "fig5": "throughput vs value size, read-only + update-mostly",
+    "fig6": "read-only throughput vs client count (10-100)",
+    "fig7": "get() latency CDFs incl. the EPC-paging run",
+    "fig8": "get() latency breakdown: networking vs server processing",
+    "table1": "EPC working set at 0/1/100k inserted keys",
+}
+
+
+def _run_one(
+    name: str,
+    quick: bool,
+    out_dir: pathlib.Path = None,
+    csv: bool = False,
+) -> str:
+    runner = _RUNNERS[name]
+    if name in ("fig1", "fig8"):
+        result = runner()  # analytic, no quick knob
+    else:
+        result = runner(quick=quick)
+    text = result.report()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        if csv:
+            from repro.bench.export import to_csv
+
+            (out_dir / f"{name}.csv").write_text(to_csv(result))
+    return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description=(
+            "Regenerate the evaluation artifacts of 'Precursor' "
+            "(Middleware '21)."
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_RUNNERS) + ["all", "list", "scorecard"],
+        help="which figure/table to regenerate ('all' for everything, "
+        "'list' to enumerate, 'scorecard' for pass/fail vs the paper)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shortened simulations (smoke-test quality)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write each report to DIR/<artifact>.txt",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="with --out: additionally write DIR/<artifact>.csv "
+        "(plot-ready data)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        for name in sorted(_RUNNERS):
+            print(f"{name:8s} {_DESCRIPTIONS[name]}")
+        print("scorecard  pass/fail verdict on every paper claim")
+        return 0
+    if args.artifact == "scorecard":
+        from repro.bench.scorecard import run_scorecard
+
+        result = run_scorecard(quick=args.quick)
+        print(result.report())
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / "scorecard.txt").write_text(result.report() + "\n")
+        return 0 if result.passed == result.total else 1
+    names = sorted(_RUNNERS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        print(
+            _run_one(name, quick=args.quick, out_dir=args.out, csv=args.csv)
+        )
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

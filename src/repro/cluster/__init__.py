@@ -1,0 +1,9 @@
+"""Testbed inventory: the machines of the paper's evaluation (§5.1)."""
+
+from repro.cluster.testbed import (
+    MachineSpec,
+    TestbedSpec,
+    paper_testbed,
+)
+
+__all__ = ["MachineSpec", "TestbedSpec", "paper_testbed"]

@@ -1,0 +1,93 @@
+"""Machine and testbed descriptions consumed by the simulations.
+
+Paper §5.1:
+
+- Server: Intel Xeon E-2176G, 3.70 GHz, 6 cores / 12 hyper-threads,
+  32 GB RAM, 40 Gbps Mellanox ConnectX-3 RoCE NIC.
+- Clients: five machines with Intel Xeon E3-1230 (3.40 GHz, 4 cores /
+  8 HT) and 10 Gbps ConnectX-3 NICs, plus one AMD EPYC 7281 (16 cores,
+  128 GB) with a 40 Gbps NIC that runs half of the client processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.rdma.nic import RNic
+
+__all__ = ["MachineSpec", "TestbedSpec", "paper_testbed"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One physical machine."""
+
+    name: str
+    ghz: float
+    cores: int
+    hyper_threads: int
+    memory_gb: int
+    nic: RNic
+
+    def __post_init__(self) -> None:
+        if self.ghz <= 0 or self.cores < 1 or self.hyper_threads < self.cores:
+            raise ConfigurationError(f"invalid machine spec {self.name!r}")
+
+    @property
+    def effective_cores(self) -> float:
+        """Usable core-equivalents: hyper-threads beyond the physical
+        cores contribute ~30 % each (the usual SMT yield)."""
+        extra = self.hyper_threads - self.cores
+        return self.cores + 0.3 * extra
+
+    def cycles_per_second(self) -> float:
+        """Aggregate cycle budget across effective cores."""
+        return self.effective_cores * self.ghz * 1e9
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """A server plus a set of client machines."""
+
+    server: MachineSpec
+    clients: List[MachineSpec] = field(default_factory=list)
+
+    def client_slots(self) -> int:
+        """Total client hyper-threads available."""
+        return sum(machine.hyper_threads for machine in self.clients)
+
+
+def paper_testbed() -> TestbedSpec:
+    """The exact testbed of §5.1."""
+    server = MachineSpec(
+        name="server",
+        ghz=3.7,
+        cores=6,
+        hyper_threads=12,
+        memory_gb=32,
+        nic=RNic(bandwidth_gbps=40.0),
+    )
+    clients = [
+        MachineSpec(
+            name=f"client-{i}",
+            ghz=3.4,
+            cores=4,
+            hyper_threads=8,
+            memory_gb=32,
+            nic=RNic(bandwidth_gbps=10.0),
+        )
+        for i in range(5)
+    ]
+    clients.append(
+        MachineSpec(
+            name="client-epyc",
+            ghz=2.1,
+            cores=16,
+            hyper_threads=32,
+            memory_gb=128,
+            nic=RNic(bandwidth_gbps=40.0),
+        )
+    )
+    return TestbedSpec(server=server, clients=clients)

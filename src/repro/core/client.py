@@ -1,0 +1,425 @@
+"""The Precursor client: the "precursor" that does the heavy lifting.
+
+Precursor's headline design decision (paper §3.2-3.3) is to move payload
+cryptography to the client: before a ``put()`` the client generates a fresh
+one-time key, encrypts the value with it, MACs the ciphertext, and seals
+only the tiny control segment to the enclave (Algorithm 1).  After a
+``get()`` it receives the raw ciphertext from untrusted server memory plus
+the one-time key over the sealed channel, recomputes the MAC and decrypts
+-- so the *client*, not the server, verifies integrity and freshness.
+
+The transport is one-sided RDMA in both directions: requests are WRITTEN
+into the server's per-client ring; replies appear in a client-local reply
+ring the server WRITEs into; request-ring credits arrive in a one-sided
+credit word.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import time
+from typing import Callable, Optional
+
+from repro.core.protocol import (
+    ControlData,
+    OpCode,
+    Request,
+    Response,
+    ResponseControl,
+    Status,
+)
+from repro.core.ring_buffer import RingConsumer, RingProducer
+from repro.core.server import PrecursorServer
+from repro.crypto.keys import KeyGenerator, SessionKey
+from repro.crypto.provider import CryptoProvider, EncryptedPayload
+from repro.errors import (
+    AuthenticationError,
+    CapacityError,
+    IntegrityError,
+    KeyNotFoundError,
+    PrecursorError,
+    ProtocolError,
+    ReplayError,
+)
+from repro.rdma.memory import AccessFlags
+from repro.rdma.verbs import Opcode as RdmaOpcode
+from repro.rdma.verbs import WorkRequest
+from repro.sgx.attestation import attest_and_establish_session
+
+__all__ = ["PrecursorClient"]
+
+_client_ids = itertools.count(1)
+
+
+class PrecursorClient:
+    """A connected Precursor client.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.core.server.PrecursorServer` to attach to (both
+        must share one fabric).
+    client_id:
+        Optional explicit id; auto-assigned when omitted.
+    keygen:
+        Source of one-time keys/IVs.  Pass a seeded generator for
+        reproducible runs.
+    auto_pump:
+        When True (default), each operation pumps the server's polling
+        loop so the in-process pair behaves synchronously.  Disable to
+        drive the server explicitly (e.g. batched or multi-client tests).
+    expected_measurement:
+        The enclave measurement to attest against; defaults to the
+        server's true measurement.  Passing a wrong value makes the
+        handshake fail -- that is the point of attestation.
+    response_timeout_s:
+        When set (and ``auto_pump`` is False), operations spin-wait on
+        the reply ring up to this many seconds -- the mode used against a
+        threaded server (:class:`~repro.core.threading.ServerThreadPool`),
+        where another thread fills the ring.
+    """
+
+    def __init__(
+        self,
+        server: PrecursorServer,
+        client_id: Optional[int] = None,
+        keygen: Optional[KeyGenerator] = None,
+        auto_pump: bool = True,
+        expected_measurement: Optional[bytes] = None,
+        response_timeout_s: Optional[float] = None,
+    ):
+        self.response_timeout_s = response_timeout_s
+        self.client_id = client_id if client_id is not None else next(_client_ids)
+        self.keygen = keygen if keygen is not None else KeyGenerator()
+        self.provider = CryptoProvider(self.keygen)
+        self._pump: Optional[Callable[[], int]] = (
+            server.process_pending if auto_pump else None
+        )
+        self._server = server
+
+        # 1. Remote attestation establishes trust and the session key (§3.6).
+        measurement = (
+            expected_measurement
+            if expected_measurement is not None
+            else server.enclave.measurement
+        )
+        self.session = attest_and_establish_session(
+            server.enclave, measurement, self.client_id, self.keygen
+        )
+
+        # 2. RDMA bootstrap: register local regions, connect QPs, learn the
+        #    server's buffer window (rkey + layout).
+        fabric = server.fabric
+        self._host = f"client-{self.client_id}"
+        self.pd = fabric.add_host(self._host)
+        self._qp, server_qp = fabric.create_qp_pair(self._host, server.HOST_NAME)
+
+        # Reply ring and credit word live in *client* memory; the server
+        # writes both with one-sided WRITEs.
+        # Layout depends on server config; fetch via admission below.
+        self._reply_region = None
+        self._credit_region = self.pd.register(
+            8, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_WRITE
+        )
+
+        # Pre-register reply region using the server's ring geometry.
+        layout_probe = server.config
+        reply_bytes = layout_probe.ring_slots * layout_probe.ring_slot_size
+        self._reply_region = self.pd.register(
+            reply_bytes, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_WRITE
+        )
+
+        request_rkey, layout = server.add_client(
+            self.client_id,
+            self.session.key,
+            server_qp,
+            reply_rkey=self._reply_region.rkey,
+            credit_rkey=self._credit_region.rkey,
+        )
+        self._layout = layout
+        self._request_rkey = request_rkey
+        self._producer = RingProducer(layout, write_remote=self._write_request)
+        self._reply_consumer = RingConsumer(layout, self._reply_region)
+        self._oid = 0
+        self.fabric = fabric
+
+        #: Client-side operation counters.
+        self.operations = 0
+        self.integrity_failures = 0
+
+    # -- transport ------------------------------------------------------------
+
+    def _write_request(self, offset: int, data: bytes) -> None:
+        self.fabric.post_send(
+            self._qp,
+            WorkRequest(
+                wr_id=self._oid,
+                opcode=RdmaOpcode.RDMA_WRITE,
+                data=data,
+                remote_rkey=self._request_rkey,
+                remote_offset=offset,
+                signaled=False,
+                inline=len(data) <= self._qp.max_inline,
+            ),
+        )
+
+    def _refresh_credits(self) -> None:
+        (consumed,) = struct.unpack(">Q", self._credit_region.read_local(0, 8))
+        # The credit word lives in client memory the *server* writes -- but
+        # any holder of the rkey could forge it.  Sanitize before applying:
+        # never above what we actually produced, never regressing.  A
+        # forged credit can then at worst delay us, not make us overwrite
+        # unprocessed slots.
+        consumed = min(consumed, self._producer._sequence)
+        if consumed > self._producer._consumed:
+            self._producer.credit_update(consumed)
+
+    def _submit(self, request: Request) -> None:
+        frame = request.encode()
+        self._refresh_credits()
+        try:
+            self._producer.produce(frame)
+        except CapacityError:
+            # Ring full: let the server drain, pick up fresh credits, retry.
+            if self._pump is not None:
+                self._pump()
+            elif self.response_timeout_s:
+                deadline = time.monotonic() + self.response_timeout_s
+                self._refresh_credits()
+                while (
+                    self._producer.free_slots <= 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(5e-6)
+                    self._refresh_credits()
+            self._refresh_credits()
+            self._producer.produce(frame)
+
+    def _await_response(self) -> Response:
+        if self._pump is not None:
+            self._pump()
+        frame = self._reply_consumer.poll_one()
+        if frame is None and self._pump is None and self.response_timeout_s:
+            # Threaded-server mode: a trusted thread elsewhere fills the
+            # reply ring; spin until it does (or the deadline passes).
+            deadline = time.monotonic() + self.response_timeout_s
+            while frame is None and time.monotonic() < deadline:
+                time.sleep(5e-6)
+                frame = self._reply_consumer.poll_one()
+        if frame is None:
+            raise PrecursorError(
+                "no response available; pump the server (process_pending) "
+                "when auto_pump is disabled"
+            )
+        return Response.decode(frame)
+
+    def _open_response(
+        self, response: Response, expected_oid: Optional[int] = None
+    ) -> ResponseControl:
+        aad = b"resp" + struct.pack(">I", self.client_id)
+        try:
+            blob = self.provider.transport_open(
+                self.session.key, response.sealed_control, aad=aad
+            )
+        except AuthenticationError:
+            raise
+        control = ResponseControl.decode(blob)
+        if expected_oid is None:
+            expected_oid = self._oid
+        if control.oid != expected_oid:
+            raise ProtocolError(
+                f"response oid {control.oid} does not match request "
+                f"{expected_oid}"
+            )
+        if control.status is Status.REPLAY:
+            raise ReplayError(f"server rejected oid {self._oid} as a replay")
+        return control
+
+    def _next_control(
+        self, opcode: OpCode, key: bytes, k_operation: Optional[bytes] = None
+    ) -> ControlData:
+        self._oid += 1
+        return ControlData(
+            opcode=opcode, oid=self._oid, key=key, k_operation=k_operation
+        )
+
+    def _seal_control(self, control: ControlData) -> Request:
+        aad = struct.pack(">I", self.client_id)
+        sealed = self.provider.transport_seal(
+            self.session, control.encode(), aad=aad
+        )
+        return Request(
+            client_id=self.client_id,
+            sealed_control=sealed,
+            reply_credit=self._reply_consumer.consumed,
+        )
+
+    # -- key-value API --------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Store ``value`` under ``key`` (Algorithm 1).
+
+        Generates a fresh one-time key, encrypts and MACs the value
+        client-side, and ships ciphertext+MAC as the untrusted payload next
+        to the sealed control data.
+        """
+        self._check_key(key)
+        k_operation = self.keygen.operation_key()
+        payload = self.provider.payload_encrypt(k_operation, value)
+        control = self._next_control(OpCode.PUT, key, k_operation)
+        request = self._seal_control(control)
+        request = Request(
+            client_id=request.client_id,
+            sealed_control=request.sealed_control,
+            payload=payload,
+            reply_credit=request.reply_credit,
+        )
+        self._submit(request)
+        self.operations += 1
+        control_resp = self._open_response(self._await_response())
+        if control_resp.status is not Status.OK:
+            raise PrecursorError(f"put failed: {control_resp.status.name}")
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch and verify the value stored under ``key``.
+
+        The payload arrives as raw ciphertext from untrusted memory; the
+        one-time key arrives inside the sealed control data.  The client
+        recomputes the MAC and decrypts -- any tampering with the server's
+        untrusted memory raises :class:`IntegrityError` here.
+        """
+        self._check_key(key)
+        control = self._next_control(OpCode.GET, key)
+        self._submit(self._seal_control(control))
+        self.operations += 1
+        response = self._await_response()
+        control_resp = self._open_response(response)
+        if control_resp.status is Status.NOT_FOUND:
+            raise KeyNotFoundError(key)
+        if control_resp.status is not Status.OK:
+            raise PrecursorError(f"get failed: {control_resp.status.name}")
+        if response.payload is None or control_resp.k_operation is None:
+            raise ProtocolError("GET response missing payload or key material")
+        payload = response.payload
+        if control_resp.mac is not None:
+            # Strict-integrity mode (§3.9): the MAC bound inside the sealed
+            # channel overrides whatever sits in untrusted memory.
+            payload = EncryptedPayload(
+                ciphertext=payload.ciphertext, mac=control_resp.mac
+            )
+        try:
+            return self.provider.payload_decrypt(
+                control_resp.k_operation, payload
+            )
+        except IntegrityError:
+            self.integrity_failures += 1
+            raise
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""
+        self._check_key(key)
+        control = self._next_control(OpCode.DELETE, key)
+        self._submit(self._seal_control(control))
+        self.operations += 1
+        control_resp = self._open_response(self._await_response())
+        if control_resp.status is Status.NOT_FOUND:
+            raise KeyNotFoundError(key)
+        if control_resp.status is not Status.OK:
+            raise PrecursorError(f"delete failed: {control_resp.status.name}")
+
+    # -- batched operations ----------------------------------------------------
+
+    def _batch_window(self) -> int:
+        """Outstanding requests per pipelined batch.
+
+        Bounded to half the ring depth so neither the request ring nor the
+        reply ring (both ``slot_count`` deep) can overflow while replies
+        are still unconsumed.
+        """
+        return max(1, self._layout.slot_count // 2)
+
+    def put_many(self, items) -> int:
+        """Pipeline several puts: submit a window of frames, then collect.
+
+        Amortises server pumping and exploits the ring's depth (with
+        selective signaling, batches are how one-sided designs reach their
+        throughput).  Returns the number of stored items; raises on the
+        first failed reply.
+        """
+        items = list(items)
+        window = self._batch_window()
+        stored = 0
+        for start in range(0, len(items), window):
+            pending = []
+            for key, value in items[start : start + window]:
+                self._check_key(key)
+                k_operation = self.keygen.operation_key()
+                payload = self.provider.payload_encrypt(k_operation, value)
+                control = self._next_control(OpCode.PUT, key, k_operation)
+                request = self._seal_control(control)
+                request = Request(
+                    client_id=request.client_id,
+                    sealed_control=request.sealed_control,
+                    payload=payload,
+                    reply_credit=request.reply_credit,
+                )
+                self._submit(request)
+                pending.append(control.oid)
+            self.operations += len(pending)
+            for oid in pending:
+                control_resp = self._open_response(self._await_response(), oid)
+                if control_resp.status is not Status.OK:
+                    raise PrecursorError(
+                        f"batched put failed at oid {oid}: "
+                        f"{control_resp.status.name}"
+                    )
+                stored += 1
+        return stored
+
+    def get_many(self, keys) -> list:
+        """Pipeline several gets; returns values aligned with ``keys``.
+
+        Raises :class:`KeyNotFoundError` on the first missing key and
+        :class:`IntegrityError` if any fetched payload fails verification.
+        """
+        keys = list(keys)
+        window = self._batch_window()
+        values = []
+        for start in range(0, len(keys), window):
+            pending = []
+            for key in keys[start : start + window]:
+                self._check_key(key)
+                control = self._next_control(OpCode.GET, key)
+                self._submit(self._seal_control(control))
+                pending.append((control.oid, key))
+            self.operations += len(pending)
+            for oid, key in pending:
+                response = self._await_response()
+                control_resp = self._open_response(response, oid)
+                if control_resp.status is Status.NOT_FOUND:
+                    raise KeyNotFoundError(key)
+                if control_resp.status is not Status.OK:
+                    raise PrecursorError(
+                        f"batched get failed: {control_resp.status.name}"
+                    )
+                if response.payload is None or control_resp.k_operation is None:
+                    raise ProtocolError(
+                        "GET response missing payload or key material"
+                    )
+                payload = response.payload
+                if control_resp.mac is not None:
+                    payload = EncryptedPayload(
+                        ciphertext=payload.ciphertext, mac=control_resp.mac
+                    )
+                values.append(
+                    self.provider.payload_decrypt(
+                        control_resp.k_operation, payload
+                    )
+                )
+        return values
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or not key:
+            raise ProtocolError("keys must be non-empty bytes")

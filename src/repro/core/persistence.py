@@ -1,0 +1,220 @@
+"""Persistent checkpoints of a Precursor server, rollback-protected.
+
+Paper §2.1: "When the data is persistently saved to the disk, SGX provides
+trusted time and monotonic counters to detect state rollback attacks and
+forking.  In this regard, previous works propose different prevention
+techniques, which can be integrated into our design."
+
+This module is that integration.  A checkpoint serialises the server's
+state -- the enclave metadata (keys, one-time keys, per-client oids) and
+the untrusted payload blobs -- seals the *trusted* part to the enclave's
+identity (:mod:`repro.sgx.sealing`), and binds the whole snapshot to a
+monotonic counter (:class:`~repro.sgx.counters.RollbackGuard`).  Restoring
+verifies identity, integrity and freshness before any byte is trusted:
+
+- a snapshot from a different enclave fails unsealing;
+- a modified snapshot fails its seal or digest;
+- an *old* snapshot (the rollback/forking attack) fails the counter check.
+
+Payload blobs need no extra protection: they are client-encrypted and
+client-verified, exactly as in live operation -- persistence preserves the
+split-trust design.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.server import PrecursorServer, _Entry
+from repro.errors import IntegrityError, PrecursorError
+from repro.sgx.counters import MonotonicCounterService, RollbackGuard, SealedCheckpoint
+from repro.sgx.sealing import seal_data, unseal_data
+
+__all__ = ["ServerCheckpoint", "CheckpointManager"]
+
+_MAGIC = b"PRCK"
+
+
+@dataclass(frozen=True)
+class ServerCheckpoint:
+    """Everything persisted for one checkpoint."""
+
+    sealed_trusted_state: bytes  # enclave-sealed metadata
+    untrusted_payloads: bytes  # client-encrypted blobs, stored as-is
+    rollback: SealedCheckpoint  # counter binding over both parts
+
+
+def _encode_trusted_state(server: PrecursorServer) -> bytes:
+    """Serialise the enclave-resident metadata (inside the enclave)."""
+    entries: List[bytes] = []
+    table = server._table
+    items = list(table.items()) if table is not None else []
+    for key, entry in items:
+        if entry.inline_payload is not None:
+            raise PrecursorError(
+                "checkpointing inline-small-values stores is not supported"
+            )
+        mac = entry.mac or b""
+        entries.append(
+            struct.pack(
+                ">H32sIIIIB",
+                len(key),
+                entry.k_operation,
+                entry.ptr.arena,
+                entry.ptr.offset,
+                entry.ptr.length,
+                entry.client_id,
+                len(mac),
+            )
+            + key
+            + mac
+        )
+    oids = [
+        struct.pack(">IQ", client_id, server._replay.expected_oid(client_id))
+        for client_id in sorted(server._replay._expected)
+    ]
+    return (
+        _MAGIC
+        + struct.pack(">II", len(entries), len(oids))
+        + b"".join(entries)
+        + b"".join(oids)
+    )
+
+
+def _decode_trusted_state(blob: bytes) -> Tuple[List[Tuple[bytes, _Entry]], Dict[int, int]]:
+    if blob[:4] != _MAGIC:
+        raise IntegrityError("trusted-state blob has a bad magic")
+    entry_count, oid_count = struct.unpack(">II", blob[4:12])
+    cursor = 12
+    entries: List[Tuple[bytes, _Entry]] = []
+    header = struct.Struct(">H32sIIIIB")
+    from repro.core.payload_store import PayloadPointer
+
+    for _ in range(entry_count):
+        key_len, k_op, arena, offset, length, client_id, mac_len = (
+            header.unpack(blob[cursor : cursor + header.size])
+        )
+        cursor += header.size
+        key = blob[cursor : cursor + key_len]
+        cursor += key_len
+        mac = blob[cursor : cursor + mac_len] if mac_len else None
+        cursor += mac_len
+        entries.append(
+            (
+                key,
+                _Entry(
+                    k_operation=k_op,
+                    ptr=PayloadPointer(arena=arena, offset=offset, length=length),
+                    client_id=client_id,
+                    mac=mac,
+                ),
+            )
+        )
+    oids: Dict[int, int] = {}
+    for _ in range(oid_count):
+        client_id, oid = struct.unpack(">IQ", blob[cursor : cursor + 12])
+        cursor += 12
+        oids[client_id] = oid
+    return entries, oids
+
+
+def _encode_payload_arenas(server: PrecursorServer) -> bytes:
+    store = server.payload_store
+    parts = [struct.pack(">IQ", store.arena_count, store.arena_size)]
+    for arena, bump in zip(store._arenas, store._bump):
+        parts.append(struct.pack(">Q", bump))
+        parts.append(bytes(arena[:bump]))
+    return b"".join(parts)
+
+
+def _restore_payload_arenas(server: PrecursorServer, blob: bytes) -> None:
+    store = server.payload_store
+    arena_count, arena_size = struct.unpack(">IQ", blob[:12])
+    if arena_size != store.arena_size:
+        raise IntegrityError("arena size mismatch in snapshot")
+    cursor = 12
+    store._arenas = []
+    store._bump = []
+    for _ in range(arena_count):
+        (bump,) = struct.unpack(">Q", blob[cursor : cursor + 8])
+        cursor += 8
+        arena = bytearray(arena_size)
+        arena[:bump] = blob[cursor : cursor + bump]
+        cursor += bump
+        store._arenas.append(arena)
+        store._bump.append(bump)
+
+
+class CheckpointManager:
+    """Creates and restores rollback-protected server checkpoints."""
+
+    def __init__(
+        self,
+        counters: MonotonicCounterService = None,
+        counter_name: str = "precursor-state",
+    ):
+        self.counters = counters if counters is not None else MonotonicCounterService()
+        self.counter_name = counter_name
+        self._guards: Dict[bytes, RollbackGuard] = {}
+
+    def _guard_for(self, server: PrecursorServer) -> RollbackGuard:
+        measurement = server.enclave.measurement
+        guard = self._guards.get(measurement)
+        if guard is None:
+            from repro.sgx.sealing import SealingKey
+
+            guard = RollbackGuard(
+                self.counters,
+                sealing_key=SealingKey(server.enclave).key,
+                counter_name=self.counter_name,
+            )
+            self._guards[measurement] = guard
+        return guard
+
+    def checkpoint(self, server: PrecursorServer) -> ServerCheckpoint:
+        """Snapshot ``server``: seal trusted state, bind to the counter."""
+        guard = self._guard_for(server)
+        trusted = _encode_trusted_state(server)
+        payloads = _encode_payload_arenas(server)
+        counter_value = self.counters.read(self.counter_name) + 1
+        sealed = seal_data(
+            server.enclave, trusted, iv_counter=counter_value, aad=b"precursor-ckpt"
+        )
+        rollback = guard.checkpoint(sealed + payloads)
+        return ServerCheckpoint(
+            sealed_trusted_state=sealed,
+            untrusted_payloads=payloads,
+            rollback=rollback,
+        )
+
+    def restore(self, server: PrecursorServer, checkpoint: ServerCheckpoint) -> int:
+        """Rebuild ``server`` state from ``checkpoint``; returns key count.
+
+        Verifies freshness (rollback counter), seal (enclave identity) and
+        integrity before mutating anything.  The target server must be
+        freshly started (no keys).
+        """
+        if server.key_count != 0:
+            raise PrecursorError("restore target must be empty")
+        guard = self._guard_for(server)
+        blob = checkpoint.sealed_trusted_state + checkpoint.untrusted_payloads
+        guard.verify_restore(checkpoint.rollback, blob)
+        trusted = unseal_data(
+            server.enclave, checkpoint.sealed_trusted_state, aad=b"precursor-ckpt"
+        )
+        entries, oids = _decode_trusted_state(trusted)
+        _restore_payload_arenas(server, checkpoint.untrusted_payloads)
+        table = server._ensure_table()
+        live = 0
+        for key, entry in entries:
+            table.put(key, entry)
+            live += entry.ptr.length
+            server._charge_table_growth()
+        server.payload_store.live_bytes = live
+        server.payload_store.dead_bytes = 0
+        for client_id, oid in oids.items():
+            # Re-admitted clients resume their replay counters.
+            server._replay._expected[client_id] = oid
+        return len(entries)

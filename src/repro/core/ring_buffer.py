@@ -1,0 +1,180 @@
+"""Per-client circular request/reply buffers over registered memory.
+
+Paper §3.5: "The core design choice is to use a separate ring buffer for
+incoming and outgoing requests per client. Inside the TEE, a worker thread
+updates these buffers."  Clients RDMA-WRITE frames into slots; the consumer
+polls for ready slots without any notification; flow-control credits flow
+back with the server's periodic one-sided writes (§3.8), so a client can
+always "compute the available space in its pre-allocated buffer" (§3.7).
+
+Slot layout::
+
+    u32 length | u32 sequence | frame bytes ...
+
+A slot is ready when its stored sequence equals the consumer's expected
+sequence for that slot; sequence numbers increase monotonically across ring
+wraps, so stale slot contents are never mistaken for fresh requests and the
+consumer never needs to zero memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.rdma.memory import MemoryRegion
+
+__all__ = ["RingLayout", "RingProducer", "RingConsumer"]
+
+_HEADER = struct.Struct(">II")
+
+
+class RingLayout:
+    """Geometry shared by the producer and consumer of one ring."""
+
+    def __init__(self, slot_count: int, slot_size: int):
+        if slot_count < 1:
+            raise ConfigurationError(f"slot_count must be >= 1: {slot_count}")
+        if slot_size <= _HEADER.size:
+            raise ConfigurationError(
+                f"slot_size must exceed the {_HEADER.size}-byte header"
+            )
+        self.slot_count = slot_count
+        self.slot_size = slot_size
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of registered memory one ring occupies."""
+        return self.slot_count * self.slot_size
+
+    @property
+    def max_frame(self) -> int:
+        """Largest frame that fits one slot."""
+        return self.slot_size - _HEADER.size
+
+    def slot_offset(self, index: int) -> int:
+        """Byte offset of slot ``index`` within the region."""
+        return (index % self.slot_count) * self.slot_size
+
+
+class RingProducer:
+    """The writing side: a client for requests, the server for replies.
+
+    ``write_remote(offset, data)`` abstracts the transport -- the Precursor
+    client wires it to a one-sided RDMA WRITE into the server's region.
+    Credits limit outstanding writes: the producer refuses to overwrite a
+    slot the consumer has not freed (paper §3.5: clients must not overwrite
+    data "unless it has already been processed by the server").
+    """
+
+    def __init__(
+        self,
+        layout: RingLayout,
+        write_remote: Callable[[int, bytes], None],
+    ):
+        self.layout = layout
+        self._write_remote = write_remote
+        self._sequence = 0
+        self._consumed = 0  # consumer's progress, updated via credits
+
+    @property
+    def outstanding(self) -> int:
+        """Frames written but not yet acknowledged as consumed."""
+        return self._sequence - self._consumed
+
+    @property
+    def free_slots(self) -> int:
+        """Slots the producer may still write without overrunning."""
+        return self.layout.slot_count - self.outstanding
+
+    def produce(self, frame: bytes) -> int:
+        """Write one frame into the next slot; returns its sequence number.
+
+        Raises :class:`CapacityError` when no credit is available -- the
+        caller must pump the consumer (or wait for a credit update).
+        """
+        if len(frame) > self.layout.max_frame:
+            raise CapacityError(
+                f"frame of {len(frame)} B exceeds slot payload "
+                f"{self.layout.max_frame} B"
+            )
+        if self.free_slots <= 0:
+            raise CapacityError("ring full: no consumer credit")
+        self._sequence += 1
+        seq = self._sequence
+        offset = self.layout.slot_offset(seq - 1)
+        self._write_remote(offset, _HEADER.pack(len(frame), seq) + frame)
+        return seq
+
+    def credit_update(self, consumed: int) -> None:
+        """Apply a credit write from the consumer (monotonic)."""
+        if consumed < self._consumed or consumed > self._sequence:
+            raise ConfigurationError(
+                f"bad credit {consumed} (consumed={self._consumed}, "
+                f"produced={self._sequence})"
+            )
+        self._consumed = consumed
+
+
+class RingConsumer:
+    """The polling side: a trusted server thread for requests, the client
+    for replies.
+
+    ``poll()`` scans from the read cursor and returns every ready frame,
+    in order.  ``credits_due()`` reports progress for the periodic
+    one-sided credit write back to the producer.
+    """
+
+    def __init__(self, layout: RingLayout, region: MemoryRegion):
+        if region.length < layout.total_bytes:
+            raise ConfigurationError(
+                f"region of {region.length} B cannot hold ring of "
+                f"{layout.total_bytes} B"
+            )
+        self.layout = layout
+        self._region = region
+        self._next_seq = 1
+        self._reported = 0
+        self.polls = 0
+        self.frames_consumed = 0
+
+    def poll_one(self) -> Optional[bytes]:
+        """Return the next ready frame, or None."""
+        self.polls += 1
+        layout = self.layout
+        offset = layout.slot_offset(self._next_seq - 1)
+        header = self._region.read_local(offset, _HEADER.size)
+        length, seq = _HEADER.unpack(header)
+        if seq != self._next_seq:
+            return None
+        if length > layout.max_frame:
+            # Garbage from a rogue producer; skip the slot defensively.
+            self._next_seq += 1
+            return None
+        frame = self._region.read_local(offset + _HEADER.size, length)
+        self._next_seq += 1
+        self.frames_consumed += 1
+        return frame
+
+    def poll(self, limit: int = 64) -> List[bytes]:
+        """Drain up to ``limit`` ready frames."""
+        frames = []
+        while len(frames) < limit:
+            frame = self.poll_one()
+            if frame is None:
+                break
+            frames.append(frame)
+        return frames
+
+    @property
+    def consumed(self) -> int:
+        """Total frames consumed (the credit value to advertise)."""
+        return self._next_seq - 1
+
+    def credits_due(self) -> Optional[int]:
+        """Credit value to push to the producer, or None if unchanged."""
+        if self.consumed == self._reported:
+            return None
+        self._reported = self.consumed
+        return self.consumed

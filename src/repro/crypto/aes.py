@@ -1,0 +1,135 @@
+"""AES-128 block cipher (FIPS-197), from scratch.
+
+Only the forward cipher is implemented: every AES mode used in this
+repository (GCM's CTR encryption, GHASH's subkey derivation, CMAC) needs
+block *encryption* only, which keeps the trusted-code-base analogue small --
+mirroring how Precursor's enclave links only the SDK primitives it needs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AES128", "SBOX"]
+
+
+def _build_sbox() -> bytes:
+    """Construct the AES S-box from first principles (GF(2^8) inverse +
+    affine map), so there is no 256-entry magic table to mistype."""
+    # Multiplicative inverse table via exp/log over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8) with the AES polynomial 0x11B
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inv(b: int) -> int:
+        return 0 if b == 0 else exp[255 - log[b]]
+
+    sbox = bytearray(256)
+    for i in range(256):
+        c = inv(i)
+        # affine transformation
+        s = c
+        for shift in (1, 2, 3, 4):
+            s ^= ((c << shift) | (c >> (8 - shift))) & 0xFF
+        sbox[i] = s ^ 0x63
+    return bytes(sbox)
+
+
+SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(b: int) -> int:
+    """Multiply by x (i.e. {02}) in GF(2^8)."""
+    b <<= 1
+    if b & 0x100:
+        b ^= 0x11B
+    return b & 0xFF
+
+
+class AES128:
+    """AES with a 128-bit key; encrypts one 16-byte block at a time."""
+
+    BLOCK_SIZE = 16
+    KEY_SIZE = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes):
+        if len(key) != self.KEY_SIZE:
+            raise ConfigurationError(
+                f"AES-128 key must be 16 bytes, got {len(key)}"
+            )
+        self._round_keys = self._expand_key(bytes(key))
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[bytes]:
+        """FIPS-197 key schedule producing 11 round keys of 16 bytes."""
+        words = [key[i : i + 4] for i in range(0, 16, 4)]
+        for i in range(4, 4 * (AES128.ROUNDS + 1)):
+            temp = words[i - 1]
+            if i % 4 == 0:
+                rotated = temp[1:] + temp[:1]
+                temp = bytes(SBOX[b] for b in rotated)
+                temp = bytes(
+                    (temp[0] ^ _RCON[i // 4 - 1],) + tuple(temp[1:])
+                )
+            words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+        return [
+            b"".join(words[4 * r : 4 * r + 4])
+            for r in range(AES128.ROUNDS + 1)
+        ]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ConfigurationError(
+                f"block must be 16 bytes, got {len(block)}"
+            )
+        state = bytearray(a ^ b for a, b in zip(block, self._round_keys[0]))
+        for rnd in range(1, self.ROUNDS):
+            state = self._sub_shift(state)
+            state = self._mix_columns(state)
+            key = self._round_keys[rnd]
+            for i in range(16):
+                state[i] ^= key[i]
+        state = self._sub_shift(state)
+        key = self._round_keys[self.ROUNDS]
+        for i in range(16):
+            state[i] ^= key[i]
+        return bytes(state)
+
+    @staticmethod
+    def _sub_shift(state: bytearray) -> bytearray:
+        """SubBytes followed by ShiftRows (column-major state layout)."""
+        s = SBOX
+        return bytearray(
+            (
+                s[state[0]], s[state[5]], s[state[10]], s[state[15]],
+                s[state[4]], s[state[9]], s[state[14]], s[state[3]],
+                s[state[8]], s[state[13]], s[state[2]], s[state[7]],
+                s[state[12]], s[state[1]], s[state[6]], s[state[11]],
+            )
+        )
+
+    @staticmethod
+    def _mix_columns(state: bytearray) -> bytearray:
+        out = bytearray(16)
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            x0, x1, x2, x3 = _xtime(a0), _xtime(a1), _xtime(a2), _xtime(a3)
+            out[4 * c + 0] = x0 ^ (x1 ^ a1) ^ a2 ^ a3
+            out[4 * c + 1] = a0 ^ x1 ^ (x2 ^ a2) ^ a3
+            out[4 * c + 2] = a0 ^ a1 ^ x2 ^ (x3 ^ a3)
+            out[4 * c + 3] = (x0 ^ a0) ^ a1 ^ a2 ^ x3
+        return out

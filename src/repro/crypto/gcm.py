@@ -1,0 +1,125 @@
+"""AES-128-GCM authenticated encryption (NIST SP 800-38D), from scratch.
+
+Precursor protects control data in transit with AES-128 in GCM mode
+(paper §4): the client seals ``(K_operation, key, oid)`` under the session
+key established at attestation time, and the enclave's authenticated
+decryption simultaneously verifies the client's identity and the message's
+integrity.
+
+GHASH is implemented over GF(2^128) with the standard bit-reflected
+polynomial; CTR mode runs on :class:`repro.crypto.aes.AES128`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.aes import AES128
+from repro.errors import ConfigurationError, PrecursorError
+
+__all__ = ["AesGcm", "GcmFailure", "ghash"]
+
+_R = 0xE1000000000000000000000000000000
+
+
+class GcmFailure(PrecursorError):
+    """Authenticated decryption failed: wrong key, tampered data, or both."""
+
+
+def _gf_mult(x: int, y: int) -> int:
+    """Multiply two elements of GF(2^128) in GCM's bit-reflected basis."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def ghash(h: int, data: bytes) -> int:
+    """GHASH of ``data`` (already padded/structured by the caller) under
+    hash subkey ``h``; returns a 128-bit integer."""
+    y = 0
+    for i in range(0, len(data), 16):
+        block = data[i : i + 16]
+        if len(block) < 16:
+            block = block + b"\x00" * (16 - len(block))
+        y = _gf_mult(y ^ int.from_bytes(block, "big"), h)
+    return y
+
+
+def _pad16(data: bytes) -> bytes:
+    rem = len(data) % 16
+    return data if rem == 0 else data + b"\x00" * (16 - rem)
+
+
+class AesGcm:
+    """AES-128-GCM with 96-bit IVs and 16-byte tags.
+
+    ``seal``/``open`` are the authenticated encryption / decryption
+    operations the paper writes as ``auth-encrypt`` / ``auth-decrypt``.
+    """
+
+    IV_SIZE = 12
+    TAG_SIZE = 16
+
+    def __init__(self, key: bytes):
+        self._aes = AES128(key)
+        # Hash subkey H = E_K(0^128).
+        self._h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+
+    def _counter_block(self, iv: bytes, counter: int) -> bytes:
+        return iv + struct.pack(">I", counter)
+
+    def _ctr(self, iv: bytes, data: bytes, start_counter: int = 2) -> bytes:
+        out = bytearray()
+        counter = start_counter
+        encrypt = self._aes.encrypt_block
+        for i in range(0, len(data), 16):
+            keystream = encrypt(self._counter_block(iv, counter))
+            chunk = data[i : i + 16]
+            out.extend(a ^ b for a, b in zip(chunk, keystream))
+            counter += 1
+        return bytes(out)
+
+    def _tag(self, iv: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        lengths = struct.pack(">QQ", len(aad) * 8, len(ciphertext) * 8)
+        digest = ghash(self._h, _pad16(aad) + _pad16(ciphertext) + lengths)
+        j0 = self._counter_block(iv, 1)
+        ek_j0 = int.from_bytes(self._aes.encrypt_block(j0), "big")
+        return (digest ^ ek_j0).to_bytes(16, "big")
+
+    def seal(self, iv: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ``ciphertext || tag``."""
+        if len(iv) != self.IV_SIZE:
+            raise ConfigurationError(
+                f"IV must be {self.IV_SIZE} bytes, got {len(iv)}"
+            )
+        ciphertext = self._ctr(iv, plaintext)
+        return ciphertext + self._tag(iv, aad, ciphertext)
+
+    def open(self, iv: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt ``ciphertext || tag``.
+
+        Raises :class:`GcmFailure` on any authentication failure -- the
+        plaintext is never released in that case.
+        """
+        if len(iv) != self.IV_SIZE:
+            raise ConfigurationError(
+                f"IV must be {self.IV_SIZE} bytes, got {len(iv)}"
+            )
+        if len(sealed) < self.TAG_SIZE:
+            raise GcmFailure("message shorter than the authentication tag")
+        ciphertext, tag = sealed[: -self.TAG_SIZE], sealed[-self.TAG_SIZE :]
+        expected = self._tag(iv, aad, ciphertext)
+        # Constant-time comparison: accumulate differences before deciding.
+        diff = 0
+        for a, b in zip(expected, tag):
+            diff |= a ^ b
+        if diff != 0:
+            raise GcmFailure("authentication tag mismatch")
+        return self._ctr(iv, ciphertext)

@@ -1,0 +1,117 @@
+"""High-level crypto operations used by clients and servers.
+
+:class:`CryptoProvider` bundles the paper's two encryption paths:
+
+- **payload path** (client-side only): Salsa20 encryption of the value
+  under a one-time key plus an AES-CMAC over the ciphertext;
+- **transport path** (client <-> enclave): AES-128-GCM authenticated
+  encryption of control data under the session key
+  (``auth-encrypt``/``auth-decrypt`` in the paper's notation, §3.4).
+
+Everything here runs real cryptography; the simulator never calls these on
+its hot path (it charges the :class:`~repro.crypto.costmodel.CryptoCostModel`
+instead), so correctness and performance modelling stay decoupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cmac import aes_cmac, cmac_verify
+from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.crypto.keys import KeyGenerator, SessionKey
+from repro.crypto.salsa20 import Salsa20
+from repro.errors import AuthenticationError, IntegrityError
+
+__all__ = ["CryptoProvider", "SealedMessage", "EncryptedPayload"]
+
+# Salsa20 nonce used with one-time keys.  A fixed nonce is safe *only*
+# because K_operation never encrypts more than one message (fresh key per
+# put(), paper §3.3); re-keying is what provides uniqueness.
+_ONE_TIME_NONCE = b"\x00" * 8
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """Transport-encrypted control data: IV plus GCM ciphertext-and-tag."""
+
+    iv: bytes
+    sealed: bytes
+
+    def size(self) -> int:
+        """Total bytes on the wire."""
+        return len(self.iv) + len(self.sealed)
+
+
+@dataclass(frozen=True)
+class EncryptedPayload:
+    """Client-encrypted value plus its MAC (the untrusted half of a request)."""
+
+    ciphertext: bytes
+    mac: bytes
+
+    def size(self) -> int:
+        """Total bytes on the wire / in untrusted memory."""
+        return len(self.ciphertext) + len(self.mac)
+
+
+class CryptoProvider:
+    """Stateless facade over the payload and transport crypto paths."""
+
+    def __init__(self, keygen: KeyGenerator = None):
+        self.keygen = keygen if keygen is not None else KeyGenerator()
+
+    # -- payload path (one-time keys) -------------------------------------
+
+    def payload_encrypt(self, k_operation: bytes, value: bytes) -> EncryptedPayload:
+        """Encrypt ``value`` under a one-time key; MAC the ciphertext.
+
+        Mirrors Algorithm 1, lines 2-4: ``*v = E(K_op, v)``,
+        ``mac = MAC(K_op, *v)``.
+        """
+        cipher = Salsa20(k_operation, _ONE_TIME_NONCE)
+        ciphertext = cipher.encrypt(value)
+        mac = aes_cmac(k_operation, ciphertext)
+        return EncryptedPayload(ciphertext=ciphertext, mac=mac)
+
+    def payload_decrypt(self, k_operation: bytes, payload: EncryptedPayload) -> bytes:
+        """Verify the MAC, then decrypt.  Raises on tampering.
+
+        This is the client-side check after a ``get()``: recompute the MAC
+        over the fetched ciphertext with the one-time key obtained from the
+        (trusted) control data and compare (paper §3.7, "Query data").
+        """
+        if not cmac_verify(k_operation, payload.ciphertext, payload.mac):
+            raise IntegrityError(
+                "payload MAC mismatch: untrusted server memory was modified"
+            )
+        cipher = Salsa20(k_operation, _ONE_TIME_NONCE)
+        return cipher.decrypt(payload.ciphertext)
+
+    def payload_mac_valid(self, k_operation: bytes, payload: EncryptedPayload) -> bool:
+        """Non-raising MAC check (used by the server-encryption variant)."""
+        return cmac_verify(k_operation, payload.ciphertext, payload.mac)
+
+    # -- transport path (session keys) -------------------------------------
+
+    def transport_seal(
+        self, session: SessionKey, plaintext: bytes, aad: bytes = b""
+    ) -> SealedMessage:
+        """``auth-encrypt(K_session, plaintext)`` with a fresh per-session IV."""
+        iv = session.next_iv()
+        sealed = AesGcm(session.key).seal(iv, plaintext, aad)
+        return SealedMessage(iv=iv, sealed=sealed)
+
+    def transport_open(
+        self, session_key: bytes, message: SealedMessage, aad: bytes = b""
+    ) -> bytes:
+        """``auth-decrypt(K_session, message)``.
+
+        Raises :class:`AuthenticationError` when the GCM tag does not
+        verify -- the sender does not hold the session key, or the message
+        was modified in flight.
+        """
+        try:
+            return AesGcm(session_key).open(message.iv, message.sealed, aad)
+        except GcmFailure as exc:
+            raise AuthenticationError(str(exc)) from exc

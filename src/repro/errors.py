@@ -1,0 +1,65 @@
+"""Exception hierarchy shared across the Precursor reproduction.
+
+All library errors derive from :class:`PrecursorError` so callers can catch
+one base class.  Security-relevant failures get their own subclasses because
+callers are expected to treat them differently from plain lookup misses
+(e.g. a failed MAC check on a ``get()`` means the untrusted store was
+tampered with, not that the key is absent).
+"""
+
+
+class PrecursorError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(PrecursorError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class ProtocolError(PrecursorError):
+    """A wire message violated the request/response framing rules."""
+
+
+class AuthenticationError(PrecursorError):
+    """Transport-level authenticated decryption failed.
+
+    Raised when the AES-GCM tag over control data does not verify, i.e. the
+    message was not produced by the holder of the session key.
+    """
+
+
+class IntegrityError(PrecursorError):
+    """Payload integrity verification failed.
+
+    Raised by the client when the MAC it recomputes over a fetched
+    ciphertext does not match the MAC bound to the one-time key, i.e. the
+    untrusted server memory was modified.
+    """
+
+
+class ReplayError(PrecursorError):
+    """A request carried a stale or duplicated operation identifier."""
+
+
+class KeyNotFoundError(PrecursorError, KeyError):
+    """The requested key is not present in the store."""
+
+
+class CapacityError(PrecursorError):
+    """A bounded resource (ring buffer, memory pool, EPC) is exhausted."""
+
+
+class AttestationError(PrecursorError):
+    """Remote attestation of the server enclave failed."""
+
+
+class AccessError(PrecursorError):
+    """An RDMA access violated memory-region permissions or bounds."""
+
+
+class EnclaveError(PrecursorError):
+    """An illegal crossing of the trusted/untrusted boundary was attempted."""
+
+
+class SimulationError(PrecursorError):
+    """The discrete-event simulator was driven into an invalid state."""

@@ -1,0 +1,13 @@
+"""Shared in-memory data structures.
+
+- :class:`~repro.htable.robinhood.RobinHoodTable`: the open-addressing hash
+  table Precursor keeps inside the enclave (paper §4 cites Celis et al.'s
+  Robin Hood hashing for its speed/memory compromise and TLB friendliness).
+- :class:`~repro.htable.rwlock.ReadWriteLock`: the completely in-enclave
+  read-write lock guarding concurrent table access.
+"""
+
+from repro.htable.robinhood import RobinHoodTable
+from repro.htable.rwlock import ReadWriteLock
+
+__all__ = ["RobinHoodTable", "ReadWriteLock"]

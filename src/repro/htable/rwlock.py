@@ -1,0 +1,89 @@
+"""A read-write lock with writer preference.
+
+Precursor's in-enclave hash table is "read-write locked with a completely
+in-enclave mechanism" (paper §4) -- taking an OS mutex would require an
+ocall, so the lock must live in trusted memory.  In this reproduction the
+lock is a real ``threading``-based RW lock usable by multi-threaded
+functional servers, and it exposes counters that tests and the simulator use
+to reason about contention.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import PrecursorError
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Multiple concurrent readers, exclusive writers, writer preference."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._readers_ok = threading.Condition(self._lock)
+        self._writers_ok = threading.Condition(self._lock)
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+        #: Total acquisitions, for contention diagnostics.
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter."""
+        with self._lock:
+            while self._active_writer or self._waiting_writers > 0:
+                self._readers_ok.wait()
+            self._active_readers += 1
+            self.read_acquisitions += 1
+
+    def release_read(self) -> None:
+        """Leave the read side; wakes a waiting writer when last out."""
+        with self._lock:
+            if self._active_readers <= 0:
+                raise PrecursorError("release_read without acquire_read")
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._writers_ok.notify()
+
+    def acquire_write(self) -> None:
+        """Block until exclusive, then enter."""
+        with self._lock:
+            self._waiting_writers += 1
+            while self._active_writer or self._active_readers > 0:
+                self._writers_ok.wait()
+            self._waiting_writers -= 1
+            self._active_writer = True
+            self.write_acquisitions += 1
+
+    def release_write(self) -> None:
+        """Leave the write side; prefers waking writers over readers."""
+        with self._lock:
+            if not self._active_writer:
+                raise PrecursorError("release_write without acquire_write")
+            self._active_writer = False
+            if self._waiting_writers > 0:
+                self._writers_ok.notify()
+            else:
+                self._readers_ok.notify_all()
+
+    @contextmanager
+    def read(self):
+        """``with lock.read(): ...`` context manager."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write(): ...`` context manager."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

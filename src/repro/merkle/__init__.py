@@ -1,0 +1,13 @@
+"""Merkle tree integrity structures (used by the ShieldStore baseline).
+
+ShieldStore (Kim et al., EuroSys '19) keeps encrypted key-value entries in
+untrusted memory, chains a MAC to each entry, and maintains a Merkle tree
+whose leaves are per-bucket MAC lists; only the tree root (and a bounded
+cache of inner hashes) lives inside the enclave.  Every request must verify
+the path from the touched bucket to the in-enclave root -- the per-request
+hashing this implies is the server-side CPU cost Precursor eliminates.
+"""
+
+from repro.merkle.tree import MerkleTree
+
+__all__ = ["MerkleTree"]

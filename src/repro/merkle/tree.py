@@ -1,0 +1,142 @@
+"""A binary Merkle hash tree over a fixed number of leaves.
+
+The ShieldStore baseline hashes each bucket's MAC list into a leaf; inner
+nodes hash the concatenation of their children; the root is the integrity
+anchor stored in trusted memory.  Leaf updates recompute the path to the
+root; verification recomputes a leaf and compares the recomputed root with
+the trusted one.
+
+SHA-256 stands in for the paper's hash; only the *count* of hash
+invocations matters to the cost model, and the tree exposes counters for it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, IntegrityError
+
+__all__ = ["MerkleTree"]
+
+_EMPTY_LEAF = hashlib.sha256(b"shieldstore-empty-leaf").digest()
+
+
+def _hash_pair(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(left + right).digest()
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + data).digest()
+
+
+class MerkleTree:
+    """Merkle tree with a power-of-two leaf array and incremental updates.
+
+    The tree is stored as a flat array (1-indexed heap layout): node ``i``
+    has children ``2i`` and ``2i+1``; leaves occupy ``[n, 2n)``.
+    """
+
+    def __init__(self, num_leaves: int):
+        if num_leaves < 1:
+            raise ConfigurationError(
+                f"need at least one leaf, got {num_leaves}"
+            )
+        n = 1
+        while n < num_leaves:
+            n *= 2
+        self._n = n
+        self.num_leaves = num_leaves
+        self._nodes: List[bytes] = [b""] * (2 * n)
+        #: Number of hash invocations performed (cost-model hook).
+        self.hash_count = 0
+        for i in range(n, 2 * n):
+            self._nodes[i] = _EMPTY_LEAF
+        for i in range(n - 1, 0, -1):
+            self._nodes[i] = _hash_pair(
+                self._nodes[2 * i], self._nodes[2 * i + 1]
+            )
+
+    @property
+    def root(self) -> bytes:
+        """The current root hash (the enclave-resident trust anchor)."""
+        return self._nodes[1]
+
+    @property
+    def depth(self) -> int:
+        """Number of levels below the root."""
+        return self._n.bit_length() - 1
+
+    def update_leaf(self, index: int, data: bytes) -> bytes:
+        """Rehash leaf ``index`` from ``data`` and refresh the root path.
+
+        Returns the new root.  Costs ``depth + 1`` hash invocations --
+        exactly what ShieldStore pays on every write.
+        """
+        self._check_index(index)
+        node = self._n + index
+        self._nodes[node] = _hash_leaf(data)
+        self.hash_count += 1
+        node //= 2
+        while node >= 1:
+            self._nodes[node] = _hash_pair(
+                self._nodes[2 * node], self._nodes[2 * node + 1]
+            )
+            self.hash_count += 1
+            node //= 2
+        return self.root
+
+    def verify_leaf(self, index: int, data: bytes) -> None:
+        """Recompute the path for ``data`` at ``index``; compare to the root.
+
+        Raises :class:`IntegrityError` if the recomputed root differs --
+        i.e. the untrusted bucket contents were tampered with.  Costs
+        ``depth + 1`` hashes, ShieldStore's per-read overhead.
+        """
+        self._check_index(index)
+        node = self._n + index
+        current = _hash_leaf(data)
+        self.hash_count += 1
+        while node > 1:
+            sibling = self._nodes[node ^ 1]
+            if node % 2 == 0:
+                current = _hash_pair(current, sibling)
+            else:
+                current = _hash_pair(sibling, current)
+            self.hash_count += 1
+            node //= 2
+        if current != self._nodes[1]:
+            raise IntegrityError(
+                f"Merkle verification failed for leaf {index}"
+            )
+
+    def proof(self, index: int) -> List[bytes]:
+        """Sibling hashes from leaf ``index`` up to (excluding) the root."""
+        self._check_index(index)
+        node = self._n + index
+        path = []
+        while node > 1:
+            path.append(self._nodes[node ^ 1])
+            node //= 2
+        return path
+
+    @staticmethod
+    def verify_proof(
+        root: bytes, index: int, data: bytes, proof: Sequence[bytes]
+    ) -> bool:
+        """Stateless proof check against a trusted ``root``."""
+        current = _hash_leaf(data)
+        node = index
+        for sibling in proof:
+            if node % 2 == 0:
+                current = _hash_pair(current, sibling)
+            else:
+                current = _hash_pair(sibling, current)
+            node //= 2
+        return current == root
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_leaves:
+            raise ConfigurationError(
+                f"leaf index {index} out of range [0, {self.num_leaves})"
+            )

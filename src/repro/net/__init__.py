@@ -1,0 +1,13 @@
+"""Traditional kernel TCP networking (the ShieldStore transport).
+
+ShieldStore clients and server interact through socket-based primitives
+(paper §5.1).  Compared to one-sided RDMA this path pays system calls,
+kernel protocol processing, interrupts and buffer copies on every message --
+the paper attributes ShieldStore's latency outliers to "scheduling, kernel
+processing and TCP buffering" and measures the right networking technology
+alone as a ~26x latency reduction (§5.4).
+"""
+
+from repro.net.tcp import TcpCostModel, TcpEndpoint, TcpFabric
+
+__all__ = ["TcpFabric", "TcpEndpoint", "TcpCostModel"]

@@ -1,0 +1,43 @@
+"""RDMA substrate: verbs-style one-sided networking, modelled in memory.
+
+Precursor's data path is one-sided RDMA (paper §2.2, §3.5): clients WRITE
+requests directly into per-client ring buffers registered in the server's
+*untrusted* memory; server threads poll those buffers without any network
+interrupt; replies flow back the same way.  This package reproduces the
+programming model:
+
+- :mod:`repro.rdma.memory` -- registered memory regions, rkeys, protection
+  domains, permission-checked remote access;
+- :mod:`repro.rdma.qp` -- queue pairs with the verbs state machine
+  (RESET/INIT/RTR/RTS/ERR -- Precursor revokes rogue clients by driving
+  their QP to ERR), work requests, completion queues;
+- :mod:`repro.rdma.verbs` -- post_send/post_recv with RDMA WRITE/READ and
+  SEND, **inline** sends and **selective signaling** (the two Kalia et al.
+  optimizations §4 adopts);
+- :mod:`repro.rdma.nic` -- RNIC timing (bandwidth, base latency) and the
+  QP-state cache whose misses cause the client-scaling decline in Fig. 6;
+- :mod:`repro.rdma.fabric` -- the in-memory "wire" that actually moves
+  bytes and refuses DMA into trusted (enclave) memory, enforcing the SGX
+  constraint that motivates the whole design.
+"""
+
+from repro.rdma.fabric import Fabric
+from repro.rdma.memory import AccessFlags, MemoryRegion, ProtectionDomain
+from repro.rdma.nic import QpCacheModel, RNic
+from repro.rdma.qp import CompletionQueue, QpState, QueuePair, WorkCompletion
+from repro.rdma.verbs import Opcode, WorkRequest
+
+__all__ = [
+    "MemoryRegion",
+    "ProtectionDomain",
+    "AccessFlags",
+    "QueuePair",
+    "QpState",
+    "CompletionQueue",
+    "WorkCompletion",
+    "WorkRequest",
+    "Opcode",
+    "RNic",
+    "QpCacheModel",
+    "Fabric",
+]

@@ -1,0 +1,139 @@
+"""The in-memory RDMA fabric: the functional "wire".
+
+The fabric executes posted work requests against real
+:class:`~repro.rdma.memory.MemoryRegion` buffers, synchronously, with the
+full permission model:
+
+- one-sided WRITE/READ resolve the rkey through the *remote host's*
+  protection domain and perform the access with bounds/permission checks;
+- access to trusted (enclave) regions is refused -- SGX forbids DMA to the
+  EPC, which is exactly why Precursor stages payloads in untrusted memory;
+- errored QPs refuse service (client revocation, §3.9);
+- completions are pushed subject to selective signaling.
+
+Timing is *not* simulated here -- the fabric is the correctness layer.  The
+discrete-event simulations charge :class:`~repro.rdma.nic.RNic` costs
+instead of moving real bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import AccessError, ConfigurationError
+from repro.rdma.memory import ProtectionDomain
+from repro.rdma.qp import QpState, QueuePair, WorkCompletion
+from repro.rdma.verbs import Opcode, WorkRequest
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Connects hosts and executes verbs between them."""
+
+    def __init__(self) -> None:
+        self._pds: Dict[str, ProtectionDomain] = {}
+        self._qp_host: Dict[int, str] = {}
+        self._next_qp_num = 1
+        self.ops_executed = 0
+        self.bytes_moved = 0
+        self._faults_pending = 0
+
+    def inject_faults(self, count: int = 1) -> None:
+        """Make the next ``count`` operations fail (link flap / NIC error).
+
+        Test/chaos hook: each affected post completes with an error and
+        drives its QP to ERR, exactly like a genuine transport failure.
+        """
+        if count < 0:
+            raise ConfigurationError(f"negative fault count: {count}")
+        self._faults_pending += count
+
+    # -- topology ------------------------------------------------------------
+
+    def add_host(self, name: str) -> ProtectionDomain:
+        """Attach a host; returns its protection domain."""
+        if name in self._pds:
+            raise ConfigurationError(f"host {name!r} already attached")
+        pd = ProtectionDomain(name=name)
+        self._pds[name] = pd
+        return pd
+
+    def pd(self, host: str) -> ProtectionDomain:
+        """The protection domain of ``host``."""
+        if host not in self._pds:
+            raise ConfigurationError(f"unknown host {host!r}")
+        return self._pds[host]
+
+    def create_qp_pair(
+        self, host_a: str, host_b: str, **qp_kwargs
+    ) -> tuple:
+        """Create and connect a QP on each host; returns (qp_a, qp_b)."""
+        from repro.rdma.qp import CompletionQueue
+
+        for host in (host_a, host_b):
+            if host not in self._pds:
+                raise ConfigurationError(f"unknown host {host!r}")
+        qp_a = QueuePair(self._next_qp_num, CompletionQueue(), **qp_kwargs)
+        self._qp_host[self._next_qp_num] = host_a
+        self._next_qp_num += 1
+        qp_b = QueuePair(self._next_qp_num, CompletionQueue(), **qp_kwargs)
+        self._qp_host[self._next_qp_num] = host_b
+        self._next_qp_num += 1
+        qp_a.connect(qp_b)
+        return qp_a, qp_b
+
+    # -- execution ---------------------------------------------------------
+
+    def post_send(self, qp: QueuePair, wr: WorkRequest) -> None:
+        """Post ``wr`` on ``qp`` and execute it against the remote host.
+
+        Completion status is "success" or the error message; an error also
+        drives the QP to ERR, per RC semantics.
+        """
+        qp.check_can_send(wr)
+        if qp.remote is None or qp.remote.state is not QpState.RTS:
+            raise AccessError(f"QP {qp.qp_num} has no connected remote")
+        qp.sends_posted += 1
+        status = "success"
+        result: bytes = b""
+        if self._faults_pending > 0:
+            self._faults_pending -= 1
+            status = "injected transport fault"
+            qp.error_out()
+        else:
+            try:
+                result = self._execute(qp, wr)
+            except AccessError as exc:
+                status = str(exc)
+                qp.error_out()
+        self.ops_executed += 1
+        if status == "success":
+            self.bytes_moved += wr.byte_len
+        if qp.want_signal(wr) or status != "success":
+            qp.send_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    opcode=wr.opcode,
+                    status=status,
+                    byte_len=len(result) if wr.opcode is Opcode.RDMA_READ else wr.byte_len,
+                )
+            )
+        if status != "success":
+            raise AccessError(status)
+        if wr.opcode is Opcode.RDMA_READ:
+            wr.data = result
+
+    def _execute(self, qp: QueuePair, wr: WorkRequest) -> bytes:
+        remote_host = self._qp_host[qp.remote.qp_num]
+        remote_pd = self._pds[remote_host]
+        if wr.opcode is Opcode.SEND:
+            qp.remote.deliver_send(wr.data)
+            return b""
+        region = remote_pd.lookup(wr.remote_rkey)
+        if wr.opcode is Opcode.RDMA_WRITE:
+            region.remote_write(wr.remote_offset, wr.data)
+            return b""
+        if wr.opcode is Opcode.RDMA_READ:
+            return region.remote_read(wr.remote_offset, wr.length)
+        raise ConfigurationError(f"unsupported opcode {wr.opcode}")

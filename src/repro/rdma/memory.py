@@ -1,0 +1,143 @@
+"""Registered memory regions and protection domains.
+
+RDMA requires applications to register buffers with the NIC before any
+remote access (paper §2.2): the OS pins the region and hands out keys -- an
+``lkey`` for local use and an ``rkey`` that remote peers must present.  A
+peer holding the rkey and the region bounds can read/write the memory
+without involving the host CPU, subject to the access flags set at
+registration.
+
+Two security-relevant behaviours are modelled faithfully:
+
+- access outside the registered bounds or without the matching permission
+  completes with an error (remote access violations);
+- regions can be flagged ``trusted`` -- enclave memory.  The fabric refuses
+  remote access to them, just as SGX forbids DMA to the EPC, which is the
+  very reason Precursor lands payloads in *untrusted* memory.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict
+
+from repro.errors import AccessError, ConfigurationError
+
+__all__ = ["AccessFlags", "MemoryRegion", "ProtectionDomain"]
+
+
+class AccessFlags(enum.Flag):
+    """Registration permissions, mirroring ibv_access_flags."""
+
+    LOCAL_WRITE = enum.auto()
+    REMOTE_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+
+
+class MemoryRegion:
+    """A pinned, registered buffer addressable by (rkey, offset)."""
+
+    def __init__(
+        self,
+        length: int,
+        flags: AccessFlags,
+        lkey: int,
+        rkey: int,
+        trusted: bool = False,
+    ):
+        if length <= 0:
+            raise ConfigurationError(f"region length must be positive: {length}")
+        self.length = length
+        self.flags = flags
+        self.lkey = lkey
+        self.rkey = rkey
+        #: True for enclave (EPC) memory: remote access must be refused.
+        self.trusted = trusted
+        self._buf = bytearray(length)
+
+    # -- local access (host CPU, no permission checks beyond bounds) -------
+
+    def read_local(self, offset: int, length: int) -> bytes:
+        """Read as the host CPU (e.g. the polling server thread)."""
+        self._check_bounds(offset, length)
+        return bytes(self._buf[offset : offset + length])
+
+    def write_local(self, offset: int, data: bytes) -> None:
+        """Write as the host CPU."""
+        self._check_bounds(offset, len(data))
+        self._buf[offset : offset + len(data)] = data
+
+    # -- remote access (via the fabric, permission-checked) ----------------
+
+    def remote_read(self, offset: int, length: int) -> bytes:
+        """DMA read by a remote peer; enforces REMOTE_READ and bounds."""
+        self._check_remote(AccessFlags.REMOTE_READ, offset, length)
+        return bytes(self._buf[offset : offset + length])
+
+    def remote_write(self, offset: int, data: bytes) -> None:
+        """DMA write by a remote peer; enforces REMOTE_WRITE and bounds."""
+        self._check_remote(AccessFlags.REMOTE_WRITE, offset, len(data))
+        self._buf[offset : offset + len(data)] = data
+
+    def _check_remote(self, needed: AccessFlags, offset: int, length: int) -> None:
+        if self.trusted:
+            raise AccessError(
+                "DMA to enclave memory: SGX forbids device access to the EPC"
+            )
+        if not self.flags & needed:
+            raise AccessError(
+                f"region rkey={self.rkey:#x} lacks {needed.name} permission"
+            )
+        self._check_bounds(offset, length)
+
+    def _check_bounds(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise AccessError(
+                f"access [{offset}, {offset + length}) outside region of "
+                f"{self.length} bytes"
+            )
+
+
+class ProtectionDomain:
+    """Issues and resolves memory registrations for one host.
+
+    rkeys are allocated from a predictable counter -- deliberately so: the
+    paper's security discussion (§3.9) notes that real RDMA rkeys are
+    predictable and unauthenticated, citing ReDMArk.  Tests demonstrate the
+    resulting attack surface against *untrusted* regions and show the
+    trusted region refuses access regardless.
+    """
+
+    def __init__(self, name: str = "pd"):
+        self.name = name
+        self._keys = itertools.count(start=0x1000, step=2)
+        self._regions: Dict[int, MemoryRegion] = {}
+
+    def register(
+        self, length: int, flags: AccessFlags, trusted: bool = False
+    ) -> MemoryRegion:
+        """Register a new region; returns it with fresh lkey/rkey."""
+        lkey = next(self._keys)
+        rkey = next(self._keys)
+        region = MemoryRegion(
+            length=length, flags=flags, lkey=lkey, rkey=rkey, trusted=trusted
+        )
+        self._regions[rkey] = region
+        return region
+
+    def deregister(self, region: MemoryRegion) -> None:
+        """Remove a registration; later remote access fails."""
+        if region.rkey not in self._regions:
+            raise ConfigurationError(f"rkey {region.rkey:#x} not registered")
+        del self._regions[region.rkey]
+
+    def lookup(self, rkey: int) -> MemoryRegion:
+        """Resolve an rkey as the NIC would; raises AccessError if unknown."""
+        region = self._regions.get(rkey)
+        if region is None:
+            raise AccessError(f"unknown rkey {rkey:#x}")
+        return region
+
+    def __len__(self) -> int:
+        return len(self._regions)

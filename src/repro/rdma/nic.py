@@ -1,0 +1,91 @@
+"""RNIC timing and resource models.
+
+Two effects drive the paper's network numbers:
+
+- **wire time**: the testbed's ConnectX-3 NICs give ~2 µs round trips and
+  40 Gbit/s (server) / 10 Gbit/s (clients) of line rate (paper §2.2, §5.1);
+  transfer time is modelled as a fixed per-message base plus bytes over
+  bandwidth, with a discount for inline sends (no DMA read of the WQE
+  payload descriptor).
+- **QP-state cache**: RNICs cache connection state for a bounded number of
+  active queue pairs.  Past that, requests miss to host memory over PCIe
+  and throughput degrades -- the resource-contention decline the paper
+  observes beyond ~55 clients in Fig. 6 (§5.2, citing Chen et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RNic", "QpCacheModel"]
+
+
+@dataclass(frozen=True)
+class RNic:
+    """Timing model of one RDMA NIC port."""
+
+    #: Link rate in Gbit/s (40 for the server, 10 for most clients).
+    bandwidth_gbps: float = 40.0
+    #: One-way wire + NIC processing latency for a minimal message (ns).
+    base_latency_ns: int = 1_000
+    #: Extra latency when the NIC must DMA-read a non-inline payload (ns).
+    dma_read_ns: int = 250
+    #: Largest inline payload (bytes); 912 on the paper's machines.
+    max_inline: int = 912
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.base_latency_ns < 0 or self.dma_read_ns < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    def serialization_ns(self, nbytes: int) -> float:
+        """Time for ``nbytes`` to cross the link at line rate."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative size: {nbytes}")
+        bits = nbytes * 8
+        return bits / self.bandwidth_gbps  # Gbit/s == bit/ns
+
+    def transfer_ns(self, nbytes: int, inline: bool = False) -> int:
+        """One-way latency for a message of ``nbytes``."""
+        latency = self.base_latency_ns + self.serialization_ns(nbytes)
+        if not inline:
+            latency += self.dma_read_ns
+        return int(round(latency))
+
+    def line_rate_mbps(self) -> float:
+        """Line rate in MB/s (the Fig. 1 'iperf bandwidth' reference)."""
+        return self.bandwidth_gbps * 1e3 / 8
+
+
+class QpCacheModel:
+    """Steady-state model of the RNIC's QP/connection-state cache.
+
+    With ``active_qps`` connections and a cache of ``capacity`` entries, a
+    uniformly chosen QP's state is cached with probability
+    ``min(1, capacity/active_qps)``; a miss pays ``miss_penalty_ns`` of PCIe
+    round-trip to fetch the context.  This coarse model is enough to bend
+    the Fig. 6 curve downward past the cache size.
+    """
+
+    def __init__(self, capacity: int = 56, miss_penalty_ns: int = 1_600):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if miss_penalty_ns < 0:
+            raise ConfigurationError("miss penalty must be non-negative")
+        self.capacity = capacity
+        self.miss_penalty_ns = miss_penalty_ns
+
+    def miss_probability(self, active_qps: int) -> float:
+        """Probability one operation misses the QP cache."""
+        if active_qps < 0:
+            raise ConfigurationError(f"negative QP count: {active_qps}")
+        if active_qps <= self.capacity:
+            return 0.0
+        return 1.0 - self.capacity / active_qps
+
+    def expected_overhead_ns(self, active_qps: int) -> float:
+        """Mean added latency per operation from QP-cache misses."""
+        return self.miss_probability(active_qps) * self.miss_penalty_ns

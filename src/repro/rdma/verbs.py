@@ -1,0 +1,80 @@
+"""Verbs-level work requests and opcodes.
+
+A work request describes one operation posted to a queue pair's send queue.
+Precursor uses one-sided WRITEs for both directions of its data path and
+adopts two standard optimizations (paper §4, citing Kalia et al.):
+
+- **inline**: payloads up to the NIC's inline threshold (912 B on the
+  paper's machines) are copied into the work request itself, sparing the
+  NIC a DMA read from host memory and cutting small-message latency;
+- **selective signaling**: only every Nth request asks for a completion,
+  so the sender does not pay per-message completion handling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Opcode", "WorkRequest"]
+
+
+class Opcode(enum.Enum):
+    """Operation kinds supported by the substrate."""
+
+    SEND = "send"
+    RDMA_WRITE = "rdma_write"
+    RDMA_READ = "rdma_read"
+
+
+@dataclass
+class WorkRequest:
+    """One entry of a send queue.
+
+    Attributes
+    ----------
+    wr_id:
+        Caller-chosen identifier returned in the completion.
+    opcode:
+        SEND / RDMA_WRITE / RDMA_READ.
+    data:
+        Bytes to transmit (WRITE/SEND); ``None`` for READ.
+    remote_rkey / remote_offset:
+        Target for one-sided operations; unused by SEND.
+    length:
+        Bytes to fetch for RDMA_READ.
+    signaled:
+        Whether a work completion should be generated (selective
+        signaling posts mostly unsignaled requests).
+    inline:
+        Whether the payload travels inline in the WQE.
+    """
+
+    wr_id: int
+    opcode: Opcode
+    data: Optional[bytes] = None
+    remote_rkey: int = 0
+    remote_offset: int = 0
+    length: int = 0
+    signaled: bool = True
+    inline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.opcode in (Opcode.SEND, Opcode.RDMA_WRITE):
+            if self.data is None:
+                raise ConfigurationError(f"{self.opcode.value} requires data")
+        elif self.opcode is Opcode.RDMA_READ:
+            if self.length <= 0:
+                raise ConfigurationError("RDMA_READ requires a positive length")
+            if self.inline:
+                raise ConfigurationError("RDMA_READ cannot be inline")
+
+    @property
+    def byte_len(self) -> int:
+        """Bytes moved by this request."""
+        if self.opcode is Opcode.RDMA_READ:
+            return self.length
+        return len(self.data)

@@ -1,0 +1,54 @@
+"""Software model of Intel SGX.
+
+The paper depends on four SGX behaviours, all reproduced here:
+
+1. **Isolation** -- enclave memory is inaccessible from outside (including
+   DMA/RDMA).  :class:`~repro.sgx.enclave.Enclave` enforces the boundary in
+   software: untrusted code reaches trusted state only through registered
+   ecalls, and payload data never crosses it in Precursor.
+2. **Transition cost** -- ecalls/ocalls cost ~13 000 cycles (§2.1).
+   :class:`~repro.sgx.transitions.TransitionCosts` carries the constants;
+   every crossing is counted so simulations can charge it.
+3. **EPC scarcity** -- ~93 MiB usable; overstepping triggers paging at
+   ~20 000 cycles per fault (§2.1).  :class:`~repro.sgx.epc.EpcModel` and
+   :class:`~repro.sgx.epc.EpcCache` model both the probabilistic and the
+   page-granular LRU views.
+4. **Remote attestation** -- clients verify the enclave measurement and
+   derive the session key (§3.6).  :mod:`repro.sgx.attestation` provides a
+   simulated quote/verify flow with a real key agreement.
+
+:mod:`repro.sgx.sgxperf` reimplements the working-set census of the
+sgx-perf tool used for Table 1.
+"""
+
+from repro.sgx.attestation import AttestationService, Quote, attest_and_establish_session
+from repro.sgx.counters import (
+    MonotonicCounterService,
+    RollbackGuard,
+    SealedCheckpoint,
+)
+from repro.sgx.enclave import Enclave, TrustedAllocator
+from repro.sgx.epc import EpcCache, EpcModel
+from repro.sgx.sealing import SealingKey, seal_data, unseal_data
+from repro.sgx.sgxperf import WorkingSetReport, measure_working_set
+from repro.sgx.transitions import TransitionAccounting, TransitionCosts
+
+__all__ = [
+    "Enclave",
+    "TrustedAllocator",
+    "EpcModel",
+    "EpcCache",
+    "TransitionCosts",
+    "TransitionAccounting",
+    "AttestationService",
+    "Quote",
+    "attest_and_establish_session",
+    "WorkingSetReport",
+    "measure_working_set",
+    "MonotonicCounterService",
+    "RollbackGuard",
+    "SealedCheckpoint",
+    "SealingKey",
+    "seal_data",
+    "unseal_data",
+]

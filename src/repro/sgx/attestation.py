@@ -1,0 +1,119 @@
+"""Simulated SGX remote attestation and session-key establishment.
+
+Paper §3.6: before using the store, a client performs remote attestation to
+verify that a genuine SGX CPU runs the expected enclave binary, and a shared
+secret (the session key) is established during the exchange.
+
+Real attestation involves the quoting enclave and Intel's attestation
+service.  The simulation preserves the *interface and security decisions*:
+
+- the platform signs (HMAC, standing in for EPID/ECDSA) a quote over the
+  enclave measurement and the client's challenge nonce;
+- the client checks the signature (platform trust) and the measurement
+  (binary identity) and aborts on mismatch;
+- both sides derive the session key from their key-exchange contributions,
+  so a man-in-the-middle without the platform key cannot learn it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyGenerator, SessionKey
+from repro.errors import AttestationError
+from repro.sgx.enclave import Enclave
+
+__all__ = ["Quote", "AttestationService", "attest_and_establish_session"]
+
+# Platform signing key: in reality held by the quoting enclave / Intel.
+# A fixed key models "the genuine-hardware root of trust exists"; tests
+# exercise the failure path with a *wrong* key.
+_PLATFORM_KEY = hashlib.sha256(b"repro-sgx-platform-root").digest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote: measurement + nonce + DH share, signed."""
+
+    measurement: bytes
+    nonce: bytes
+    enclave_share: bytes
+    signature: bytes
+
+
+class AttestationService:
+    """Produces and verifies quotes for enclaves on one platform."""
+
+    def __init__(self, platform_key: bytes = _PLATFORM_KEY):
+        self._platform_key = platform_key
+
+    def quote(self, enclave: Enclave, nonce: bytes, enclave_share: bytes) -> Quote:
+        """Sign ``(measurement, nonce, share)`` with the platform key."""
+        signature = hmac.new(
+            self._platform_key,
+            enclave.measurement + nonce + enclave_share,
+            hashlib.sha256,
+        ).digest()
+        return Quote(
+            measurement=enclave.measurement,
+            nonce=nonce,
+            enclave_share=enclave_share,
+            signature=signature,
+        )
+
+    def verify(self, quote: Quote, expected_measurement: bytes, nonce: bytes) -> None:
+        """Client-side checks; raises :class:`AttestationError` on failure."""
+        expected_sig = hmac.new(
+            self._platform_key,
+            quote.measurement + quote.nonce + quote.enclave_share,
+            hashlib.sha256,
+        ).digest()
+        if not hmac.compare_digest(expected_sig, quote.signature):
+            raise AttestationError("quote signature invalid: untrusted platform")
+        if quote.nonce != nonce:
+            raise AttestationError("stale quote: nonce mismatch (replay?)")
+        if quote.measurement != expected_measurement:
+            raise AttestationError(
+                "measurement mismatch: enclave does not run the expected binary"
+            )
+
+
+def _derive_session_key(client_share: bytes, enclave_share: bytes) -> bytes:
+    """KDF over both contributions -> 128-bit AES-GCM session key."""
+    material = hashlib.sha256(
+        b"precursor-session" + client_share + enclave_share
+    ).digest()
+    return material[: KeyGenerator.SESSION_KEY_SIZE]
+
+
+def attest_and_establish_session(
+    enclave: Enclave,
+    expected_measurement: bytes,
+    client_id: int,
+    keygen: KeyGenerator = None,
+    service: AttestationService = None,
+) -> SessionKey:
+    """Run the full client-side attestation handshake.
+
+    Returns the client's :class:`SessionKey`; the server derives the same
+    key bytes from the exchanged shares (in this simulation both sides call
+    :func:`_derive_session_key` on identical inputs).
+
+    Raises :class:`AttestationError` when the enclave is not the one the
+    client expects -- the client must not send any secret before this check
+    passes.
+    """
+    keygen = keygen if keygen is not None else KeyGenerator()
+    service = service if service is not None else AttestationService()
+    nonce = keygen.operation_key()[:16]
+    client_share = keygen.operation_key()
+    # The enclave contributes its own share bound into the signed quote.
+    enclave_share = hashlib.sha256(
+        enclave.measurement + nonce + b"enclave-share"
+    ).digest()
+    quote = service.quote(enclave, nonce, enclave_share)
+    service.verify(quote, expected_measurement, nonce)
+    key = _derive_session_key(client_share, enclave_share)
+    return SessionKey(key=key, client_id=client_id)

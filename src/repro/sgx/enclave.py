@@ -1,0 +1,175 @@
+"""The enclave: a software-enforced trusted execution boundary.
+
+An :class:`Enclave` owns
+
+- a **trusted allocator** whose allocations are the enclave's working set
+  (what sgx-perf measures and what the EPC model prices);
+- a set of registered **ecalls** -- the only way untrusted code may invoke
+  trusted code (Precursor exposes exactly three, §4);
+- an **ocall** gate for trusted code that must reach untrusted services;
+- a **measurement** (MRENCLAVE analogue) that remote attestation verifies.
+
+The isolation property that matters to Precursor -- payload bytes never
+enter the enclave -- becomes testable: trusted allocations are tagged, and
+tests assert that no payload-tagged bytes ever appear in the trusted heap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict
+
+from repro.errors import EnclaveError
+from repro.sgx.epc import PAGE_SIZE
+from repro.sgx.transitions import TransitionAccounting, TransitionCosts
+
+__all__ = ["Enclave", "TrustedAllocator"]
+
+
+class TrustedAllocator:
+    """Byte-accurate accounting of the enclave's trusted heap.
+
+    Real enclaves commit whole 4 KiB EPC pages; the allocator therefore
+    reports both exact bytes and the page count the OS would commit.
+    Allocations carry a free-form ``tag`` so callers can audit *what* lives
+    in trusted memory (e.g. prove payload bytes never do).
+    """
+
+    def __init__(self) -> None:
+        self._by_tag: Dict[str, int] = {}
+        self.total_bytes = 0
+
+    def allocate(self, nbytes: int, tag: str) -> None:
+        """Commit ``nbytes`` of trusted memory under ``tag``."""
+        if nbytes < 0:
+            raise EnclaveError(f"negative allocation: {nbytes}")
+        self._by_tag[tag] = self._by_tag.get(tag, 0) + nbytes
+        self.total_bytes += nbytes
+
+    def free(self, nbytes: int, tag: str) -> None:
+        """Release ``nbytes`` previously allocated under ``tag``."""
+        held = self._by_tag.get(tag, 0)
+        if nbytes < 0 or nbytes > held:
+            raise EnclaveError(
+                f"freeing {nbytes} bytes from tag {tag!r} holding {held}"
+            )
+        self._by_tag[tag] = held - nbytes
+        self.total_bytes -= nbytes
+
+    def bytes_for(self, tag: str) -> int:
+        """Bytes currently allocated under ``tag``."""
+        return self._by_tag.get(tag, 0)
+
+    def tags(self) -> Dict[str, int]:
+        """Snapshot of per-tag allocation sizes."""
+        return dict(self._by_tag)
+
+    @property
+    def pages(self) -> int:
+        """EPC pages committed (4 KiB granularity, per-tag rounding).
+
+        Per-tag rounding models the fact that distinct enclave sections
+        (code, stack, each heap arena) occupy distinct pages.
+        """
+        return sum(
+            (size + PAGE_SIZE - 1) // PAGE_SIZE
+            for size in self._by_tag.values()
+            if size > 0
+        )
+
+
+class Enclave:
+    """A trusted execution context with explicit entry/exit gates."""
+
+    def __init__(
+        self,
+        name: str,
+        code_size_bytes: int,
+        stack_size_bytes: int = 4 * PAGE_SIZE,
+        costs: TransitionCosts = None,
+    ):
+        self.name = name
+        self.allocator = TrustedAllocator()
+        self.allocator.allocate(code_size_bytes, "code")
+        self.allocator.allocate(stack_size_bytes, "stack")
+        self.transitions = TransitionAccounting(costs)
+        self._ecalls: Dict[str, Callable] = {}
+        self._ocalls: Dict[str, Callable] = {}
+        self._inside = False
+        #: MRENCLAVE analogue: hash over the enclave's identity and size.
+        self.measurement = hashlib.sha256(
+            f"enclave:{name}:{code_size_bytes}".encode()
+        ).digest()
+
+    # -- gate registration -------------------------------------------------
+
+    def register_ecall(self, name: str, fn: Callable) -> None:
+        """Expose trusted function ``fn`` to the untrusted world."""
+        if name in self._ecalls:
+            raise EnclaveError(f"ecall {name!r} already registered")
+        self._ecalls[name] = fn
+
+    def register_ocall(self, name: str, fn: Callable) -> None:
+        """Make untrusted service ``fn`` reachable from inside."""
+        if name in self._ocalls:
+            raise EnclaveError(f"ocall {name!r} already registered")
+        self._ocalls[name] = fn
+
+    @property
+    def ecall_names(self) -> tuple:
+        """Registered ecall names (Precursor registers exactly three)."""
+        return tuple(self._ecalls)
+
+    # -- world switches ------------------------------------------------------
+
+    def ecall(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Enter the enclave through gate ``name``.
+
+        Counts one transition.  Nested ecalls are rejected, as on real
+        hardware without special configuration.
+        """
+        if self._inside:
+            raise EnclaveError("nested ecall")
+        fn = self._ecalls.get(name)
+        if fn is None:
+            raise EnclaveError(f"unknown ecall {name!r}")
+        self.transitions.record_ecall()
+        self._inside = True
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._inside = False
+
+    def ocall(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Leave the enclave to run untrusted service ``name``.
+
+        Only legal while inside an ecall; counts one transition.
+        """
+        if not self._inside:
+            raise EnclaveError("ocall outside enclave execution")
+        fn = self._ocalls.get(name)
+        if fn is None:
+            raise EnclaveError(f"unknown ocall {name!r}")
+        self.transitions.record_ocall()
+        self._inside = False
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._inside = True
+
+    @property
+    def inside(self) -> bool:
+        """True while trusted code is executing."""
+        return self._inside
+
+    # -- memory ---------------------------------------------------------------
+
+    @property
+    def trusted_bytes(self) -> int:
+        """Total trusted heap + code + stack bytes."""
+        return self.allocator.total_bytes
+
+    @property
+    def trusted_pages(self) -> int:
+        """EPC pages this enclave commits."""
+        return self.allocator.pages

@@ -1,0 +1,113 @@
+"""Enclave Page Cache (EPC) models.
+
+SGX backs enclave memory with a fixed encrypted region; on the paper's
+hardware ~93 MiB of a 128 MiB EPC is usable by applications (§2.1).  When
+the working set of all enclaves exceeds it, the OS pages 4 KiB enclave pages
+to normal memory, costing roughly 20 000 cycles per fault.
+
+Two complementary views are provided:
+
+- :class:`EpcCache`: an exact, page-granular LRU cache.  Deterministic and
+  ideal for unit tests and small functional runs.
+- :class:`EpcModel`: an analytical view used by the throughput/latency
+  simulations -- given a working-set size it yields the steady-state
+  probability that a uniformly distributed access faults, avoiding
+  per-access bookkeeping on the simulator hot path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EpcCache", "EpcModel", "PAGE_SIZE"]
+
+#: SGX pages are 4 KiB.
+PAGE_SIZE = 4096
+
+#: Usable EPC on the paper's (pre-Ice-Lake) testbed: ~93 MiB of 128 MiB.
+DEFAULT_USABLE_BYTES = 93 * 1024 * 1024
+
+
+class EpcCache:
+    """Exact LRU model of the EPC at page granularity."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 1:
+            raise ConfigurationError(
+                f"EPC must hold at least one page, got {capacity_pages}"
+            )
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+
+    def touch(self, page: int) -> bool:
+        """Access ``page``; returns True when the access faulted."""
+        pages = self._pages
+        if page in pages:
+            pages.move_to_end(page)
+            self.hits += 1
+            return False
+        self.faults += 1
+        if len(pages) >= self.capacity_pages:
+            pages.popitem(last=False)
+            self.evictions += 1
+        pages[page] = None
+        return True
+
+    def touch_range(self, first_page: int, num_pages: int) -> int:
+        """Access a contiguous page range; returns the number of faults."""
+        faults = 0
+        for page in range(first_page, first_page + num_pages):
+            if self.touch(page):
+                faults += 1
+        return faults
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently cached in the EPC."""
+        return len(self._pages)
+
+    def fault_rate(self) -> float:
+        """Observed faults / accesses so far (0.0 when untouched)."""
+        total = self.hits + self.faults
+        return self.faults / total if total else 0.0
+
+
+class EpcModel:
+    """Analytical EPC: steady-state fault probabilities for uniform access.
+
+    With a working set of ``W`` bytes and ``C`` usable EPC bytes, a
+    uniformly random page access misses with probability ``max(0, 1 - C/W)``
+    once the cache is warm -- the standard independent-reference
+    approximation for LRU under a uniform popularity distribution.
+    """
+
+    def __init__(self, usable_bytes: int = DEFAULT_USABLE_BYTES):
+        if usable_bytes < PAGE_SIZE:
+            raise ConfigurationError(
+                f"EPC must hold at least one page, got {usable_bytes} bytes"
+            )
+        self.usable_bytes = usable_bytes
+
+    @property
+    def usable_pages(self) -> int:
+        """Usable EPC capacity in 4 KiB pages."""
+        return self.usable_bytes // PAGE_SIZE
+
+    def fault_probability(self, working_set_bytes: int) -> float:
+        """Probability a uniform access to the working set faults."""
+        if working_set_bytes < 0:
+            raise ConfigurationError(
+                f"negative working set: {working_set_bytes}"
+            )
+        if working_set_bytes <= self.usable_bytes:
+            return 0.0
+        return 1.0 - self.usable_bytes / working_set_bytes
+
+    def is_oversubscribed(self, working_set_bytes: int) -> bool:
+        """True when the working set no longer fits the usable EPC."""
+        return working_set_bytes > self.usable_bytes

@@ -1,0 +1,71 @@
+"""SGX data sealing: encrypt state to the enclave's identity.
+
+Real SGX derives a sealing key from the CPU's fused secrets and the
+enclave measurement (``MRENCLAVE`` policy): only the same enclave on the
+same platform can unseal.  The model preserves both bindings -- the
+sealing key is derived from a per-platform root and the enclave
+measurement -- and uses the from-scratch AES-GCM for the actual
+authenticated encryption, so sealed blobs are really confidential and
+tamper-evident.
+
+Used by :mod:`repro.core.persistence` to checkpoint a Precursor server's
+trusted state across restarts (paired with
+:class:`~repro.sgx.counters.RollbackGuard` for freshness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.errors import IntegrityError
+from repro.sgx.enclave import Enclave
+
+__all__ = ["SealingKey", "seal_data", "unseal_data"]
+
+# Per-platform root secret (fused into the CPU on real hardware).
+_PLATFORM_SEAL_ROOT = hashlib.sha256(b"repro-sgx-seal-root").digest()
+
+
+class SealingKey:
+    """The enclave-identity-bound sealing key (MRENCLAVE policy)."""
+
+    def __init__(self, enclave: Enclave, platform_root: bytes = _PLATFORM_SEAL_ROOT):
+        material = hashlib.sha256(
+            platform_root + enclave.measurement + b"seal-key-mrenclave"
+        ).digest()
+        self.key = material[:16]
+        self.measurement = enclave.measurement
+
+    def cipher(self) -> AesGcm:
+        """AES-GCM instance under this sealing key."""
+        return AesGcm(self.key)
+
+
+def seal_data(enclave: Enclave, data: bytes, iv_counter: int, aad: bytes = b"") -> bytes:
+    """Seal ``data`` to ``enclave``'s identity.
+
+    ``iv_counter`` must be unique per (enclave, sealing) -- callers thread
+    a monotonic value through (the rollback counter works well).  Returns
+    ``iv || ciphertext || tag``.
+    """
+    iv = b"SEAL" + iv_counter.to_bytes(8, "big")
+    sealed = SealingKey(enclave).cipher().seal(iv, data, aad)
+    return iv + sealed
+
+
+def unseal_data(enclave: Enclave, blob: bytes, aad: bytes = b"") -> bytes:
+    """Unseal a blob previously produced by :func:`seal_data`.
+
+    Raises :class:`IntegrityError` when the blob was tampered with or was
+    sealed by a *different* enclave (identity binding) -- both must fail.
+    """
+    if len(blob) < 12 + 16:
+        raise IntegrityError("sealed blob truncated")
+    iv, sealed = blob[:12], blob[12:]
+    try:
+        return SealingKey(enclave).cipher().open(iv, sealed, aad)
+    except GcmFailure as exc:
+        raise IntegrityError(
+            f"unsealing failed (wrong enclave identity or tampered blob): {exc}"
+        ) from exc

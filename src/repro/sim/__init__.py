@@ -1,0 +1,34 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast process-based simulator in the style of SimPy: processes are
+Python generators that ``yield`` timeouts, events, or other processes.  Time
+is an integer number of **nanoseconds**, which keeps arithmetic exact and
+makes cycle accounting trivial (``cycles / GHz`` nanoseconds).
+
+The engine is deliberately small -- the Precursor benchmarks push millions of
+events through it, so every layer of indirection costs wall-clock time.
+"""
+
+from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import (
+    CdfPoint,
+    LatencyRecorder,
+    ThroughputMeter,
+    cycles_to_ns,
+    ns_to_us,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Store",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "CdfPoint",
+    "cycles_to_ns",
+    "ns_to_us",
+]

@@ -1,0 +1,209 @@
+"""The discrete-event kernel: simulator, events, processes.
+
+Design notes
+------------
+
+* The event queue is a binary heap of ``(time, seq, callback, value)``
+  tuples.  ``seq`` breaks ties FIFO so same-timestamp events run in schedule
+  order, which makes simulations deterministic.
+* Processes are generators.  A process may yield:
+
+  - ``Timeout(delay)`` -- resume after ``delay`` nanoseconds;
+  - an :class:`Event` -- resume when the event succeeds, receiving its value;
+  - another :class:`Process` -- resume when that process terminates,
+    receiving its return value (a join).
+
+* There is no cancellation-token machinery; a process that should stop early
+  checks a flag its owner sets.  This keeps the hot loop tiny.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "Event", "Timeout", "Process"]
+
+
+class Timeout:
+    """A request to sleep for ``delay`` nanoseconds.  Immutable and cheap."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    ``succeed(value)`` wakes every waiter with ``value``.  Succeeding twice
+    is an error -- it almost always indicates a protocol bug in the model.
+    """
+
+    __slots__ = ("_sim", "_waiters", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._waiters: list = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, waking every waiter with ``value``."""
+        if self.triggered:
+            raise SimulationError("event succeeded twice")
+        self.triggered = True
+        self.value = value
+        sim = self._sim
+        for proc in self._waiters:
+            sim._schedule_resume(proc, value)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self._sim._schedule_resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:
+        return f"Event(triggered={self.triggered})"
+
+
+class Process:
+    """A running generator inside the simulator.
+
+    Also behaves as a joinable event: yielding a process from another
+    process waits for its termination and receives its return value.
+    """
+
+    __slots__ = ("_sim", "_gen", "_done", "alive", "result")
+
+    def __init__(self, sim: "Simulator", gen: Generator):
+        self._sim = sim
+        self._gen = gen
+        self._done = Event(sim)
+        self.alive = True
+        self.result: Any = None
+
+    @property
+    def done(self) -> Event:
+        """Event that succeeds with the process return value on exit."""
+        return self._done
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._done._add_waiter(proc)
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator by one yield.  Called only by the kernel."""
+        sim = self._sim
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self._done.succeed(stop.value)
+            return
+        if type(target) is Timeout:
+            sim._schedule_resume_after(self, target.delay)
+        elif isinstance(target, (Event, Process)):
+            target._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process yielded unsupported value: {target!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Process(alive={self.alive})"
+
+
+class Simulator:
+    """Event loop with integer-nanosecond time.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.spawn(client_loop(sim))
+        sim.run(until=100_000_000)   # 100 ms
+    """
+
+    __slots__ = ("_heap", "_seq", "now")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+        #: Current simulated time in nanoseconds.
+        self.now = 0
+
+    # -- scheduling primitives -------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` ns (0 = end of current tick)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, None))
+
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, proc, value))
+
+    def _schedule_resume_after(self, proc: Process, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, None))
+
+    # -- public API -------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh one-shot event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: int) -> Timeout:
+        """Convenience constructor mirroring SimPy's ``env.timeout``."""
+        return Timeout(delay)
+
+    def spawn(self, gen: Generator) -> Process:
+        """Register a generator as a process starting at the current time."""
+        proc = Process(self, gen)
+        self._schedule_resume(proc, None)
+        return proc
+
+    def spawn_all(self, gens: Iterable[Generator]) -> list:
+        """Spawn several processes at once; returns them in order."""
+        return [self.spawn(g) for g in gens]
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain the event heap, optionally stopping at time ``until``.
+
+        Returns the simulation time at exit.  Events scheduled exactly at
+        ``until`` are *not* executed, matching SimPy semantics.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _seq, target, value = heap[0]
+            if until is not None and when >= until:
+                self.now = until
+                return self.now
+            pop(heap)
+            self.now = when
+            if type(target) is Process:
+                if target.alive:
+                    target._step(value)
+            else:
+                target()
+        if until is not None:
+            self.now = until
+        return self.now
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if idle."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,101 @@
+"""Shared resources for simulated processes: counted resources and stores.
+
+:class:`Resource` models a pool of identical service slots (e.g. CPU cores);
+:class:`Store` is an unbounded FIFO channel of Python objects (e.g. a reply
+queue drained by a worker thread).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO queuing.
+
+    Usage from a process::
+
+        grant = resource.request()
+        yield grant              # waits until a slot is free
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        """Return an event that succeeds once a slot is granted."""
+        grant = self._sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            grant.succeed()
+        else:
+            self._waiting.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Free one slot; hands it to the longest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiting:
+            # Slot transfers directly to the next waiter: in_use unchanged.
+            self._waiting.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes currently waiting for a slot."""
+        return len(self._waiting)
+
+
+class Store:
+    """Unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that succeeds with the
+    oldest item once one is available.
+    """
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event yielding the next item (FIFO)."""
+        evt = self._sim.event()
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def try_get_all(self) -> List[Any]:
+        """Drain and return every queued item without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)

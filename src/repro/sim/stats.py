@@ -1,0 +1,180 @@
+"""Measurement utilities: latency recording, percentiles, CDFs, throughput.
+
+All latencies are nanoseconds (matching the simulator clock); helpers are
+provided to convert to microseconds for reporting, since the paper quotes
+latency in microseconds and throughput in Kops/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "CdfPoint",
+    "cycles_to_ns",
+    "ns_to_us",
+]
+
+
+def cycles_to_ns(cycles: float, ghz: float) -> int:
+    """Convert CPU cycles at ``ghz`` GHz into integer nanoseconds."""
+    if ghz <= 0:
+        raise SimulationError(f"clock rate must be positive, got {ghz}")
+    return int(round(cycles / ghz))
+
+
+def ns_to_us(ns: float) -> float:
+    """Nanoseconds to microseconds."""
+    return ns / 1000.0
+
+
+@dataclass(frozen=True)
+class CdfPoint:
+    """One point of an empirical CDF: P(latency <= latency_ns) = fraction."""
+
+    latency_ns: int
+    fraction: float
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and answers distribution queries."""
+
+    def __init__(self) -> None:
+        self._samples: List[int] = []
+        self._sorted = True
+
+    def record(self, latency_ns: int) -> None:
+        """Add one sample (ns)."""
+        if latency_ns < 0:
+            raise SimulationError(f"negative latency: {latency_ns}")
+        self._samples.append(latency_ns)
+        self._sorted = False
+
+    def extend(self, latencies: Iterable[int]) -> None:
+        """Add many samples at once."""
+        for value in latencies:
+            self.record(value)
+
+    def _ensure_sorted(self) -> List[int]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean latency in ns; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, pct: float) -> int:
+        """Nearest-rank percentile in ns, ``pct`` in (0, 100]."""
+        if not 0 < pct <= 100:
+            raise SimulationError(f"percentile out of range: {pct}")
+        samples = self._ensure_sorted()
+        if not samples:
+            raise SimulationError("no samples recorded")
+        rank = max(1, math.ceil(pct / 100.0 * len(samples)))
+        return samples[rank - 1]
+
+    def median(self) -> int:
+        """50th percentile in ns."""
+        return self.percentile(50)
+
+    def cdf(self, points: int = 100) -> List[CdfPoint]:
+        """Empirical CDF sampled at ``points`` evenly spaced fractions."""
+        samples = self._ensure_sorted()
+        if not samples:
+            return []
+        n = len(samples)
+        out: List[CdfPoint] = []
+        for i in range(1, points + 1):
+            frac = i / points
+            rank = max(1, math.ceil(frac * n))
+            out.append(CdfPoint(samples[rank - 1], frac))
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Mean / p50 / p90 / p95 / p99 / max in microseconds."""
+        if not self._samples:
+            return {}
+        return {
+            "mean_us": ns_to_us(self.mean()),
+            "p50_us": ns_to_us(self.percentile(50)),
+            "p90_us": ns_to_us(self.percentile(90)),
+            "p95_us": ns_to_us(self.percentile(95)),
+            "p99_us": ns_to_us(self.percentile(99)),
+            "max_us": ns_to_us(self._ensure_sorted()[-1]),
+        }
+
+
+class ThroughputMeter:
+    """Counts completed operations inside a measurement window.
+
+    The warm-up phase of a simulation is excluded by calling
+    :meth:`open_window` once steady state is reached, and
+    :meth:`close_window` before reading :meth:`kops`.
+    """
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self._window_start: Optional[int] = None
+        self._window_end: Optional[int] = None
+        self._in_window = 0
+
+    def open_window(self, now_ns: int) -> None:
+        """Start the measurement window at simulated time ``now_ns``."""
+        self._window_start = now_ns
+        self._in_window = 0
+
+    def close_window(self, now_ns: int) -> None:
+        """End the measurement window at simulated time ``now_ns``."""
+        if self._window_start is None:
+            raise SimulationError("close_window before open_window")
+        if now_ns <= self._window_start:
+            raise SimulationError("empty measurement window")
+        self._window_end = now_ns
+
+    def record_completion(self) -> None:
+        """Count one finished operation (also counted inside the window)."""
+        self.completed += 1
+        if self._window_start is not None and self._window_end is None:
+            self._in_window += 1
+
+    def kops(self) -> float:
+        """Throughput over the closed window, in Kops/s."""
+        if self._window_start is None or self._window_end is None:
+            raise SimulationError("measurement window not closed")
+        seconds = (self._window_end - self._window_start) / 1e9
+        return self._in_window / seconds / 1e3
+
+    @property
+    def window_ops(self) -> int:
+        """Operations completed inside the measurement window so far."""
+        return self._in_window
+
+
+def merge_series(
+    labels: Sequence[str], columns: Sequence[Sequence[float]]
+) -> List[Tuple[str, Tuple[float, ...]]]:
+    """Zip row labels with per-system columns for tabular reports."""
+    if any(len(col) != len(labels) for col in columns):
+        raise SimulationError("series length mismatch")
+    return [
+        (label, tuple(col[i] for col in columns))
+        for i, label in enumerate(labels)
+    ]

@@ -1,0 +1,46 @@
+"""YCSB-style workload generation (Cooper et al., SoCC '10).
+
+The paper evaluates with YCSB's uniform workloads (§5.1):
+
+- **A** -- update-heavy, 50 % read / 50 % update;
+- **B** -- read-mostly, 95 % read / 5 % update;
+- **C** -- read-only, 100 % read;
+- **update-mostly** -- 5 % read / 95 % update (the paper's fourth mix).
+
+This package provides the workload mixes, uniform and zipfian key
+choosers, deterministic value generation for arbitrary value sizes, and a
+closed-loop driver usable against any of the three systems' clients.
+"""
+
+from repro.ycsb.driver import WorkloadDriver, WorkloadResult
+from repro.ycsb.generator import (
+    KeyChooser,
+    LatestChooser,
+    OperationStream,
+    UniformChooser,
+    ZipfianChooser,
+    make_value,
+)
+from repro.ycsb.workload import (
+    UPDATE_MOSTLY,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "UPDATE_MOSTLY",
+    "KeyChooser",
+    "UniformChooser",
+    "ZipfianChooser",
+    "LatestChooser",
+    "OperationStream",
+    "make_value",
+    "WorkloadDriver",
+    "WorkloadResult",
+]

@@ -1,0 +1,71 @@
+"""Workload mixes: read/update ratios and record parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "UPDATE_MOSTLY",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One YCSB workload configuration.
+
+    ``read_fraction`` of operations are GETs; the rest are PUTs (YCSB
+    "update" = full-record overwrite, which is what Precursor's put() is).
+    """
+
+    name: str
+    read_fraction: float
+    record_count: int = 600_000  # the paper's warm-up size (§5.2)
+    key_size: int = 16
+    value_size: int = 32  # the paper's default (MemC3-style, §5.2)
+    distribution: str = "uniform"  # "uniform" | "zipfian"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read_fraction must be in [0, 1]: {self.read_fraction}"
+            )
+        if self.record_count < 1:
+            raise ConfigurationError("record_count must be positive")
+        if self.key_size < 1 or self.value_size < 1:
+            raise ConfigurationError("key and value sizes must be positive")
+        if self.distribution not in ("uniform", "zipfian", "latest"):
+            raise ConfigurationError(
+                f"unknown distribution {self.distribution!r}"
+            )
+
+    @property
+    def update_fraction(self) -> float:
+        """Fraction of operations that are updates."""
+        return 1.0 - self.read_fraction
+
+    def with_value_size(self, value_size: int) -> "WorkloadSpec":
+        """Copy of this spec with a different value size (Fig. 5 sweeps)."""
+        return replace(self, value_size=value_size)
+
+    def with_record_count(self, record_count: int) -> "WorkloadSpec":
+        """Copy with a different dataset size (e.g. 3 M for EPC paging)."""
+        return replace(self, record_count=record_count)
+
+
+#: YCSB A: update-heavy, 50 % read / 50 % update.
+WORKLOAD_A = WorkloadSpec(name="A (update-heavy)", read_fraction=0.50)
+
+#: YCSB B: read-mostly, 95 % read / 5 % update.
+WORKLOAD_B = WorkloadSpec(name="B (read-mostly)", read_fraction=0.95)
+
+#: YCSB C: read-only.
+WORKLOAD_C = WorkloadSpec(name="C (read-only)", read_fraction=1.0)
+
+#: The paper's fourth mix: update-mostly, 5 % read / 95 % update.
+UPDATE_MOSTLY = WorkloadSpec(name="update-mostly", read_fraction=0.05)

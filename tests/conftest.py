@@ -1,0 +1,23 @@
+"""Shared fixtures for the Precursor reproduction test suite."""
+
+import pytest
+
+from repro.core import ServerConfig, make_pair
+
+
+@pytest.fixture
+def pair():
+    """A deterministic wired (server, client) Precursor pair."""
+    return make_pair(seed=1234)
+
+
+@pytest.fixture
+def se_pair():
+    """A deterministic server-encryption pair."""
+    return make_pair(seed=1234, server_encryption=True)
+
+
+@pytest.fixture
+def small_ring_config():
+    """Server config with a tiny ring, to exercise wrap/credit paths."""
+    return ServerConfig(ring_slots=4, ring_slot_size=4096)

@@ -1,0 +1,171 @@
+"""Cost-model invariants: the structure behind the paper's results."""
+
+import pytest
+
+from repro.bench.calibration import Calibration
+from repro.bench.costs import SYSTEMS, SystemCosts, make_costs
+from repro.core.protocol import OpCode
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def cal():
+    return Calibration()
+
+
+class TestAnalyticAnchors:
+    """The four calibration anchors must land near the paper's Fig. 4."""
+
+    def test_precursor_read_only_capacity(self, cal):
+        costs = SystemCosts("precursor", cal, read_fraction=1.0)
+        kops = cal.server_capacity_kops(costs.mean_cycles(32))
+        assert kops == pytest.approx(1149, rel=0.05)
+
+    def test_precursor_update_mostly_capacity(self, cal):
+        costs = SystemCosts("precursor", cal, read_fraction=0.05)
+        kops = cal.server_capacity_kops(costs.mean_cycles(32))
+        assert kops == pytest.approx(781, rel=0.05)
+
+    def test_se_read_only_capacity(self, cal):
+        costs = SystemCosts("precursor-se", cal, read_fraction=1.0)
+        kops = cal.server_capacity_kops(costs.mean_cycles(32))
+        assert kops == pytest.approx(817, rel=0.05)
+
+    def test_shieldstore_read_only_capacity(self, cal):
+        costs = SystemCosts("shieldstore", cal, read_fraction=1.0)
+        cycles = costs.mean_cycles(32)
+        kops = (
+            cal.shieldstore_parallelism * cal.server_ghz * 1e9 / cycles / 1e3
+        )
+        assert kops == pytest.approx(120, rel=0.05)
+
+    def test_shieldstore_update_mostly_capacity(self, cal):
+        costs = SystemCosts("shieldstore", cal, read_fraction=0.05)
+        cycles = costs.mean_cycles(32)
+        kops = (
+            cal.shieldstore_parallelism * cal.server_ghz * 1e9 / cycles / 1e3
+        )
+        assert kops == pytest.approx(97, rel=0.06)
+
+
+class TestStructuralOrderings:
+    """Orderings that must hold for the paper's story to reproduce."""
+
+    def test_se_always_costs_more_than_client_encryption(self, cal):
+        for op in (OpCode.GET, OpCode.PUT):
+            for size in (16, 128, 1024, 16384):
+                p = SystemCosts("precursor", cal, 1.0).op_cost(op, size)
+                se = SystemCosts("precursor-se", cal, 1.0).op_cost(op, size)
+                assert (
+                    se.server_total_cycles > p.server_total_cycles
+                ), f"{op} at {size}B"
+
+    def test_se_gap_grows_with_value_size(self, cal):
+        p = SystemCosts("precursor", cal, 1.0)
+        se = SystemCosts("precursor-se", cal, 1.0)
+
+        def gap(size):
+            return (
+                se.op_cost(OpCode.GET, size).server_total_cycles
+                - p.op_cost(OpCode.GET, size).server_total_cycles
+            )
+
+        assert gap(16384) > gap(1024) > gap(32)
+
+    def test_precursor_server_cost_flat_in_value_size_for_gets(self, cal):
+        """The enclave handles only control data: a 16 KiB GET costs the
+        server the same cycles as a 16 B GET (paper §5.2)."""
+        costs = SystemCosts("precursor", cal, 1.0)
+        small = costs.op_cost(OpCode.GET, 16).server_total_cycles
+        large = costs.op_cost(OpCode.GET, 16384).server_total_cycles
+        assert large == pytest.approx(small, rel=0.01)
+
+    def test_precursor_put_scales_only_by_memcpy(self, cal):
+        costs = SystemCosts("precursor", cal, 0.0)
+        small = costs.op_cost(OpCode.PUT, 16).server_total_cycles
+        large = costs.op_cost(OpCode.PUT, 16384).server_total_cycles
+        assert (large - small) < 3000  # a memcpy, not crypto
+
+    def test_client_carries_the_crypto_in_precursor(self, cal):
+        """Client-side cycles grow with value size (the offloading)."""
+        costs = SystemCosts("precursor", cal, 1.0)
+        small = costs.op_cost(OpCode.PUT, 16).client_cycles
+        large = costs.op_cost(OpCode.PUT, 16384).client_cycles
+        assert large > 10 * small
+
+    def test_mix_contention_peaks_at_half(self, cal):
+        assert cal.mix_contention_cycles(0.5) > cal.mix_contention_cycles(0.95)
+        assert cal.mix_contention_cycles(1.0) == 0
+        assert cal.mix_contention_cycles(0.0) == 0
+
+    def test_shieldstore_put_costs_more_than_get(self, cal):
+        costs = SystemCosts("shieldstore", cal, 0.5)
+        get = costs.op_cost(OpCode.GET, 32).server_total_cycles
+        put = costs.op_cost(OpCode.PUT, 32).server_total_cycles
+        assert put > get  # Merkle path update on writes
+
+    def test_critical_path_is_a_subset_of_total(self, cal):
+        for system in SYSTEMS:
+            costs = SystemCosts(system, cal, 0.5)
+            for op in (OpCode.GET, OpCode.PUT):
+                cost = costs.op_cost(op, 512)
+                assert 0 < cost.server_crit_cycles <= cost.server_total_cycles
+
+
+class TestBytesAndCaps:
+    def test_get_response_carries_the_payload(self, cal):
+        costs = SystemCosts("precursor", cal, 1.0)
+        cost = costs.op_cost(OpCode.GET, 4096)
+        assert cost.response_bytes > 4096
+        assert cost.request_bytes < 200
+
+    def test_put_request_carries_the_payload(self, cal):
+        costs = SystemCosts("precursor", cal, 0.0)
+        cost = costs.op_cost(OpCode.PUT, 4096)
+        assert cost.request_bytes > 4096
+        assert cost.response_bytes < 200
+
+    def test_link_cap_binds_for_large_values(self, cal):
+        """At 16 KiB the 40 Gb NIC, not the CPU, limits Precursor."""
+        costs = SystemCosts("precursor", cal, 1.0)
+        cpu = cal.server_capacity_kops(costs.mean_cycles(16384))
+        link = cal.link_capacity_kops(costs.mean_server_bytes(16384))
+        assert link < cpu
+
+    def test_link_cap_does_not_bind_for_small_values(self, cal):
+        costs = SystemCosts("precursor", cal, 1.0)
+        cpu = cal.server_capacity_kops(costs.mean_cycles(32))
+        link = cal.link_capacity_kops(costs.mean_server_bytes(32))
+        assert link > cpu
+
+    def test_unknown_system_rejected(self, cal):
+        with pytest.raises(ConfigurationError):
+            SystemCosts("memcached", cal, 1.0)
+
+    def test_make_costs_defaults(self):
+        costs = make_costs("precursor")
+        assert costs.read_fraction == 1.0
+
+
+class TestFigure8Ratios:
+    def test_server_time_ratio_at_small_values(self, cal):
+        """Paper: ShieldStore server processing 1.34x Precursor's."""
+        p = SystemCosts("precursor", cal, 1.0).op_cost(OpCode.GET, 16)
+        ss = SystemCosts("shieldstore", cal, 1.0).op_cost(OpCode.GET, 16)
+        p_cycles = p.server_total_cycles - cal.precursor_poll_overhead_cycles
+        ratio = ss.server_total_cycles / p_cycles
+        assert ratio == pytest.approx(1.34, abs=0.1)
+
+    def test_server_time_ratio_grows_with_size(self, cal):
+        p = SystemCosts("precursor", cal, 1.0)
+        ss = SystemCosts("shieldstore", cal, 1.0)
+
+        def ratio(size):
+            p_cycles = (
+                p.op_cost(OpCode.GET, size).server_total_cycles
+                - cal.precursor_poll_overhead_cycles
+            )
+            return ss.op_cost(OpCode.GET, size).server_total_cycles / p_cycles
+
+        assert ratio(8192) > ratio(16)
+        assert ratio(8192) == pytest.approx(2.15, abs=0.45)

@@ -1,0 +1,142 @@
+"""Discrete-event simulations: headline results of the paper, in quick mode."""
+
+import pytest
+
+from repro.bench.calibration import Calibration
+from repro.bench.simulation import SimulationConfig, simulate
+from repro.errors import ConfigurationError
+from repro.ycsb.workload import UPDATE_MOSTLY, WORKLOAD_C
+
+QUICK = dict(duration_ms=10.0, warmup_ms=2.5)
+
+
+def run(system, workload=WORKLOAD_C, **kwargs):
+    params = dict(QUICK)
+    params.update(kwargs)
+    return simulate(
+        SimulationConfig(system=system, workload=workload, **params)
+    )
+
+
+class TestHeadlineResults:
+    def test_precursor_beats_shieldstore_by_6_to_10x(self):
+        """The abstract's claim: 6-8.5x higher throughput."""
+        p = run("precursor").kops
+        ss = run("shieldstore").kops
+        assert 6 < p / ss < 11
+
+    def test_update_mostly_speedup(self):
+        p = run("precursor", UPDATE_MOSTLY).kops
+        ss = run("shieldstore", UPDATE_MOSTLY).kops
+        assert 5 < p / ss < 11
+
+    def test_client_encryption_beats_server_encryption(self):
+        """Fig. 4: up to ~40 % gain from offloading crypto to clients."""
+        p = run("precursor").kops
+        se = run("precursor-se").kops
+        assert 1.2 < p / se < 1.6
+
+    def test_ordering_holds_across_mixes(self):
+        for workload in (WORKLOAD_C, UPDATE_MOSTLY):
+            p = run("precursor", workload).kops
+            se = run("precursor-se", workload).kops
+            ss = run("shieldstore", workload).kops
+            assert p > se > ss
+
+    def test_reads_faster_than_updates(self):
+        read = run("precursor", WORKLOAD_C).kops
+        update = run("precursor", UPDATE_MOSTLY).kops
+        assert read > update
+
+
+class TestLatency:
+    def test_precursor_latency_far_below_shieldstore(self):
+        """Fig. 7/8: RDMA + thin server vs TCP + heavy server."""
+        p = run("precursor", clients=20).latency
+        ss = run("shieldstore", clients=20).latency
+        assert ss.percentile(50) > 10 * p.percentile(50)
+
+    def test_precursor_tail_is_tens_of_microseconds(self):
+        latency = run("precursor", clients=20, duration_ms=20).latency
+        p99_us = latency.percentile(99) / 1000
+        assert 10 < p99_us < 45  # paper: ~21 us
+
+    def test_epc_paging_hits_the_tail_not_the_median(self):
+        """Fig. 7 dashed line: 3 M keys push the tail, not the p50."""
+        base = run("precursor", clients=20, duration_ms=20).latency
+        paged = run(
+            "precursor", clients=20, duration_ms=20, loaded_keys=3_000_000
+        ).latency
+        assert paged.percentile(50) == pytest.approx(
+            base.percentile(50), rel=0.25
+        )
+        assert paged.percentile(99) > base.percentile(99)
+
+    def test_epc_faults_only_when_oversubscribed(self):
+        small = run("precursor", loaded_keys=600_000)
+        big = run("precursor", loaded_keys=3_000_000)
+        assert small.epc_fault_fraction == 0.0
+        assert big.epc_fault_fraction > 0.01
+
+
+class TestScaling:
+    def test_throughput_grows_with_clients_below_saturation(self):
+        t10 = run("precursor", clients=10).kops
+        t30 = run("precursor", clients=30).kops
+        t50 = run("precursor", clients=50).kops
+        assert t10 < t30 < t50
+
+    def test_throughput_declines_past_qp_cache(self):
+        """Fig. 6: decline past ~55 clients (QP-cache + polling)."""
+        t55 = run("precursor", clients=55, duration_ms=15).kops
+        t100 = run("precursor", clients=100, duration_ms=15).kops
+        assert t100 < t55
+
+    def test_shieldstore_saturates_early(self):
+        t20 = run("shieldstore", clients=20).kops
+        t50 = run("shieldstore", clients=50).kops
+        assert t50 == pytest.approx(t20, rel=0.15)
+
+
+class TestValueSizes:
+    def test_large_values_capped_by_line_rate(self):
+        cal = Calibration()
+        result = run("precursor", WORKLOAD_C.with_value_size(16384))
+        cap = cal.link_capacity_kops(16384 + 150)
+        assert result.kops <= cap * 1.02
+
+    def test_se_degrades_faster_with_size_than_precursor(self):
+        p_small = run("precursor", WORKLOAD_C.with_value_size(64)).kops
+        p_large = run("precursor", WORKLOAD_C.with_value_size(4096)).kops
+        se_small = run("precursor-se", WORKLOAD_C.with_value_size(64)).kops
+        se_large = run("precursor-se", WORKLOAD_C.with_value_size(4096)).kops
+        assert (se_small / se_large) > (p_small / p_large)
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_result(self):
+        a = run("precursor", seed=77)
+        b = run("precursor", seed=77)
+        assert a.kops == b.kops
+        assert len(a.latency) == len(b.latency)
+
+    def test_different_seeds_differ_slightly(self):
+        a = run("precursor", seed=1).kops
+        b = run("precursor", seed=2).kops
+        assert a != b
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(system="precursor", workload=WORKLOAD_C, clients=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                system="precursor",
+                workload=WORKLOAD_C,
+                duration_ms=5,
+                warmup_ms=10,
+            )
+
+    def test_operations_counted(self):
+        result = run("precursor")
+        assert result.operations > 1000

@@ -1,0 +1,51 @@
+"""The command-line interface for regenerating artifacts."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_artifact_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4", "--quick"])
+        assert args.artifact == "fig4"
+        assert args.quick
+
+    def test_rejects_unknown_artifact(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_out_dir(self):
+        args = build_parser().parse_args(["table1", "--out", "/tmp/x"])
+        assert args.out == pathlib.Path("/tmp/x")
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table1"):
+            assert name in out
+
+    def test_fig1_prints_report(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig8_prints_report(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_table1_quick_with_output_file(self, tmp_path, capsys):
+        assert main(["table1", "--quick", "--out", str(tmp_path)]) == 0
+        report = (tmp_path / "table1.txt").read_text()
+        assert "Table 1" in report
+        assert "17392" in report
+
+    def test_fig4_quick(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Precursor" in out

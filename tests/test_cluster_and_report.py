@@ -1,0 +1,70 @@
+"""Testbed inventory and report formatting."""
+
+import pytest
+
+from repro.bench.report import Series, format_ratio, format_table, paper_column
+from repro.cluster import MachineSpec, paper_testbed
+from repro.errors import ConfigurationError
+from repro.rdma.nic import RNic
+
+
+class TestTestbed:
+    def test_paper_server_spec(self):
+        testbed = paper_testbed()
+        server = testbed.server
+        assert server.ghz == 3.7
+        assert server.cores == 6
+        assert server.hyper_threads == 12
+        assert server.nic.bandwidth_gbps == 40.0
+
+    def test_six_client_machines(self):
+        testbed = paper_testbed()
+        assert len(testbed.clients) == 6
+        ten_gig = [m for m in testbed.clients if m.nic.bandwidth_gbps == 10.0]
+        assert len(ten_gig) == 5  # five Xeons; the EPYC has 40 Gb
+
+    def test_effective_cores_account_for_smt(self):
+        testbed = paper_testbed()
+        assert 6 < testbed.server.effective_cores < 12
+        assert testbed.server.cycles_per_second() > 6 * 3.7e9
+
+    def test_client_slots(self):
+        assert paper_testbed().client_slots() == 5 * 8 + 32
+
+    def test_invalid_machine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(
+                name="bad", ghz=0, cores=1, hyper_threads=1,
+                memory_gb=1, nic=RNic(),
+            )
+
+
+class TestReportFormatting:
+    def test_table_contains_all_cells(self):
+        text = format_table(
+            "My Table",
+            ["row-a", "row-b"],
+            [Series("col1", [1.0, 2.0]), Series("col2", [3.5, None])],
+            row_header="rows",
+        )
+        assert "My Table" in text
+        assert "row-a" in text and "col2" in text
+        assert "3.5" in text
+        assert text.count("\n") >= 4
+
+    def test_none_renders_as_dash(self):
+        text = format_table("T", ["r"], [Series("c", [None])])
+        assert "-" in text
+
+    def test_large_numbers_get_thousands_separators(self):
+        text = format_table("T", ["r"], [Series("c", [1149.0])])
+        assert "1,149" in text
+
+    def test_format_ratio(self):
+        assert format_ratio(850, 100) == "8.5x"
+        assert format_ratio(1, 0) == "inf"
+
+    def test_paper_column(self):
+        column = paper_column([1, None, 3])
+        assert column.label == "paper"
+        assert column.values == [1, None, 3]

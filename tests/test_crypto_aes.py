@@ -1,0 +1,89 @@
+"""AES-128 block cipher: FIPS-197 / NIST vectors and structural checks."""
+
+import pytest
+
+from repro.crypto.aes import AES128, SBOX
+from repro.errors import ConfigurationError
+
+try:
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    HAVE_CRYPTOGRAPHY = True
+except ImportError:  # pragma: no cover
+    HAVE_CRYPTOGRAPHY = False
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_c(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_block1(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_block2(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("ae2d8a571e03ac9c9eb76fac45af8e51")
+        expected = bytes.fromhex("f5d3d58503b9699de785895a96fdbaaf")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_all_zero_key_and_block(self):
+        # NIST "GFSbox"-style sanity: E_0(0) is a fixed known value.
+        out = AES128(b"\x00" * 16).encrypt_block(b"\x00" * 16)
+        assert out == bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+
+
+class TestSbox:
+    def test_sbox_known_entries(self):
+        # S-box corners from FIPS-197 Figure 7.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestInterface:
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ConfigurationError):
+            AES128(b"short")
+        with pytest.raises(ConfigurationError):
+            AES128(b"x" * 32)  # AES-256 is deliberately not supported
+
+    def test_rejects_bad_block_length(self):
+        cipher = AES128(b"k" * 16)
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt_block(b"tiny")
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt_block(b"x" * 17)
+
+    def test_deterministic(self):
+        cipher = AES128(b"k" * 16)
+        block = bytes(range(16))
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+    def test_different_keys_differ(self):
+        block = bytes(range(16))
+        out1 = AES128(b"a" * 16).encrypt_block(block)
+        out2 = AES128(b"b" * 16).encrypt_block(block)
+        assert out1 != out2
+
+
+@pytest.mark.skipif(not HAVE_CRYPTOGRAPHY, reason="cryptography not installed")
+class TestCrossValidation:
+    def test_matches_reference_implementation(self):
+        import os
+
+        for _ in range(25):
+            key = os.urandom(16)
+            block = os.urandom(16)
+            encryptor = Cipher(algorithms.AES(key), modes.ECB()).encryptor()
+            expected = encryptor.update(block) + encryptor.finalize()
+            assert AES128(key).encrypt_block(block) == expected

@@ -1,0 +1,102 @@
+"""AES-CMAC: the four RFC 4493 vectors plus folding and verification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cmac import aes_cmac, cmac_verify
+from repro.errors import ConfigurationError
+
+try:
+    from cryptography.hazmat.primitives.ciphers import algorithms
+    from cryptography.hazmat.primitives.cmac import CMAC as RefCMAC
+
+    HAVE_CRYPTOGRAPHY = True
+except ImportError:  # pragma: no cover
+    HAVE_CRYPTOGRAPHY = False
+
+RFC_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+RFC_MSG = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+
+class TestRfc4493Vectors:
+    def test_example_1_empty(self):
+        assert aes_cmac(RFC_KEY, b"") == bytes.fromhex(
+            "bb1d6929e95937287fa37d129b756746"
+        )
+
+    def test_example_2_16_bytes(self):
+        assert aes_cmac(RFC_KEY, RFC_MSG[:16]) == bytes.fromhex(
+            "070a16b46b4d4144f79bdd9dd04a287c"
+        )
+
+    def test_example_3_40_bytes(self):
+        assert aes_cmac(RFC_KEY, RFC_MSG[:40]) == bytes.fromhex(
+            "dfa66747de9ae63030ca32611497c827"
+        )
+
+    def test_example_4_64_bytes(self):
+        assert aes_cmac(RFC_KEY, RFC_MSG) == bytes.fromhex(
+            "51f0bebf7e3b9d92fc49741779363cfe"
+        )
+
+
+class TestKeyFolding:
+    def test_32_byte_key_accepted(self):
+        # Precursor's 256-bit one-time keys feed CMAC via XOR-folding.
+        mac = aes_cmac(b"a" * 32, b"message")
+        assert len(mac) == 16
+
+    def test_folding_is_xor_of_halves(self):
+        key32 = bytes(range(32))
+        folded = bytes(a ^ b for a, b in zip(key32[:16], key32[16:]))
+        assert aes_cmac(key32, b"msg") == aes_cmac(folded, b"msg")
+
+    def test_rejects_other_key_lengths(self):
+        with pytest.raises(ConfigurationError):
+            aes_cmac(b"x" * 8, b"msg")
+        with pytest.raises(ConfigurationError):
+            aes_cmac(b"x" * 24, b"msg")
+
+
+class TestVerify:
+    def test_accepts_valid_mac(self):
+        mac = aes_cmac(RFC_KEY, b"payload")
+        assert cmac_verify(RFC_KEY, b"payload", mac)
+
+    def test_rejects_modified_message(self):
+        mac = aes_cmac(RFC_KEY, b"payload")
+        assert not cmac_verify(RFC_KEY, b"Payload", mac)
+
+    def test_rejects_modified_mac(self):
+        mac = bytearray(aes_cmac(RFC_KEY, b"payload"))
+        mac[5] ^= 1
+        assert not cmac_verify(RFC_KEY, b"payload", bytes(mac))
+
+    def test_rejects_wrong_length_mac(self):
+        mac = aes_cmac(RFC_KEY, b"payload")
+        assert not cmac_verify(RFC_KEY, b"payload", mac[:8])
+
+    def test_rejects_wrong_key(self):
+        mac = aes_cmac(b"a" * 16, b"payload")
+        assert not cmac_verify(b"b" * 16, b"payload", mac)
+
+
+@settings(max_examples=40, deadline=None)
+@given(message=st.binary(min_size=0, max_size=200), key=st.binary(min_size=16, max_size=16))
+def test_verify_roundtrip_property(message, key):
+    assert cmac_verify(key, message, aes_cmac(key, message))
+
+
+@pytest.mark.skipif(not HAVE_CRYPTOGRAPHY, reason="cryptography not installed")
+@settings(max_examples=25, deadline=None)
+@given(message=st.binary(min_size=0, max_size=150), key=st.binary(min_size=16, max_size=16))
+def test_matches_reference_implementation(message, key):
+    reference = RefCMAC(algorithms.AES(key))
+    reference.update(message)
+    assert aes_cmac(key, message) == reference.finalize()

@@ -1,0 +1,125 @@
+"""AES-128-GCM: NIST test cases, tampering, and reference cross-checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gcm import AesGcm, GcmFailure, ghash
+from repro.errors import ConfigurationError
+
+try:
+    from cryptography.hazmat.primitives.ciphers.aead import AESGCM
+
+    HAVE_CRYPTOGRAPHY = True
+except ImportError:  # pragma: no cover
+    HAVE_CRYPTOGRAPHY = False
+
+
+ZERO_KEY = b"\x00" * 16
+ZERO_IV = b"\x00" * 12
+
+
+class TestNistVectors:
+    def test_case_1_empty_plaintext(self):
+        sealed = AesGcm(ZERO_KEY).seal(ZERO_IV, b"")
+        assert sealed == bytes.fromhex("58e2fccefa7e3061367f1d57a4e7455a")
+
+    def test_case_2_one_zero_block(self):
+        sealed = AesGcm(ZERO_KEY).seal(ZERO_IV, b"\x00" * 16)
+        assert sealed == bytes.fromhex(
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf"
+        )
+
+    def test_case_1_roundtrip(self):
+        assert AesGcm(ZERO_KEY).open(ZERO_IV, AesGcm(ZERO_KEY).seal(ZERO_IV, b"")) == b""
+
+
+class TestAuthentication:
+    def test_tampered_ciphertext_rejected(self):
+        gcm = AesGcm(b"k" * 16)
+        sealed = bytearray(gcm.seal(ZERO_IV, b"hello world", aad=b"hdr"))
+        sealed[0] ^= 0x01
+        with pytest.raises(GcmFailure):
+            gcm.open(ZERO_IV, bytes(sealed), aad=b"hdr")
+
+    def test_tampered_tag_rejected(self):
+        gcm = AesGcm(b"k" * 16)
+        sealed = bytearray(gcm.seal(ZERO_IV, b"hello world"))
+        sealed[-1] ^= 0x80
+        with pytest.raises(GcmFailure):
+            gcm.open(ZERO_IV, bytes(sealed))
+
+    def test_wrong_aad_rejected(self):
+        gcm = AesGcm(b"k" * 16)
+        sealed = gcm.seal(ZERO_IV, b"payload", aad=b"context-a")
+        with pytest.raises(GcmFailure):
+            gcm.open(ZERO_IV, sealed, aad=b"context-b")
+
+    def test_wrong_key_rejected(self):
+        sealed = AesGcm(b"a" * 16).seal(ZERO_IV, b"payload")
+        with pytest.raises(GcmFailure):
+            AesGcm(b"b" * 16).open(ZERO_IV, sealed)
+
+    def test_wrong_iv_rejected(self):
+        gcm = AesGcm(b"k" * 16)
+        sealed = gcm.seal(ZERO_IV, b"payload")
+        with pytest.raises(GcmFailure):
+            gcm.open(b"\x01" + ZERO_IV[1:], sealed)
+
+    def test_truncated_message_rejected(self):
+        gcm = AesGcm(b"k" * 16)
+        with pytest.raises(GcmFailure):
+            gcm.open(ZERO_IV, b"\x00" * 8)
+
+    def test_plaintext_never_released_on_failure(self):
+        gcm = AesGcm(b"k" * 16)
+        sealed = bytearray(gcm.seal(ZERO_IV, b"secret"))
+        sealed[2] ^= 0xFF
+        try:
+            gcm.open(ZERO_IV, bytes(sealed))
+        except GcmFailure as exc:
+            assert b"secret" not in str(exc).encode()
+
+
+class TestInterface:
+    def test_iv_must_be_96_bits(self):
+        gcm = AesGcm(b"k" * 16)
+        with pytest.raises(ConfigurationError):
+            gcm.seal(b"\x00" * 8, b"data")
+        with pytest.raises(ConfigurationError):
+            gcm.open(b"\x00" * 16, b"\x00" * 16)
+
+    def test_ghash_zero_data_is_zero(self):
+        assert ghash(0x1234, b"") == 0
+
+    def test_seal_length(self):
+        gcm = AesGcm(b"k" * 16)
+        for n in (0, 1, 15, 16, 17, 100):
+            assert len(gcm.seal(ZERO_IV, b"x" * n)) == n + 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    plaintext=st.binary(min_size=0, max_size=200),
+    aad=st.binary(min_size=0, max_size=64),
+    key=st.binary(min_size=16, max_size=16),
+    iv=st.binary(min_size=12, max_size=12),
+)
+def test_roundtrip_property(plaintext, aad, key, iv):
+    gcm = AesGcm(key)
+    assert gcm.open(iv, gcm.seal(iv, plaintext, aad), aad) == plaintext
+
+
+@pytest.mark.skipif(not HAVE_CRYPTOGRAPHY, reason="cryptography not installed")
+@settings(max_examples=20, deadline=None)
+@given(
+    plaintext=st.binary(min_size=0, max_size=150),
+    aad=st.binary(min_size=0, max_size=40),
+    key=st.binary(min_size=16, max_size=16),
+    iv=st.binary(min_size=12, max_size=12),
+)
+def test_matches_reference_implementation(plaintext, aad, key, iv):
+    assert AesGcm(key).seal(iv, plaintext, aad) == AESGCM(key).encrypt(
+        iv, plaintext, aad
+    )

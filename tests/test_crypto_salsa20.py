@@ -1,0 +1,186 @@
+"""Salsa20: specification round vectors and stream-cipher properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.salsa20 import (
+    Salsa20,
+    columnround,
+    doubleround,
+    quarterround,
+    rowround,
+    salsa20_core,
+    salsa20_expand,
+)
+from repro.errors import ConfigurationError
+
+
+class TestQuarterround:
+    """Vectors from the Salsa20 specification, section 3."""
+
+    def test_all_zero(self):
+        assert quarterround(0, 0, 0, 0) == (0, 0, 0, 0)
+
+    def test_unit_first_word(self):
+        assert quarterround(1, 0, 0, 0) == (
+            0x08008145,
+            0x00000080,
+            0x00010200,
+            0x20500000,
+        )
+
+    def test_unit_second_word(self):
+        assert quarterround(0, 1, 0, 0) == (
+            0x88000100,
+            0x00000001,
+            0x00000200,
+            0x00402000,
+        )
+
+    def test_unit_third_word(self):
+        assert quarterround(0, 0, 1, 0) == (
+            0x80040000,
+            0x00000000,
+            0x00000001,
+            0x00002000,
+        )
+
+    def test_unit_fourth_word(self):
+        assert quarterround(0, 0, 0, 1) == (
+            0x00048044,
+            0x00000080,
+            0x00010000,
+            0x20100001,
+        )
+
+    def test_spec_example(self):
+        assert quarterround(
+            0xE7E8C006, 0xC4F9417D, 0x6479B4B2, 0x68C67137
+        ) == (0xE876D72B, 0x9361DFD5, 0xF1460244, 0x948541A3)
+
+
+class TestRounds:
+    def test_rowround_spec_example(self):
+        y = [
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+        ]
+        assert rowround(y) == [
+            0x08008145, 0x00000080, 0x00010200, 0x20500000,
+            0x20100001, 0x00048044, 0x00000080, 0x00010000,
+            0x00000001, 0x00002000, 0x80040000, 0x00000000,
+            0x00000001, 0x00000200, 0x00402000, 0x88000100,
+        ]
+
+    def test_columnround_spec_example(self):
+        x = [
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+            0x00000001, 0x00000000, 0x00000000, 0x00000000,
+        ]
+        assert columnround(x) == [
+            0x10090288, 0x00000000, 0x00000000, 0x00000000,
+            0x00000101, 0x00000000, 0x00000000, 0x00000000,
+            0x00020401, 0x00000000, 0x00000000, 0x00000000,
+            0x40A04001, 0x00000000, 0x00000000, 0x00000000,
+        ]
+
+    def test_doubleround_is_row_after_column(self):
+        x = list(range(16))
+        assert doubleround(x) == rowround(columnround(x))
+
+
+class TestCore:
+    def test_zero_state_differs_from_input(self):
+        out = salsa20_core([0] * 16)
+        assert out == b"\x00" * 64  # feedforward of zero state is zero
+
+    def test_core_output_length(self):
+        assert len(salsa20_core(list(range(16)))) == 64
+
+    def test_rejects_bad_state(self):
+        with pytest.raises(ConfigurationError):
+            salsa20_core([0] * 15)
+
+    def test_rejects_odd_rounds(self):
+        with pytest.raises(ConfigurationError):
+            salsa20_core([0] * 16, rounds=7)
+
+    def test_reduced_rounds_differ(self):
+        state = list(range(1, 17))
+        assert salsa20_core(state, rounds=8) != salsa20_core(state, rounds=20)
+
+
+class TestExpansion:
+    def test_256_and_128_bit_keys_diverge(self):
+        key16 = b"k" * 16
+        key32 = key16 * 2
+        n = b"n" * 16
+        # Same raw key material but different constants (sigma vs tau).
+        assert salsa20_expand(key32, n) != salsa20_expand(key16, n)
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ConfigurationError):
+            salsa20_expand(b"k" * 24, b"n" * 16)
+
+    def test_rejects_bad_nonce_block(self):
+        with pytest.raises(ConfigurationError):
+            salsa20_expand(b"k" * 32, b"n" * 8)
+
+
+class TestStreamCipher:
+    def test_roundtrip(self):
+        cipher = Salsa20(b"K" * 32, b"N" * 8)
+        message = b"attack at dawn" * 10
+        assert cipher.decrypt(cipher.encrypt(message)) == message
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = Salsa20(b"K" * 32, b"N" * 8)
+        message = b"attack at dawn"
+        assert cipher.encrypt(message) != message
+
+    def test_different_nonces_give_different_streams(self):
+        key = b"K" * 32
+        s1 = Salsa20(key, b"\x00" * 8).keystream(64)
+        s2 = Salsa20(key, b"\x01" + b"\x00" * 7).keystream(64)
+        assert s1 != s2
+
+    def test_different_keys_give_different_streams(self):
+        nonce = b"\x00" * 8
+        assert (
+            Salsa20(b"a" * 32, nonce).keystream(64)
+            != Salsa20(b"b" * 32, nonce).keystream(64)
+        )
+
+    def test_counter_offsets_are_consistent(self):
+        cipher = Salsa20(b"K" * 32, b"N" * 8)
+        full = cipher.keystream(192)
+        from_block_2 = cipher.keystream(64, counter=2)
+        assert full[128:192] == from_block_2
+
+    def test_keystream_extends_prefix(self):
+        cipher = Salsa20(b"K" * 32, b"N" * 8)
+        assert cipher.keystream(200)[:100] == cipher.keystream(100)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            Salsa20(b"K" * 20, b"N" * 8)
+        with pytest.raises(ConfigurationError):
+            Salsa20(b"K" * 32, b"N" * 12)
+        with pytest.raises(ConfigurationError):
+            Salsa20(b"K" * 32, b"N" * 8).keystream(-1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    message=st.binary(min_size=0, max_size=300),
+    key=st.binary(min_size=32, max_size=32),
+    nonce=st.binary(min_size=8, max_size=8),
+)
+def test_roundtrip_property(message, key, nonce):
+    cipher = Salsa20(key, nonce)
+    assert cipher.decrypt(cipher.encrypt(message)) == message

@@ -1,0 +1,77 @@
+"""Documentation contract: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if getattr(member, "__module__", None) == module.__name__:
+                yield name, member
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, member in _public_members(module):
+        if not inspect.getdoc(member):
+            missing.append(f"{module_name}.{name}")
+        if inspect.isclass(member):
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not inspect.getdoc(attr):
+                    missing.append(f"{module_name}.{name}.{attr_name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_packages_export_all():
+    """Every subpackage advertises its API through __all__."""
+    for package in (
+        "repro",
+        "repro.core",
+        "repro.crypto",
+        "repro.sgx",
+        "repro.rdma",
+        "repro.net",
+        "repro.sim",
+        "repro.htable",
+        "repro.merkle",
+        "repro.baselines",
+        "repro.ycsb",
+        "repro.bench",
+        "repro.cluster",
+    ):
+        module = importlib.import_module(package)
+        assert getattr(module, "__all__", None), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+def test_repo_documents_exist():
+    import pathlib
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE"):
+        assert (root / doc).exists(), f"{doc} missing"
+    assert (root / "docs" / "PROTOCOL.md").exists()

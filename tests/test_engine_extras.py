@@ -1,0 +1,154 @@
+"""Remaining engine/API surfaces: spawn_all, done, ShieldStore auth, etc."""
+
+import struct
+
+import pytest
+
+from repro.baselines.shieldstore import (
+    ShieldStoreClient,
+    ShieldStoreConfig,
+    ShieldStoreServer,
+)
+from repro.crypto.gcm import AesGcm
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, Timeout
+
+
+class TestEngineConveniences:
+    def test_spawn_all(self):
+        sim = Simulator()
+        results = []
+
+        def proc(tag, delay):
+            yield Timeout(delay)
+            results.append(tag)
+
+        sim.spawn_all(proc(t, d) for t, d in (("b", 20), ("a", 10)))
+        sim.run()
+        assert results == ["a", "b"]
+
+    def test_timeout_convenience(self):
+        sim = Simulator()
+        t = sim.timeout(5)
+        assert isinstance(t, Timeout)
+        assert t.delay == 5
+        with pytest.raises(Exception):
+            sim.timeout(-5)
+
+    def test_process_done_property(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(3)
+            return "value"
+
+        process = sim.spawn(proc())
+        assert not process.done.triggered
+        sim.run()
+        assert process.done.triggered
+        assert process.done.value == "value"
+        assert process.result == "value"
+        assert not process.alive
+
+    def test_late_waiter_on_finished_process(self):
+        sim = Simulator()
+
+        def fast():
+            yield Timeout(1)
+            return 42
+
+        process = sim.spawn(fast())
+        got = []
+
+        def late():
+            yield Timeout(100)
+            value = yield process
+            got.append((sim.now, value))
+
+        sim.spawn(late())
+        sim.run()
+        assert got == [(100, 42)]
+
+    def test_process_repr_and_event_repr(self):
+        sim = Simulator()
+        evt = sim.event()
+        assert "triggered=False" in repr(evt)
+        assert "Timeout(7)" == repr(Timeout(7))
+
+
+class TestShieldStoreTransportSecurity:
+    def test_forged_tcp_message_counted_and_dropped(self):
+        server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=8))
+        client = ShieldStoreClient(server)
+        client.put(b"k", b"v")
+        # Attacker on the network injects a message sealed with the wrong
+        # session key.
+        endpoint = server._endpoints[client.client_id]
+        forged_iv = b"\x00" * 12
+        forged = AesGcm(b"wrong-key-123456").seal(
+            forged_iv, b"\x02\x00\x01k", aad=struct.pack(">I", client.client_id)
+        )
+        # Deliver directly into the server-side socket.
+        peer = endpoint._peer
+        peer.send(forged_iv + forged)
+        server.process_pending()
+        assert server.stats.auth_failures == 1
+        # Legitimate traffic continues.
+        assert client.get(b"k") == b"v"
+
+    def test_undersized_message_ignored(self):
+        server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=8))
+        client = ShieldStoreClient(server)
+        server._endpoints[client.client_id]._peer.send(b"tiny")
+        server.process_pending()  # must not raise
+        client.put(b"still", b"working")
+        assert client.get(b"still") == b"working"
+
+    def test_duplicate_client_id_rejected(self):
+        server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=8))
+        ShieldStoreClient(server, client_id=5)
+        with pytest.raises(ConfigurationError):
+            ShieldStoreClient(server, client_id=5)
+
+
+class TestSoak:
+    def test_mixed_soak_precursor(self):
+        """A longer randomized soak across every op type and mode flag."""
+        import random
+
+        from repro.core import ServerConfig, make_pair
+        from repro.errors import KeyNotFoundError
+
+        rng = random.Random(2026)
+        server, client = make_pair(
+            seed=2026,
+            config=ServerConfig(
+                inline_small_values=True, strict_integrity=True
+            ),
+        )
+        model = {}
+        for step in range(500):
+            action = rng.random()
+            key = f"k{rng.randrange(40)}".encode()
+            if action < 0.5:
+                value = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 200)))
+                client.put(key, value)
+                model[key] = value
+            elif action < 0.85:
+                if key in model:
+                    assert client.get(key) == model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        client.get(key)
+            else:
+                if key in model:
+                    client.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        client.delete(key)
+            if step % 100 == 99:
+                server.compact_payloads()
+        for key, value in model.items():
+            assert client.get(key) == value
+        assert server.key_count == len(model)

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must narrate what they show"
+    # No example may "succeed" while printing an undetected-attack marker.
+    assert "!!" not in completed.stdout
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "tamper_detection.py",
+        "ycsb_comparison.py",
+        "multi_tenant_revocation.py",
+        "epc_working_set.py",
+        "checkpoint_restore.py",
+    } <= names

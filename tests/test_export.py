@@ -1,0 +1,58 @@
+"""CSV export of experiment results."""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench.export import to_csv
+
+
+class TestCsvExport:
+    def test_fig1_csv(self):
+        csv = to_csv(exp.run_fig1())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "buffer_bytes,threads12_mbps,threads6_mbps,line_rate_mbps"
+        assert len(lines) == 1 + len(exp.FIG1_SIZES)
+        first = lines[1].split(",")
+        assert first[0] == "16"
+        assert float(first[1]) > 0
+
+    def test_fig8_csv(self):
+        csv = to_csv(exp.run_fig8())
+        lines = csv.strip().splitlines()
+        assert "precursor_server_us" in lines[0]
+        assert len(lines) == 1 + len(exp.FIG8_SIZES)
+
+    def test_fig4_csv(self):
+        result = exp.run_fig4(quick=True)
+        csv = to_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("read_fraction,precursor_kops")
+        assert len(lines) == 5  # header + 4 mixes
+
+    def test_fig7_csv_long_format(self):
+        result = exp.run_fig7(quick=True, sizes=(32,))
+        csv = to_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "value_bytes,system,latency_us,cdf"
+        assert any("ShieldStore" in line for line in lines)
+        assert len(lines) > 100  # 200 CDF points per curve
+
+    def test_table1_csv(self):
+        result = exp.run_table1(quick=True)
+        csv = to_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[1].startswith("0,52,")
+        assert ",17392," in lines[1]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_csv(object())
+
+    def test_cli_csv_flag(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["fig8", "--out", str(tmp_path), "--csv"]) == 0
+        assert (tmp_path / "fig8.txt").exists()
+        assert (tmp_path / "fig8.csv").exists()
+        header = (tmp_path / "fig8.csv").read_text().splitlines()[0]
+        assert header.startswith("value_bytes")

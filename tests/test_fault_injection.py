@@ -1,0 +1,77 @@
+"""Transport fault injection: failures surface loudly, never corrupt."""
+
+import pytest
+
+from repro.core import PrecursorClient, PrecursorServer
+from repro.errors import AccessError, ConfigurationError, PrecursorError
+from repro.rdma.qp import QpState
+from repro.ycsb import WorkloadDriver, WorkloadSpec
+
+
+class TestFabricFaultInjection:
+    def test_injected_fault_fails_the_op_and_errors_the_qp(self):
+        server = PrecursorServer()
+        client = PrecursorClient(server, client_id=1)
+        client.put(b"before", b"ok")
+        server.fabric.inject_faults(1)
+        with pytest.raises((AccessError, PrecursorError)):
+            client.put(b"during", b"lost")
+        assert client._qp.state is QpState.ERR
+
+    def test_fault_produces_error_completion(self):
+        server = PrecursorServer()
+        client = PrecursorClient(server, client_id=1)
+        server.fabric.inject_faults(1)
+        try:
+            client.put(b"k", b"v")
+        except (AccessError, PrecursorError):
+            pass
+        completions = client._qp.send_cq.poll()
+        assert completions and not completions[-1].ok
+
+    def test_failed_write_never_half_applies(self):
+        """A request lost on the wire must leave the store untouched."""
+        server = PrecursorServer()
+        client = PrecursorClient(server, client_id=1)
+        client.put(b"k", b"v1")
+        server.fabric.inject_faults(1)
+        try:
+            client.put(b"k", b"v2")
+        except (AccessError, PrecursorError):
+            pass
+        observer = PrecursorClient(server, client_id=2)
+        assert observer.get(b"k") == b"v1"
+
+    def test_other_clients_unaffected(self):
+        server = PrecursorServer()
+        victim = PrecursorClient(server, client_id=1)
+        healthy = PrecursorClient(server, client_id=2)
+        server.fabric.inject_faults(1)
+        try:
+            victim.put(b"k", b"v")
+        except (AccessError, PrecursorError):
+            pass
+        healthy.put(b"k2", b"fine")
+        assert healthy.get(b"k2") == b"fine"
+
+    def test_negative_count_rejected(self):
+        server = PrecursorServer()
+        with pytest.raises(ConfigurationError):
+            server.fabric.inject_faults(-1)
+
+
+class TestDriverLatencyRecording:
+    def test_driver_records_per_op_latency(self):
+        from repro.core import make_pair
+
+        _, client = make_pair(seed=21)
+        spec = WorkloadSpec(
+            name="lat", read_fraction=0.5, record_count=10, value_size=16
+        )
+        driver = WorkloadDriver(client, spec, seed=21)
+        driver.load()
+        result = driver.run(40)
+        assert len(result.latency) == 40
+        assert result.latency.percentile(99) >= result.latency.percentile(50)
+        summary = result.latency.summary()
+        assert summary["p50_us"] > 0

@@ -1,0 +1,100 @@
+"""Cross-system integration: the same workload on all three systems."""
+
+import pytest
+
+from repro.baselines.shieldstore import (
+    ShieldStoreClient,
+    ShieldStoreConfig,
+    ShieldStoreServer,
+)
+from repro.core import make_pair
+from repro.core.protocol import OpCode
+from repro.ycsb import OperationStream, WorkloadDriver, WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="integration", read_fraction=0.5, record_count=40, value_size=24
+)
+
+
+def make_shieldstore_client():
+    server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=32))
+    return ShieldStoreClient(server)
+
+
+@pytest.fixture(params=["precursor", "precursor-se", "shieldstore"])
+def any_client(request):
+    if request.param == "precursor":
+        return make_pair(seed=44)[1]
+    if request.param == "precursor-se":
+        return make_pair(seed=44, server_encryption=True)[1]
+    return make_shieldstore_client()
+
+
+class TestUniformWorkloadOnEverySystem:
+    def test_load_and_run(self, any_client):
+        driver = WorkloadDriver(any_client, SPEC, seed=44)
+        assert driver.load() == SPEC.record_count
+        result = driver.run(120)
+        assert result.operations == 120
+        assert result.misses == 0
+
+
+class TestCrossSystemConsistency:
+    def test_all_systems_agree_on_final_state(self):
+        """Replay one operation sequence on all three systems; every key
+        must read back identically everywhere."""
+        clients = {
+            "precursor": make_pair(seed=55)[1],
+            "precursor-se": make_pair(seed=55, server_encryption=True)[1],
+            "shieldstore": make_shieldstore_client(),
+        }
+        spec = WorkloadSpec(
+            name="consistency", read_fraction=0.3, record_count=25,
+            value_size=16,
+        )
+        # Same seed -> identical operation streams.
+        operations = []
+        stream = OperationStream(spec, seed=55)
+        for key, value in stream.load_phase():
+            operations.append((OpCode.PUT, key, value))
+        for _ in range(150):
+            operations.append(stream.next_operation())
+
+        final = {}
+        for name, client in clients.items():
+            state = {}
+            for opcode, key, value in operations:
+                if opcode is OpCode.PUT:
+                    client.put(key, value)
+                    state[key] = value
+                else:
+                    assert client.get(key) == state[key], (name, key)
+            final[name] = {key: client.get(key) for key in state}
+
+        assert final["precursor"] == final["precursor-se"]
+        assert final["precursor"] == final["shieldstore"]
+
+
+class TestZipfianWorkload:
+    def test_skewed_load_on_precursor(self):
+        _, client = make_pair(seed=66)
+        spec = WorkloadSpec(
+            name="zipf", read_fraction=0.8, record_count=50,
+            value_size=16, distribution="zipfian",
+        )
+        driver = WorkloadDriver(client, spec, seed=66)
+        driver.load()
+        result = driver.run(200)
+        assert result.operations == 200
+        assert result.misses == 0
+
+
+class TestValueSizeSweepFunctional:
+    @pytest.mark.parametrize("size", [16, 128, 1024, 16384])
+    def test_roundtrip_at_paper_sizes(self, size):
+        _, client = make_pair(seed=77)
+        from repro.ycsb import make_value
+
+        value = make_value(0, size)
+        client.put(b"sweep", value)
+        assert client.get(b"sweep") == value

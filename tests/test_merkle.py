@@ -1,0 +1,136 @@
+"""Merkle tree: roots, incremental updates, proofs, tampering, costs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.merkle import MerkleTree
+
+
+class TestConstruction:
+    def test_rounds_leaves_to_power_of_two(self):
+        assert MerkleTree(5).num_leaves == 5
+        assert MerkleTree(5).depth == 3  # padded to 8 leaves
+
+    def test_single_leaf(self):
+        tree = MerkleTree(1)
+        assert tree.depth == 0
+        root_before = tree.root
+        tree.update_leaf(0, b"data")
+        assert tree.root != root_before
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree(0)
+
+    def test_empty_trees_share_root(self):
+        assert MerkleTree(8).root == MerkleTree(8).root
+
+    def test_different_sizes_have_different_roots(self):
+        assert MerkleTree(4).root != MerkleTree(8).root
+
+
+class TestUpdateAndVerify:
+    def test_update_changes_root(self):
+        tree = MerkleTree(16)
+        r0 = tree.root
+        r1 = tree.update_leaf(3, b"bucket-3-macs")
+        assert r1 != r0
+        assert tree.root == r1
+
+    def test_verify_accepts_current_data(self):
+        tree = MerkleTree(16)
+        tree.update_leaf(3, b"bucket-3-macs")
+        tree.verify_leaf(3, b"bucket-3-macs")  # must not raise
+
+    def test_verify_rejects_modified_data(self):
+        tree = MerkleTree(16)
+        tree.update_leaf(3, b"bucket-3-macs")
+        with pytest.raises(IntegrityError):
+            tree.verify_leaf(3, b"bucket-3-MACS")
+
+    def test_verify_rejects_rollback(self):
+        """An attacker restoring an *old* (validly formatted) bucket state
+        is caught: the enclave root has moved on."""
+        tree = MerkleTree(16)
+        tree.update_leaf(3, b"version-1")
+        tree.update_leaf(3, b"version-2")
+        with pytest.raises(IntegrityError):
+            tree.verify_leaf(3, b"version-1")
+
+    def test_update_one_leaf_does_not_break_others(self):
+        tree = MerkleTree(8)
+        for i in range(8):
+            tree.update_leaf(i, f"leaf-{i}".encode())
+        tree.update_leaf(4, b"leaf-4-v2")
+        for i in range(8):
+            expected = b"leaf-4-v2" if i == 4 else f"leaf-{i}".encode()
+            tree.verify_leaf(i, expected)
+
+    def test_out_of_range_leaf(self):
+        tree = MerkleTree(8)
+        with pytest.raises(ConfigurationError):
+            tree.update_leaf(8, b"x")
+        with pytest.raises(ConfigurationError):
+            tree.verify_leaf(-1, b"x")
+
+
+class TestProofs:
+    def test_proof_roundtrip(self):
+        tree = MerkleTree(16)
+        for i in range(16):
+            tree.update_leaf(i, f"leaf-{i}".encode())
+        for i in (0, 7, 15):
+            proof = tree.proof(i)
+            assert len(proof) == tree.depth
+            assert MerkleTree.verify_proof(
+                tree.root, i, f"leaf-{i}".encode(), proof
+            )
+
+    def test_proof_rejects_wrong_data(self):
+        tree = MerkleTree(16)
+        tree.update_leaf(5, b"real")
+        proof = tree.proof(5)
+        assert not MerkleTree.verify_proof(tree.root, 5, b"fake", proof)
+
+    def test_proof_rejects_wrong_index(self):
+        tree = MerkleTree(16)
+        tree.update_leaf(5, b"real")
+        proof = tree.proof(5)
+        assert not MerkleTree.verify_proof(tree.root, 6, b"real", proof)
+
+
+class TestHashAccounting:
+    def test_update_costs_depth_plus_one_hashes(self):
+        tree = MerkleTree(1024)
+        before = tree.hash_count
+        tree.update_leaf(0, b"x")
+        assert tree.hash_count - before == tree.depth + 1
+
+    def test_verify_costs_depth_plus_one_hashes(self):
+        tree = MerkleTree(1024)
+        tree.update_leaf(0, b"x")
+        before = tree.hash_count
+        tree.verify_leaf(0, b"x")
+        assert tree.hash_count - before == tree.depth + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31), st.binary(max_size=64)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_final_state_verifies_property(updates):
+    tree = MerkleTree(32)
+    final = {}
+    for index, data in updates:
+        tree.update_leaf(index, data)
+        final[index] = data
+    for index, data in final.items():
+        tree.verify_leaf(index, data)
+        proof = tree.proof(index)
+        assert MerkleTree.verify_proof(tree.root, index, data, proof)

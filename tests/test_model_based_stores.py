@@ -1,0 +1,106 @@
+"""Model-based property tests: every store behaves like a dict end-to-end.
+
+Hypothesis drives arbitrary put/get/delete sequences through the *full*
+protocol stacks (real crypto, real rings/sockets) and checks them against
+a plain dict model.  This is the strongest functional statement the suite
+makes: no interleaving of operations can desynchronise any of the three
+systems from their specification.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.shieldstore import (
+    ShieldStoreClient,
+    ShieldStoreConfig,
+    ShieldStoreServer,
+)
+from repro.core import make_pair
+from repro.errors import KeyNotFoundError
+
+# Small key space forces collisions, updates and delete-reinsert cycles.
+_keys = st.sampled_from([b"alpha", b"beta", b"gamma", b"delta", b"k" * 16])
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "delete"]),
+        _keys,
+        st.binary(min_size=0, max_size=64),
+    ),
+    max_size=40,
+)
+
+
+def _check_against_model(client, operations):
+    model = {}
+    for action, key, value in operations:
+        if action == "put":
+            client.put(key, value)
+            model[key] = value
+        elif action == "get":
+            if key in model:
+                assert client.get(key) == model[key]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    client.get(key)
+        else:
+            if key in model:
+                client.delete(key)
+                del model[key]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    client.delete(key)
+    # Final state fully consistent.
+    for key, value in model.items():
+        assert client.get(key) == value
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations=_ops)
+def test_precursor_matches_dict_model(operations):
+    _, client = make_pair(seed=101)
+    _check_against_model(client, operations)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations=_ops)
+def test_server_encryption_matches_dict_model(operations):
+    _, client = make_pair(seed=102, server_encryption=True)
+    _check_against_model(client, operations)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations=_ops)
+def test_shieldstore_matches_dict_model(operations):
+    server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=8))
+    client = ShieldStoreClient(server)
+    _check_against_model(client, operations)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations=_ops)
+def test_precursor_inline_mode_matches_dict_model(operations):
+    """The §5.2 inline-small-values extension must be behaviourally
+    indistinguishable (values here are all below/around the threshold)."""
+    from repro.core import ServerConfig
+
+    _, client = make_pair(
+        seed=103, config=ServerConfig(inline_small_values=True)
+    )
+    _check_against_model(client, operations)

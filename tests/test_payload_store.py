@@ -1,0 +1,116 @@
+"""The untrusted payload pool: allocation, growth ocall, release, attacks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.payload_store import PayloadPointer, PayloadStore
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestStoreLoad:
+    def test_roundtrip(self):
+        store = PayloadStore(arena_size=1024)
+        ptr = store.store(b"ciphertext-and-mac")
+        assert store.load(ptr) == b"ciphertext-and-mac"
+
+    def test_multiple_payloads_do_not_clobber(self):
+        store = PayloadStore(arena_size=1024)
+        pointers = [store.store(bytes([i]) * (i + 1)) for i in range(20)]
+        for i, ptr in enumerate(pointers):
+            assert store.load(ptr) == bytes([i]) * (i + 1)
+
+    def test_pointer_shape(self):
+        store = PayloadStore(arena_size=1024)
+        ptr = store.store(b"abc")
+        assert ptr == PayloadPointer(arena=0, offset=0, length=3)
+
+    def test_oversized_payload_rejected(self):
+        store = PayloadStore(arena_size=128)
+        with pytest.raises(CapacityError, match="exceeds arena"):
+            store.store(b"x" * 129)
+
+    def test_bad_pointer_rejected(self):
+        store = PayloadStore(arena_size=128)
+        with pytest.raises(ConfigurationError):
+            store.load(PayloadPointer(arena=5, offset=0, length=1))
+        with pytest.raises(ConfigurationError):
+            store.load(PayloadPointer(arena=0, offset=120, length=20))
+
+
+class TestGrowth:
+    def test_grows_when_full_and_counts_ocalls(self):
+        ocalls = []
+        store = PayloadStore(
+            arena_size=128, grow_ocall=lambda n: ocalls.append(n)
+        )
+        for _ in range(5):
+            store.store(b"x" * 100)  # only one fits per arena
+        assert store.arena_count == 5
+        assert store.grow_count == 4
+        assert ocalls == [128] * 4
+
+    def test_growth_is_batched_not_per_request(self):
+        """Many small payloads share one arena: no ocall per request
+        (paper §3.8's whole point)."""
+        store = PayloadStore(arena_size=4096, grow_ocall=lambda n: None)
+        for _ in range(50):
+            store.store(b"x" * 48)
+        assert store.grow_count == 0
+
+    def test_arena_cap_enforced(self):
+        store = PayloadStore(arena_size=64, max_arenas=2)
+        store.store(b"x" * 64)
+        store.store(b"x" * 64)
+        with pytest.raises(CapacityError, match="cap"):
+            store.store(b"x" * 64)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            PayloadStore(arena_size=16)
+        with pytest.raises(ConfigurationError):
+            PayloadStore(initial_arenas=0)
+
+
+class TestReleaseAccounting:
+    def test_release_moves_bytes_to_dead(self):
+        store = PayloadStore(arena_size=1024)
+        ptr = store.store(b"x" * 100)
+        assert store.live_bytes == 100
+        store.release(ptr)
+        assert store.live_bytes == 0
+        assert store.dead_bytes == 100
+
+    def test_utilization(self):
+        store = PayloadStore(arena_size=1000)
+        assert store.utilization() == 0.0
+        store.store(b"x" * 500)
+        assert store.utilization() == pytest.approx(0.5)
+
+    def test_total_bytes(self):
+        store = PayloadStore(arena_size=256, initial_arenas=2)
+        assert store.total_bytes == 512
+
+
+class TestAttackHelper:
+    def test_corrupt_flips_one_byte(self):
+        store = PayloadStore(arena_size=1024)
+        ptr = store.store(b"\x00\x01\x02\x03")
+        store.corrupt(ptr, flip_at=2)
+        assert store.load(ptr) == b"\x00\x01\xfd\x03"
+
+    def test_corrupt_bounds(self):
+        store = PayloadStore(arena_size=1024)
+        ptr = store.store(b"abcd")
+        with pytest.raises(ConfigurationError):
+            store.corrupt(ptr, flip_at=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(payloads=st.lists(st.binary(min_size=1, max_size=200), max_size=50))
+def test_store_load_property(payloads):
+    store = PayloadStore(arena_size=512)
+    pointers = [store.store(p) for p in payloads]
+    for ptr, payload in zip(pointers, payloads):
+        assert store.load(ptr) == payload
+    assert store.live_bytes == sum(len(p) for p in payloads)

@@ -1,0 +1,149 @@
+"""Sealed, rollback-protected server checkpoints (§2.1 integration)."""
+
+import pytest
+
+from repro.core import PrecursorClient, PrecursorServer, make_pair
+from repro.core.persistence import CheckpointManager, ServerCheckpoint
+from repro.errors import IntegrityError, PrecursorError
+from repro.sgx.sealing import seal_data, unseal_data
+from repro.sgx.enclave import Enclave
+
+
+class TestSealing:
+    def test_seal_unseal_roundtrip(self):
+        enclave = Enclave("kv", code_size_bytes=4096)
+        blob = seal_data(enclave, b"secret state", iv_counter=1)
+        assert unseal_data(enclave, blob) == b"secret state"
+
+    def test_sealed_blob_hides_plaintext(self):
+        enclave = Enclave("kv", code_size_bytes=4096)
+        blob = seal_data(enclave, b"super-secret-contents", iv_counter=1)
+        assert b"super-secret-contents" not in blob
+
+    def test_different_enclave_cannot_unseal(self):
+        """MRENCLAVE binding: another enclave's sealing key differs."""
+        enclave_a = Enclave("kv", code_size_bytes=4096)
+        enclave_b = Enclave("other", code_size_bytes=4096)
+        blob = seal_data(enclave_a, b"state", iv_counter=1)
+        with pytest.raises(IntegrityError):
+            unseal_data(enclave_b, blob)
+
+    def test_tampered_blob_rejected(self):
+        enclave = Enclave("kv", code_size_bytes=4096)
+        blob = bytearray(seal_data(enclave, b"state", iv_counter=1))
+        blob[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            unseal_data(enclave, bytes(blob))
+
+    def test_aad_binding(self):
+        enclave = Enclave("kv", code_size_bytes=4096)
+        blob = seal_data(enclave, b"state", iv_counter=1, aad=b"ctx-a")
+        with pytest.raises(IntegrityError):
+            unseal_data(enclave, blob, aad=b"ctx-b")
+
+    def test_truncated_blob_rejected(self):
+        enclave = Enclave("kv", code_size_bytes=4096)
+        with pytest.raises(IntegrityError):
+            unseal_data(enclave, b"short")
+
+
+def _fresh_server_like(server):
+    """A restarted server instance with the same enclave identity."""
+    from repro.rdma.fabric import Fabric
+
+    return PrecursorServer(fabric=Fabric(), config=server.config)
+
+
+class TestCheckpointRestore:
+    def _populated(self):
+        server, client = make_pair(seed=31)
+        for i in range(25):
+            client.put(f"key-{i}".encode(), f"value-{i}".encode() * 2)
+        return server, client
+
+    def test_roundtrip_restores_all_data(self):
+        server, _ = self._populated()
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(server)
+
+        restarted = _fresh_server_like(server)
+        restarted.start()
+        restored = manager.restore(restarted, checkpoint)
+        assert restored == 25
+        assert restarted.key_count == 25
+
+        # A client of the restarted server reads the old data -- and the
+        # MACs still verify because untrusted payloads survived intact.
+        reader = PrecursorClient(restarted, client_id=900)
+        for i in range(25):
+            assert reader.get(f"key-{i}".encode()) == f"value-{i}".encode() * 2
+
+    def test_replay_counters_survive_restart(self):
+        server, client = self._populated()
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(server)
+        expected = server._replay.expected_oid(client.client_id)
+
+        restarted = _fresh_server_like(server)
+        restarted.start()
+        manager.restore(restarted, checkpoint)
+        assert restarted._replay._expected[client.client_id] == expected
+
+    def test_rollback_to_stale_checkpoint_detected(self):
+        """The attack: restart from an old snapshot to resurrect deleted
+        or superseded data.  The monotonic counter says no."""
+        server, client = self._populated()
+        manager = CheckpointManager()
+        stale = manager.checkpoint(server)
+        client.put(b"key-0", b"newer-value")
+        manager.checkpoint(server)  # the freshest checkpoint
+
+        restarted = _fresh_server_like(server)
+        restarted.start()
+        with pytest.raises(IntegrityError, match="rollback"):
+            manager.restore(restarted, stale)
+
+    def test_tampered_untrusted_payloads_detected_at_restore(self):
+        server, _ = self._populated()
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(server)
+        tampered = ServerCheckpoint(
+            sealed_trusted_state=checkpoint.sealed_trusted_state,
+            untrusted_payloads=b"\xff" + checkpoint.untrusted_payloads[1:],
+            rollback=checkpoint.rollback,
+        )
+        restarted = _fresh_server_like(server)
+        restarted.start()
+        with pytest.raises(IntegrityError):
+            manager.restore(restarted, tampered)
+
+    def test_foreign_enclave_cannot_restore(self):
+        server, _ = self._populated()
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(server)
+        from repro.core import ServerConfig
+        from repro.rdma.fabric import Fabric
+
+        foreign = PrecursorServer(
+            fabric=Fabric(),
+            config=ServerConfig(code_size_bytes=200 * 1024),  # different binary
+        )
+        foreign.start()
+        with pytest.raises(IntegrityError):
+            manager.restore(foreign, checkpoint)
+
+    def test_restore_requires_empty_server(self):
+        server, _ = self._populated()
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(server)
+        with pytest.raises(PrecursorError, match="empty"):
+            manager.restore(server, checkpoint)
+
+    def test_counter_cost_is_per_checkpoint_not_per_request(self):
+        server, client = self._populated()
+        manager = CheckpointManager()
+        manager.checkpoint(server)
+        manager.checkpoint(server)
+        # Two checkpoints -> two slow counter increments, regardless of
+        # the number of requests served.
+        assert manager.counters.increments == 2

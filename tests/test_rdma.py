@@ -1,0 +1,297 @@
+"""RDMA substrate: memory regions, queue pairs, verbs, the fabric."""
+
+import pytest
+
+from repro.errors import AccessError, ConfigurationError
+from repro.rdma import (
+    AccessFlags,
+    Fabric,
+    MemoryRegion,
+    Opcode,
+    ProtectionDomain,
+    QpCacheModel,
+    QpState,
+    QueuePair,
+    RNic,
+    WorkRequest,
+)
+from repro.rdma.qp import CompletionQueue
+
+
+class TestMemoryRegions:
+    def test_local_read_write(self):
+        pd = ProtectionDomain()
+        region = pd.register(64, AccessFlags.LOCAL_WRITE)
+        region.write_local(8, b"hello")
+        assert region.read_local(8, 5) == b"hello"
+
+    def test_remote_write_requires_permission(self):
+        pd = ProtectionDomain()
+        readonly = pd.register(64, AccessFlags.REMOTE_READ)
+        with pytest.raises(AccessError, match="REMOTE_WRITE"):
+            readonly.remote_write(0, b"x")
+
+    def test_remote_read_requires_permission(self):
+        pd = ProtectionDomain()
+        writeonly = pd.register(64, AccessFlags.REMOTE_WRITE)
+        with pytest.raises(AccessError, match="REMOTE_READ"):
+            writeonly.remote_read(0, 4)
+
+    def test_bounds_enforced(self):
+        pd = ProtectionDomain()
+        region = pd.register(
+            64, AccessFlags.REMOTE_WRITE | AccessFlags.REMOTE_READ
+        )
+        with pytest.raises(AccessError):
+            region.remote_write(60, b"toolong")
+        with pytest.raises(AccessError):
+            region.remote_read(0, 65)
+        with pytest.raises(AccessError):
+            region.read_local(-1, 4)
+
+    def test_trusted_region_refuses_dma(self):
+        """SGX forbids DMA to the EPC: even a correctly-keyed remote access
+        to enclave memory must fail.  This is the constraint that forces
+        Precursor's split-transfer design."""
+        pd = ProtectionDomain()
+        enclave_mem = pd.register(
+            4096,
+            AccessFlags.REMOTE_WRITE | AccessFlags.REMOTE_READ,
+            trusted=True,
+        )
+        with pytest.raises(AccessError, match="enclave"):
+            enclave_mem.remote_write(0, b"attack")
+        with pytest.raises(AccessError, match="enclave"):
+            enclave_mem.remote_read(0, 16)
+        # The host CPU (enclave code) can still use it locally.
+        enclave_mem.write_local(0, b"fine")
+        assert enclave_mem.read_local(0, 4) == b"fine"
+
+    def test_rkeys_are_predictable(self):
+        """The paper notes RDMA rkeys are predictable (§3.9, citing
+        ReDMArk) -- our PD mirrors that, making the attack surface real."""
+        pd1 = ProtectionDomain("a")
+        pd2 = ProtectionDomain("b")
+        r1 = pd1.register(64, AccessFlags.REMOTE_READ)
+        r2 = pd2.register(64, AccessFlags.REMOTE_READ)
+        assert r1.rkey == r2.rkey  # same allocation sequence -> same key
+
+    def test_lookup_and_deregister(self):
+        pd = ProtectionDomain()
+        region = pd.register(64, AccessFlags.REMOTE_READ)
+        assert pd.lookup(region.rkey) is region
+        pd.deregister(region)
+        with pytest.raises(AccessError):
+            pd.lookup(region.rkey)
+
+    def test_zero_length_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion(0, AccessFlags.LOCAL_WRITE, 1, 2)
+
+
+class TestQueuePairs:
+    def _pair(self):
+        qa = QueuePair(1, CompletionQueue())
+        qb = QueuePair(2, CompletionQueue())
+        qa.connect(qb)
+        return qa, qb
+
+    def test_connect_reaches_rts(self):
+        qa, qb = self._pair()
+        assert qa.state is QpState.RTS
+        assert qb.state is QpState.RTS
+
+    def test_illegal_transition_rejected(self):
+        qp = QueuePair(1, CompletionQueue())
+        with pytest.raises(ConfigurationError):
+            qp.transition(QpState.RTS)  # RESET -> RTS skips INIT/RTR
+
+    def test_errored_qp_refuses_sends(self):
+        qa, _ = self._pair()
+        qa.error_out()
+        wr = WorkRequest(wr_id=1, opcode=Opcode.SEND, data=b"x")
+        with pytest.raises(AccessError):
+            qa.check_can_send(wr)
+
+    def test_reset_recovers_from_error(self):
+        qa, _ = self._pair()
+        qa.error_out()
+        qa.transition(QpState.RESET)
+        assert qa.state is QpState.RESET
+
+    def test_inline_limit_enforced(self):
+        qa, _ = self._pair()
+        big = WorkRequest(
+            wr_id=1, opcode=Opcode.RDMA_WRITE, data=b"x" * 1000, inline=True
+        )
+        with pytest.raises(ConfigurationError, match="inline"):
+            qa.check_can_send(big)
+
+    def test_selective_signaling(self):
+        qa, _ = self._pair()
+        qa.signal_interval = 4
+        signals = [
+            qa.want_signal(
+                WorkRequest(wr_id=i, opcode=Opcode.SEND, data=b"x", signaled=False)
+            )
+            for i in range(8)
+        ]
+        assert signals == [False, False, False, True] * 2
+
+    def test_explicit_signal_always_fires(self):
+        qa, _ = self._pair()
+        wr = WorkRequest(wr_id=1, opcode=Opcode.SEND, data=b"x", signaled=True)
+        assert qa.want_signal(wr)
+
+    def test_send_without_posted_receive_is_rnr(self):
+        qa, qb = self._pair()
+        with pytest.raises(AccessError, match="receiver-not-ready"):
+            qb.deliver_send(b"data")
+
+    def test_send_receive_matching(self):
+        qa, qb = self._pair()
+        qb.post_recv(wr_id=77)
+        qb.deliver_send(b"data")
+        assert qb.consume_received() == b"data"
+        completions = qb.recv_cq.poll()
+        assert completions[0].wr_id == 77
+        assert completions[0].ok
+
+
+class TestWorkRequests:
+    def test_write_requires_data(self):
+        with pytest.raises(ConfigurationError):
+            WorkRequest(wr_id=1, opcode=Opcode.RDMA_WRITE)
+
+    def test_read_requires_length(self):
+        with pytest.raises(ConfigurationError):
+            WorkRequest(wr_id=1, opcode=Opcode.RDMA_READ, length=0)
+
+    def test_read_cannot_be_inline(self):
+        with pytest.raises(ConfigurationError):
+            WorkRequest(wr_id=1, opcode=Opcode.RDMA_READ, length=8, inline=True)
+
+
+class TestFabric:
+    def _setup(self):
+        fabric = Fabric()
+        fabric.add_host("client")
+        server_pd = fabric.add_host("server")
+        qp_c, qp_s = fabric.create_qp_pair("client", "server")
+        region = server_pd.register(
+            4096, AccessFlags.REMOTE_WRITE | AccessFlags.REMOTE_READ
+        )
+        return fabric, qp_c, qp_s, region
+
+    def test_one_sided_write_moves_bytes(self):
+        fabric, qp_c, _, region = self._setup()
+        fabric.post_send(
+            qp_c,
+            WorkRequest(
+                wr_id=1,
+                opcode=Opcode.RDMA_WRITE,
+                data=b"remote write!",
+                remote_rkey=region.rkey,
+                remote_offset=100,
+            ),
+        )
+        assert region.read_local(100, 13) == b"remote write!"
+        assert fabric.bytes_moved == 13
+
+    def test_one_sided_read_fetches_bytes(self):
+        fabric, qp_c, _, region = self._setup()
+        region.write_local(8, b"server data")
+        wr = WorkRequest(
+            wr_id=2,
+            opcode=Opcode.RDMA_READ,
+            remote_rkey=region.rkey,
+            remote_offset=8,
+            length=11,
+        )
+        fabric.post_send(qp_c, wr)
+        assert wr.data == b"server data"
+
+    def test_bad_rkey_errors_the_qp(self):
+        fabric, qp_c, _, region = self._setup()
+        with pytest.raises(AccessError):
+            fabric.post_send(
+                qp_c,
+                WorkRequest(
+                    wr_id=3,
+                    opcode=Opcode.RDMA_WRITE,
+                    data=b"x",
+                    remote_rkey=0xDEAD,
+                    remote_offset=0,
+                ),
+            )
+        assert qp_c.state is QpState.ERR
+        completions = qp_c.send_cq.poll()
+        assert completions and not completions[0].ok
+
+    def test_write_to_trusted_region_fails(self):
+        fabric = Fabric()
+        fabric.add_host("client")
+        server_pd = fabric.add_host("server")
+        qp_c, _ = fabric.create_qp_pair("client", "server")
+        enclave_region = server_pd.register(
+            4096, AccessFlags.REMOTE_WRITE, trusted=True
+        )
+        with pytest.raises(AccessError, match="enclave"):
+            fabric.post_send(
+                qp_c,
+                WorkRequest(
+                    wr_id=4,
+                    opcode=Opcode.RDMA_WRITE,
+                    data=b"inject",
+                    remote_rkey=enclave_region.rkey,
+                    remote_offset=0,
+                ),
+            )
+
+    def test_duplicate_host_rejected(self):
+        fabric = Fabric()
+        fabric.add_host("h")
+        with pytest.raises(ConfigurationError):
+            fabric.add_host("h")
+
+    def test_send_receive_through_fabric(self):
+        fabric, qp_c, qp_s, _ = self._setup()
+        qp_s.post_recv(wr_id=9)
+        fabric.post_send(
+            qp_c, WorkRequest(wr_id=5, opcode=Opcode.SEND, data=b"two-sided")
+        )
+        assert qp_s.consume_received() == b"two-sided"
+
+
+class TestNicModels:
+    def test_serialization_time_scales(self):
+        nic = RNic(bandwidth_gbps=40.0)
+        assert nic.serialization_ns(4096) == pytest.approx(819.2)
+        assert nic.transfer_ns(4096) > nic.transfer_ns(64)
+
+    def test_inline_is_faster(self):
+        nic = RNic()
+        assert nic.transfer_ns(256, inline=True) < nic.transfer_ns(256, inline=False)
+
+    def test_line_rate(self):
+        assert RNic(bandwidth_gbps=40.0).line_rate_mbps() == 5000.0
+
+    def test_qp_cache_no_misses_within_capacity(self):
+        cache = QpCacheModel(capacity=56)
+        assert cache.miss_probability(56) == 0.0
+        assert cache.miss_probability(10) == 0.0
+
+    def test_qp_cache_misses_grow_past_capacity(self):
+        cache = QpCacheModel(capacity=56)
+        p70 = cache.miss_probability(70)
+        p100 = cache.miss_probability(100)
+        assert 0 < p70 < p100 < 1
+        assert cache.expected_overhead_ns(100) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RNic(bandwidth_gbps=0)
+        with pytest.raises(ConfigurationError):
+            QpCacheModel(capacity=0)
+        with pytest.raises(ConfigurationError):
+            RNic().serialization_ns(-1)

@@ -1,0 +1,83 @@
+"""The replay guard: exact-sequence oid enforcement per client."""
+
+import pytest
+
+from repro.core.replay import ReplayGuard
+from repro.errors import ReplayError
+
+
+class TestSequenceEnforcement:
+    def test_first_oid_must_be_one(self):
+        guard = ReplayGuard()
+        guard.register_client(7)
+        assert guard.expected_oid(7) == 1
+        guard.check_and_advance(7, 1)
+        assert guard.expected_oid(7) == 2
+
+    def test_in_order_sequence_accepted(self):
+        guard = ReplayGuard()
+        guard.register_client(1)
+        for oid in range(1, 50):
+            guard.check_and_advance(1, oid)
+
+    def test_replayed_oid_rejected(self):
+        guard = ReplayGuard()
+        guard.register_client(1)
+        guard.check_and_advance(1, 1)
+        with pytest.raises(ReplayError):
+            guard.check_and_advance(1, 1)
+        assert guard.rejected == 1
+
+    def test_old_oid_rejected(self):
+        guard = ReplayGuard()
+        guard.register_client(1)
+        for oid in (1, 2, 3):
+            guard.check_and_advance(1, oid)
+        with pytest.raises(ReplayError):
+            guard.check_and_advance(1, 2)
+
+    def test_future_oid_rejected(self):
+        """A gap means a dropped/reordered message: also refused, so an
+        attacker cannot skip the counter forward."""
+        guard = ReplayGuard()
+        guard.register_client(1)
+        with pytest.raises(ReplayError):
+            guard.check_and_advance(1, 5)
+
+    def test_rejection_does_not_advance(self):
+        guard = ReplayGuard()
+        guard.register_client(1)
+        with pytest.raises(ReplayError):
+            guard.check_and_advance(1, 99)
+        guard.check_and_advance(1, 1)  # still accepts the right one
+
+    def test_unknown_client_rejected(self):
+        guard = ReplayGuard()
+        with pytest.raises(ReplayError):
+            guard.check_and_advance(42, 1)
+        with pytest.raises(ReplayError):
+            guard.expected_oid(42)
+
+    def test_clients_are_independent(self):
+        guard = ReplayGuard()
+        guard.register_client(1)
+        guard.register_client(2)
+        guard.check_and_advance(1, 1)
+        guard.check_and_advance(2, 1)  # client 2 has its own counter
+        assert guard.expected_oid(1) == 2
+        assert guard.expected_oid(2) == 2
+
+    def test_double_registration_rejected(self):
+        guard = ReplayGuard()
+        guard.register_client(1)
+        with pytest.raises(ReplayError):
+            guard.register_client(1)
+
+
+class TestTrustedFootprint:
+    def test_trusted_bytes_scale_with_clients(self):
+        guard = ReplayGuard()
+        for client_id in range(10):
+            guard.register_client(client_id)
+        assert guard.client_count == 10
+        assert guard.trusted_bytes() == 10 * ReplayGuard.TRUSTED_BYTES_PER_CLIENT

@@ -1,0 +1,178 @@
+"""Per-client ring buffers: production, polling, credits, wrap-around."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring_buffer import RingConsumer, RingLayout, RingProducer
+from repro.errors import CapacityError, ConfigurationError
+from repro.rdma.memory import AccessFlags, ProtectionDomain
+
+
+def make_ring(slot_count=4, slot_size=128):
+    layout = RingLayout(slot_count, slot_size)
+    pd = ProtectionDomain()
+    region = pd.register(
+        layout.total_bytes, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_WRITE
+    )
+    consumer = RingConsumer(layout, region)
+    producer = RingProducer(layout, write_remote=region.remote_write)
+    return layout, producer, consumer
+
+
+class TestLayout:
+    def test_geometry(self):
+        layout = RingLayout(8, 256)
+        assert layout.total_bytes == 2048
+        assert layout.max_frame == 248
+        assert layout.slot_offset(0) == 0
+        assert layout.slot_offset(9) == 256  # wraps
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            RingLayout(0, 128)
+        with pytest.raises(ConfigurationError):
+            RingLayout(4, 8)
+
+    def test_region_must_fit(self):
+        layout = RingLayout(4, 128)
+        pd = ProtectionDomain()
+        small = pd.register(128, AccessFlags.LOCAL_WRITE)
+        with pytest.raises(ConfigurationError):
+            RingConsumer(layout, small)
+
+
+class TestProduceConsume:
+    def test_single_frame(self):
+        _, producer, consumer = make_ring()
+        producer.produce(b"request-1")
+        assert consumer.poll_one() == b"request-1"
+        assert consumer.poll_one() is None
+
+    def test_fifo_order(self):
+        _, producer, consumer = make_ring()
+        for i in range(3):
+            producer.produce(f"frame-{i}".encode())
+        assert consumer.poll() == [b"frame-0", b"frame-1", b"frame-2"]
+
+    def test_poll_limit(self):
+        _, producer, consumer = make_ring()
+        for i in range(4):
+            producer.produce(bytes([i]))
+        assert len(consumer.poll(limit=2)) == 2
+        assert len(consumer.poll(limit=10)) == 2
+
+    def test_frame_too_large(self):
+        _, producer, _ = make_ring(slot_size=64)
+        with pytest.raises(CapacityError, match="exceeds slot"):
+            producer.produce(b"x" * 60)
+
+    def test_empty_poll_counts(self):
+        _, _, consumer = make_ring()
+        consumer.poll_one()
+        assert consumer.polls == 1
+        assert consumer.frames_consumed == 0
+
+
+class TestFlowControl:
+    def test_ring_full_without_credit(self):
+        _, producer, _ = make_ring(slot_count=2)
+        producer.produce(b"a")
+        producer.produce(b"b")
+        assert producer.free_slots == 0
+        with pytest.raises(CapacityError, match="ring full"):
+            producer.produce(b"c")
+
+    def test_credit_restores_capacity(self):
+        _, producer, consumer = make_ring(slot_count=2)
+        producer.produce(b"a")
+        producer.produce(b"b")
+        consumer.poll()
+        credit = consumer.credits_due()
+        assert credit == 2
+        producer.credit_update(credit)
+        assert producer.free_slots == 2
+        producer.produce(b"c")
+
+    def test_credits_due_deduplicates(self):
+        _, producer, consumer = make_ring()
+        producer.produce(b"a")
+        consumer.poll()
+        assert consumer.credits_due() == 1
+        assert consumer.credits_due() is None  # unchanged since last report
+
+    def test_bogus_credit_rejected(self):
+        _, producer, _ = make_ring()
+        producer.produce(b"a")
+        with pytest.raises(ConfigurationError):
+            producer.credit_update(5)  # more than produced
+
+    def test_credit_cannot_regress(self):
+        _, producer, consumer = make_ring()
+        producer.produce(b"a")
+        producer.produce(b"b")
+        consumer.poll()
+        producer.credit_update(2)
+        with pytest.raises(ConfigurationError):
+            producer.credit_update(1)
+
+
+class TestWrapAround:
+    def test_many_cycles_through_the_ring(self):
+        _, producer, consumer = make_ring(slot_count=4)
+        for round_number in range(25):
+            frame = f"round-{round_number}".encode()
+            producer.produce(frame)
+            assert consumer.poll_one() == frame
+            producer.credit_update(consumer.credits_due())
+
+    def test_stale_slot_contents_not_reread(self):
+        """After a wrap, the old frame in a slot must not be mistaken for
+        a new one (sequence-number freshness)."""
+        _, producer, consumer = make_ring(slot_count=2)
+        producer.produce(b"old-a")
+        producer.produce(b"old-b")
+        consumer.poll()
+        producer.credit_update(consumer.credits_due())
+        producer.produce(b"new-a")  # overwrites slot 0
+        frames = consumer.poll()
+        assert frames == [b"new-a"]  # old-b's slot is stale, not ready
+
+
+class TestRogueProducer:
+    def test_garbage_length_skipped(self):
+        """A rogue client writing a corrupt header must not wedge the
+        consumer (paper §3.9: rogue clients can write garbage)."""
+        layout = RingLayout(2, 64)
+        pd = ProtectionDomain()
+        region = pd.register(layout.total_bytes, AccessFlags.LOCAL_WRITE)
+        consumer = RingConsumer(layout, region)
+        import struct
+
+        # Claimed length exceeds the slot: defensively skipped.
+        region.write_local(0, struct.pack(">II", 9999, 1) + b"junk")
+        assert consumer.poll_one() is None
+        # The next well-formed frame (seq 2, slot 1) is still consumable.
+        region.write_local(64, struct.pack(">II", 4, 2) + b"good")
+        assert consumer.poll_one() == b"good"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    frames=st.lists(st.binary(min_size=0, max_size=80), min_size=1, max_size=60)
+)
+def test_everything_produced_is_consumed_in_order(frames):
+    _, producer, consumer = make_ring(slot_count=4, slot_size=128)
+    received = []
+    for frame in frames:
+        while True:
+            try:
+                producer.produce(frame)
+                break
+            except CapacityError:
+                received.extend(consumer.poll())
+                credit = consumer.credits_due()
+                if credit is not None:
+                    producer.credit_update(credit)
+    received.extend(consumer.poll())
+    assert received == frames

@@ -1,0 +1,81 @@
+"""Remote attestation: the trust decisions a client must get right."""
+
+import pytest
+
+from repro.crypto.keys import KeyGenerator
+from repro.errors import AttestationError
+from repro.sgx import (
+    AttestationService,
+    Enclave,
+    attest_and_establish_session,
+)
+
+
+@pytest.fixture
+def enclave():
+    return Enclave("precursor", code_size_bytes=180 * 1024)
+
+
+class TestHandshake:
+    def test_successful_attestation_yields_session_key(self, enclave):
+        session = attest_and_establish_session(
+            enclave, enclave.measurement, client_id=1, keygen=KeyGenerator(seed=1)
+        )
+        assert len(session.key) == 16
+        assert session.client_id == 1
+
+    def test_deterministic_under_seed(self, enclave):
+        s1 = attest_and_establish_session(
+            enclave, enclave.measurement, 1, KeyGenerator(seed=9)
+        )
+        s2 = attest_and_establish_session(
+            enclave, enclave.measurement, 1, KeyGenerator(seed=9)
+        )
+        assert s1.key == s2.key
+
+    def test_wrong_measurement_rejected(self, enclave):
+        """The client expects a specific binary; a different enclave (e.g.
+        a malicious look-alike) must be refused before any secret flows."""
+        other = Enclave("evil-twin", code_size_bytes=180 * 1024)
+        with pytest.raises(AttestationError, match="measurement"):
+            attest_and_establish_session(
+                enclave, other.measurement, 1, KeyGenerator(seed=1)
+            )
+
+    def test_untrusted_platform_rejected(self, enclave):
+        """A platform that cannot produce a genuine quote signature is not
+        running real SGX -- the handshake must abort."""
+        rogue = AttestationService(platform_key=b"not-the-real-root" * 2)
+        quote = rogue.quote(enclave, b"n" * 16, b"s" * 32)
+        genuine = AttestationService()
+        with pytest.raises(AttestationError, match="signature"):
+            genuine.verify(quote, enclave.measurement, b"n" * 16)
+
+    def test_replayed_quote_rejected(self, enclave):
+        """A quote for a stale nonce must not satisfy a fresh challenge."""
+        service = AttestationService()
+        quote = service.quote(enclave, b"old-nonce-123456", b"s" * 32)
+        with pytest.raises(AttestationError, match="nonce"):
+            service.verify(quote, enclave.measurement, b"new-nonce-654321")
+
+    def test_quote_binds_enclave_share(self, enclave):
+        """Tampering with the key-exchange share invalidates the quote --
+        a MITM cannot substitute its own share."""
+        service = AttestationService()
+        quote = service.quote(enclave, b"n" * 16, b"honest-share" + b"\x00" * 20)
+        forged = type(quote)(
+            measurement=quote.measurement,
+            nonce=quote.nonce,
+            enclave_share=b"attacker-share" + b"\x00" * 18,
+            signature=quote.signature,
+        )
+        with pytest.raises(AttestationError):
+            service.verify(forged, enclave.measurement, b"n" * 16)
+
+
+class TestSessionKeyProperties:
+    def test_distinct_clients_get_distinct_keys(self, enclave):
+        keygen = KeyGenerator(seed=5)
+        s1 = attest_and_establish_session(enclave, enclave.measurement, 1, keygen)
+        s2 = attest_and_establish_session(enclave, enclave.measurement, 2, keygen)
+        assert s1.key != s2.key

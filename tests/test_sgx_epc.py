@@ -1,0 +1,89 @@
+"""EPC models: exact LRU behaviour and the analytic fault probabilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sgx import EpcCache, EpcModel
+from repro.sgx.epc import DEFAULT_USABLE_BYTES, PAGE_SIZE
+
+
+class TestEpcCache:
+    def test_first_touch_faults(self):
+        cache = EpcCache(capacity_pages=4)
+        assert cache.touch(1) is True
+        assert cache.touch(1) is False
+        assert cache.hits == 1 and cache.faults == 1
+
+    def test_lru_eviction(self):
+        cache = EpcCache(capacity_pages=2)
+        cache.touch(1)
+        cache.touch(2)
+        cache.touch(1)  # 1 is now most recent
+        cache.touch(3)  # evicts 2
+        assert cache.touch(2) is True
+        assert cache.evictions >= 1
+
+    def test_working_set_within_capacity_never_refaults(self):
+        cache = EpcCache(capacity_pages=8)
+        for _ in range(5):
+            for page in range(8):
+                cache.touch(page)
+        assert cache.faults == 8  # only compulsory misses
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        cache = EpcCache(capacity_pages=4)
+        for _ in range(3):
+            for page in range(8):  # cyclic scan of 2x capacity under LRU
+                cache.touch(page)
+        assert cache.fault_rate() == 1.0
+
+    def test_touch_range(self):
+        cache = EpcCache(capacity_pages=16)
+        assert cache.touch_range(0, 10) == 10
+        assert cache.touch_range(5, 10) == 5  # 5..9 cached, 10..14 new
+        assert cache.resident_pages == 15
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EpcCache(capacity_pages=0)
+
+
+class TestEpcModel:
+    def test_default_matches_paper(self):
+        model = EpcModel()
+        assert model.usable_bytes == 93 * 1024 * 1024
+        assert model.usable_pages == DEFAULT_USABLE_BYTES // PAGE_SIZE
+
+    def test_no_faults_within_epc(self):
+        model = EpcModel()
+        assert model.fault_probability(50 * 1024 * 1024) == 0.0
+        assert not model.is_oversubscribed(93 * 1024 * 1024)
+
+    def test_fault_probability_grows_with_working_set(self):
+        model = EpcModel()
+        p1 = model.fault_probability(100 * 1024 * 1024)
+        p2 = model.fault_probability(200 * 1024 * 1024)
+        p3 = model.fault_probability(400 * 1024 * 1024)
+        assert 0 < p1 < p2 < p3 < 1
+
+    def test_probability_formula(self):
+        model = EpcModel(usable_bytes=PAGE_SIZE)
+        assert model.fault_probability(2 * PAGE_SIZE) == pytest.approx(0.5)
+        assert model.fault_probability(4 * PAGE_SIZE) == pytest.approx(0.75)
+
+    def test_three_million_keys_land_in_the_tail_regime(self):
+        """With the calibrated ~34 hot bytes/entry, 3 M keys overshoot the
+        EPC by a few percent -- the Fig. 7 tail-only paging regime."""
+        from repro.bench.calibration import Calibration
+
+        cal = Calibration()
+        probability = cal.epc.fault_probability(
+            int(3_000_000 * cal.epc_hot_bytes_per_entry)
+        )
+        assert 0.01 < probability < 0.15
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            EpcModel(usable_bytes=100)  # less than one page
+        with pytest.raises(ConfigurationError):
+            EpcModel().fault_probability(-1)

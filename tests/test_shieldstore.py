@@ -1,0 +1,172 @@
+"""ShieldStore baseline: functionality, Merkle integrity, EPC footprint."""
+
+import pytest
+
+from repro.baselines.shieldstore import (
+    ShieldStoreClient,
+    ShieldStoreConfig,
+    ShieldStoreServer,
+)
+from repro.errors import IntegrityError, KeyNotFoundError, PrecursorError
+from repro.htable.robinhood import _fnv1a
+
+
+@pytest.fixture
+def store():
+    server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=64))
+    client = ShieldStoreClient(server)
+    return server, client
+
+
+class TestBasicOperations:
+    def test_put_get(self, store):
+        _, client = store
+        client.put(b"k", b"value")
+        assert client.get(b"k") == b"value"
+
+    def test_update(self, store):
+        server, client = store
+        client.put(b"k", b"v1")
+        client.put(b"k", b"v2")
+        assert client.get(b"k") == b"v2"
+        assert server.key_count == 1
+
+    def test_delete(self, store):
+        server, client = store
+        client.put(b"k", b"v")
+        client.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            client.get(b"k")
+        assert server.key_count == 0
+
+    def test_missing_key(self, store):
+        _, client = store
+        with pytest.raises(KeyNotFoundError):
+            client.get(b"ghost")
+
+    def test_many_keys_with_chaining(self, store):
+        server, client = store
+        # 64 buckets, 300 keys -> every bucket chains several entries.
+        for i in range(300):
+            client.put(f"key-{i}".encode(), f"value-{i}".encode())
+        assert server.buckets.average_chain_length() > 4
+        for i in range(300):
+            assert client.get(f"key-{i}".encode()) == f"value-{i}".encode()
+
+    def test_multiple_clients(self):
+        server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=16))
+        alice = ShieldStoreClient(server, client_id=101)
+        bob = ShieldStoreClient(server, client_id=102)
+        alice.put(b"k", b"from-alice")
+        assert bob.get(b"k") == b"from-alice"
+
+
+class TestServerSideCosts:
+    def test_bucket_scans_decrypt_server_side(self, store):
+        """ShieldStore's structural cost: the server decrypts entries to
+        search a bucket (Precursor's server decrypts zero payload bytes)."""
+        server, client = store
+        client.put(b"k", b"value")
+        before = server.stats.scan_decrypted_bytes
+        client.get(b"k")
+        assert server.stats.scan_decrypted_bytes > before
+
+    def test_merkle_hashing_per_request(self, store):
+        server, client = store
+        client.put(b"k", b"value")
+        before = server.hash_invocations
+        client.get(b"k")
+        assert server.hash_invocations > before  # per-read verification
+
+    def test_longer_chains_cost_more_decryption(self):
+        server = ShieldStoreServer(config=ShieldStoreConfig(num_buckets=1))
+        client = ShieldStoreClient(server)
+        for i in range(20):
+            client.put(f"k{i}".encode(), b"v" * 20)
+        # Reading a key in a 20-entry chain decrypts multiple entries.
+        before = server.stats.scan_decrypted_bytes
+        client.get(b"k19")
+        assert server.stats.scan_decrypted_bytes - before > 40
+
+
+class TestIntegrity:
+    def test_tampered_entry_detected(self, store):
+        server, client = store
+        client.put(b"k", b"value")
+        index = server.buckets.bucket_index(_fnv1a(b"k"))
+        server.buckets.tamper(index, 0, flip_at=3)
+        with pytest.raises(PrecursorError):
+            client.get(b"k")
+        assert server.stats.integrity_failures >= 1
+
+    def test_rollback_detected_by_merkle_root(self, store):
+        """Restoring a whole old entry (valid GCM under the master key!)
+        is caught by the enclave-held Merkle root."""
+        server, client = store
+        client.put(b"k", b"version-1")
+        index = server.buckets.bucket_index(_fnv1a(b"k"))
+        import copy
+
+        old_entry = copy.deepcopy(server.buckets.bucket(index)[0])
+        client.put(b"k", b"version-2")
+        # Attacker swaps the old (self-consistent) entry back in.
+        server.buckets.replace(index, 0, old_entry)
+        with pytest.raises((IntegrityError, PrecursorError)):
+            client.get(b"k")
+
+    def test_direct_get_raises_integrity_error(self, store):
+        server, client = store
+        client.put(b"k", b"value")
+        index = server.buckets.bucket_index(_fnv1a(b"k"))
+        server.buckets.tamper(index, 0, flip_at=0)
+        with pytest.raises(IntegrityError):
+            server.get(b"k")
+
+
+class TestEpcFootprint:
+    def test_static_allocation_at_init(self):
+        """Table 1: ShieldStore commits ~17 392 pages before any insert."""
+        server = ShieldStoreServer()
+        assert server.enclave.trusted_pages == 17392
+
+    def test_first_insert_adds_mac_cache(self):
+        server = ShieldStoreServer(
+            config=ShieldStoreConfig(num_buckets=64, real_crypto=False)
+        )
+        server.put(b"k", b"v")
+        assert server.enclave.trusted_pages == 17586
+
+    def test_footprint_nearly_flat_with_keys(self):
+        server = ShieldStoreServer(
+            config=ShieldStoreConfig(num_buckets=1024, real_crypto=False)
+        )
+        for i in range(30_000):
+            server.put(f"k{i}".encode(), b"v")
+        # Entries live in untrusted memory; trusted growth is tiny.
+        assert 17586 <= server.enclave.trusted_pages <= 17600
+
+    def test_entries_live_in_untrusted_memory(self, store):
+        server, client = store
+        client.put(b"k", b"v" * 100)
+        assert server.buckets.untrusted_bytes() > 100
+
+
+class TestAccountingMode:
+    def test_real_crypto_flag_controls_sealing(self):
+        fast = ShieldStoreServer(
+            config=ShieldStoreConfig(num_buckets=8, real_crypto=False)
+        )
+        fast.put(b"k", b"plain-visible")
+        # Accounting mode does not hide data (documented: Table 1 only).
+        assert fast.get(b"k") == b"plain-visible"
+        assert fast.stats.storage_crypto_bytes == 0
+
+    def test_real_crypto_hides_data(self):
+        server = ShieldStoreServer(
+            config=ShieldStoreConfig(num_buckets=8)
+        )
+        server.put(b"k", b"should-be-hidden")
+        index = server.buckets.bucket_index(_fnv1a(b"k"))
+        entry = server.buckets.bucket(index)[0]
+        assert b"should-be-hidden" not in entry.sealed
+        assert server.stats.storage_crypto_bytes > 0

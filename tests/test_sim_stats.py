@@ -1,0 +1,139 @@
+"""Latency recorders, percentiles, CDFs and throughput meters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import LatencyRecorder, ThroughputMeter
+from repro.sim.stats import cycles_to_ns, merge_series, ns_to_us
+
+
+class TestConversions:
+    def test_cycles_to_ns(self):
+        assert cycles_to_ns(3_700, 3.7) == 1000
+        assert cycles_to_ns(13_000, 3.7) == 3514
+
+    def test_cycles_rejects_bad_clock(self):
+        with pytest.raises(SimulationError):
+            cycles_to_ns(100, 0)
+
+    def test_ns_to_us(self):
+        assert ns_to_us(1500) == 1.5
+
+
+class TestLatencyRecorder:
+    def test_percentiles_nearest_rank(self):
+        rec = LatencyRecorder()
+        rec.extend(range(1, 101))  # 1..100
+        assert rec.percentile(50) == 50
+        assert rec.percentile(99) == 99
+        assert rec.percentile(100) == 100
+        assert rec.percentile(1) == 1
+
+    def test_median_and_mean(self):
+        rec = LatencyRecorder()
+        rec.extend([10, 20, 30])
+        assert rec.median() == 20
+        assert rec.mean() == 20.0
+
+    def test_single_sample(self):
+        rec = LatencyRecorder()
+        rec.record(42)
+        assert rec.percentile(1) == 42
+        assert rec.percentile(100) == 42
+
+    def test_recording_after_query_keeps_order(self):
+        rec = LatencyRecorder()
+        rec.extend([30, 10])
+        assert rec.median() == 10  # nearest rank of 2 samples at p50
+        rec.record(20)
+        assert rec.median() == 20
+
+    def test_cdf_monotone(self):
+        rec = LatencyRecorder()
+        rec.extend([5, 1, 9, 3, 7, 2, 8, 4, 6, 10])
+        cdf = rec.cdf(points=10)
+        latencies = [p.latency_ns for p in cdf]
+        fractions = [p.fraction for p in cdf]
+        assert latencies == sorted(latencies)
+        assert fractions == sorted(fractions)
+        assert cdf[-1].fraction == 1.0
+        assert cdf[-1].latency_ns == 10
+
+    def test_empty_recorder(self):
+        rec = LatencyRecorder()
+        assert rec.cdf() == []
+        assert rec.summary() == {}
+        assert rec.mean() == 0.0
+        with pytest.raises(SimulationError):
+            rec.percentile(50)
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        rec.extend([1000, 2000, 3000])
+        summary = rec.summary()
+        assert set(summary) == {
+            "mean_us", "p50_us", "p90_us", "p95_us", "p99_us", "max_us"
+        }
+        assert summary["max_us"] == 3.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SimulationError):
+            LatencyRecorder().record(-1)
+
+    def test_rejects_bad_percentile(self):
+        rec = LatencyRecorder()
+        rec.record(1)
+        with pytest.raises(SimulationError):
+            rec.percentile(0)
+        with pytest.raises(SimulationError):
+            rec.percentile(101)
+
+
+@settings(max_examples=30, deadline=None)
+@given(samples=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=300))
+def test_percentile_bounds_property(samples):
+    rec = LatencyRecorder()
+    rec.extend(samples)
+    assert min(samples) <= rec.percentile(50) <= max(samples)
+    assert rec.percentile(100) == max(samples)
+    assert rec.percentile(50) <= rec.percentile(99)
+
+
+class TestThroughputMeter:
+    def test_window_counting(self):
+        meter = ThroughputMeter()
+        meter.record_completion()  # before window: not counted
+        meter.open_window(1_000_000)
+        for _ in range(500):
+            meter.record_completion()
+        meter.close_window(2_000_000)  # 1 ms window
+        meter.record_completion()  # after close: not counted
+        assert meter.window_ops == 500
+        assert meter.kops() == pytest.approx(500.0)
+        assert meter.completed == 502
+
+    def test_kops_requires_closed_window(self):
+        meter = ThroughputMeter()
+        with pytest.raises(SimulationError):
+            meter.kops()
+        meter.open_window(0)
+        with pytest.raises(SimulationError):
+            meter.kops()
+
+    def test_empty_window_rejected(self):
+        meter = ThroughputMeter()
+        meter.open_window(100)
+        with pytest.raises(SimulationError):
+            meter.close_window(100)
+
+
+class TestMergeSeries:
+    def test_zips_rows(self):
+        rows = merge_series(["a", "b"], [[1, 2], [3, 4]])
+        assert rows == [("a", (1, 3)), ("b", (2, 4))]
+
+    def test_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            merge_series(["a"], [[1, 2]])

@@ -1,0 +1,175 @@
+"""Simulation internals: network paths, fault models, caps, accounting."""
+
+import pytest
+
+from repro.bench.calibration import Calibration
+from repro.bench.costs import SystemCosts
+from repro.bench.simulation import (
+    SimulationConfig,
+    _epc_fault_probability,
+    simulate,
+)
+from repro.core.protocol import OpCode
+from repro.ycsb.workload import WORKLOAD_C, WorkloadSpec
+
+
+class TestEpcFaultProbability:
+    def test_shieldstore_never_pages(self):
+        config = SimulationConfig(
+            system="shieldstore",
+            workload=WORKLOAD_C,
+            loaded_keys=10_000_000,
+        )
+        assert _epc_fault_probability(config) == 0.0
+
+    def test_precursor_below_epc_never_pages(self):
+        config = SimulationConfig(
+            system="precursor", workload=WORKLOAD_C, loaded_keys=600_000
+        )
+        assert _epc_fault_probability(config) == 0.0
+
+    def test_precursor_above_epc_pages(self):
+        config = SimulationConfig(
+            system="precursor", workload=WORKLOAD_C, loaded_keys=4_000_000
+        )
+        assert _epc_fault_probability(config) > 0.1
+
+    def test_se_variant_pages_like_precursor(self):
+        config = SimulationConfig(
+            system="precursor-se", workload=WORKLOAD_C, loaded_keys=4_000_000
+        )
+        assert _epc_fault_probability(config) > 0.1
+
+
+class TestNetworkPathSelection:
+    def test_tcp_latency_dominates_shieldstore(self):
+        """ShieldStore's p50 must sit above the TCP round trip alone."""
+        cal = Calibration()
+        result = simulate(
+            SimulationConfig(
+                system="shieldstore",
+                workload=WORKLOAD_C,
+                clients=5,
+                duration_ms=8,
+                warmup_ms=2,
+            )
+        )
+        tcp_round_trip = 2 * cal.tcp.one_way_ns(64)
+        assert result.latency.percentile(50) > tcp_round_trip
+
+    def test_rdma_latency_for_precursor_is_microseconds(self):
+        result = simulate(
+            SimulationConfig(
+                system="precursor",
+                workload=WORKLOAD_C,
+                clients=5,
+                duration_ms=8,
+                warmup_ms=2,
+            )
+        )
+        assert result.latency.percentile(50) < 10_000  # < 10 us
+
+
+class TestLineRateCap:
+    def test_cap_applies_exactly_at_the_nic_limit(self):
+        cal = Calibration()
+        workload = WORKLOAD_C.with_value_size(16384)
+        result = simulate(
+            SimulationConfig(
+                system="precursor",
+                workload=workload,
+                duration_ms=10,
+                warmup_ms=2,
+            )
+        )
+        costs = SystemCosts("precursor", cal, 1.0)
+        cap = cal.link_capacity_kops(costs.mean_server_bytes(16384))
+        assert result.kops == pytest.approx(cap, rel=0.01)
+
+    def test_mean_server_bytes_mix_weighted(self):
+        cal = Calibration()
+        read_only = SystemCosts("precursor", cal, 1.0).mean_server_bytes(1024)
+        write_only = SystemCosts("precursor", cal, 0.0).mean_server_bytes(1024)
+        mixed = SystemCosts("precursor", cal, 0.5).mean_server_bytes(1024)
+        assert min(read_only, write_only) <= mixed <= max(read_only, write_only)
+
+
+class TestQpCacheInSimulation:
+    def test_many_clients_increase_tail_latency(self):
+        """Past the QP cache, wire time gains stochastic misses."""
+        few = simulate(
+            SimulationConfig(
+                system="precursor",
+                workload=WORKLOAD_C,
+                clients=20,
+                duration_ms=10,
+                warmup_ms=2,
+            )
+        )
+        many = simulate(
+            SimulationConfig(
+                system="precursor",
+                workload=WORKLOAD_C,
+                clients=100,
+                duration_ms=10,
+                warmup_ms=2,
+            )
+        )
+        # With 100 clients at saturation, queueing + misses raise latency.
+        assert many.latency.percentile(90) > few.latency.percentile(90)
+
+
+class TestWorkloadParameterEffects:
+    def test_value_size_changes_client_crypto_time(self):
+        small = simulate(
+            SimulationConfig(
+                system="precursor",
+                workload=WorkloadSpec(
+                    name="w", read_fraction=0.0, value_size=64
+                ),
+                clients=4,
+                duration_ms=8,
+                warmup_ms=2,
+            )
+        )
+        large = simulate(
+            SimulationConfig(
+                system="precursor",
+                workload=WorkloadSpec(
+                    name="w", read_fraction=0.0, value_size=8192
+                ),
+                clients=4,
+                duration_ms=8,
+                warmup_ms=2,
+            )
+        )
+        # Client-side Salsa20+CMAC over 8 KiB adds ~10 us per op.
+        assert large.latency.mean() > small.latency.mean() + 5_000
+
+    def test_latency_recorded_only_after_warmup(self):
+        result = simulate(
+            SimulationConfig(
+                system="precursor",
+                workload=WORKLOAD_C,
+                clients=4,
+                duration_ms=8,
+                warmup_ms=2,
+            )
+        )
+        # Completions exist both sides of the warmup boundary.
+        assert result.operations > len(result.latency) > 0
+
+
+class TestOpCostInternals:
+    def test_precursor_put_critical_path_includes_pool_store(self):
+        cal = Calibration()
+        costs = SystemCosts("precursor", cal, 0.0)
+        small = costs.op_cost(OpCode.PUT, 64).server_crit_cycles
+        large = costs.op_cost(OpCode.PUT, 16384).server_crit_cycles
+        assert large > small  # the memcpy is pre-reply
+
+    def test_get_critical_path_excludes_polling(self):
+        cal = Calibration()
+        costs = SystemCosts("precursor", cal, 1.0)
+        cost = costs.op_cost(OpCode.GET, 64)
+        assert cost.server_crit_cycles < 0.3 * cost.server_total_cycles

@@ -1,0 +1,95 @@
+"""TCP transport model: framing, stream reassembly, and the cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net import TcpCostModel, TcpEndpoint, TcpFabric
+
+
+class TestFraming:
+    def test_send_recv_roundtrip(self):
+        fabric = TcpFabric()
+        client, server = fabric.connect("c", "s")
+        client.send(b"hello server")
+        assert server.recv() == b"hello server"
+
+    def test_messages_preserve_boundaries(self):
+        fabric = TcpFabric()
+        client, server = fabric.connect("c", "s")
+        client.send(b"one")
+        client.send(b"two")
+        client.send(b"three")
+        assert server.pending() == 3
+        assert [server.recv() for _ in range(3)] == [b"one", b"two", b"three"]
+
+    def test_bidirectional(self):
+        fabric = TcpFabric()
+        client, server = fabric.connect("c", "s")
+        client.send(b"ping")
+        server.recv()
+        server.send(b"pong")
+        assert client.recv() == b"pong"
+
+    def test_empty_message(self):
+        fabric = TcpFabric()
+        client, server = fabric.connect("c", "s")
+        client.send(b"")
+        assert server.recv() == b""
+
+    def test_recv_on_empty_returns_none(self):
+        fabric = TcpFabric()
+        _, server = fabric.connect("c", "s")
+        assert server.recv() is None
+
+    def test_unconnected_send_raises(self):
+        with pytest.raises(ProtocolError):
+            TcpEndpoint("loner").send(b"x")
+
+    def test_partial_stream_reassembly(self):
+        """Frames arriving byte-by-byte (TCP has no message boundaries)
+        must still reassemble into whole messages."""
+        fabric = TcpFabric()
+        client, server = fabric.connect("c", "s")
+        import struct
+
+        frame = struct.pack(">I", 5) + b"split"
+        for byte in frame:
+            server._rx_stream.append(byte)
+            server._drain_stream()
+        assert server.recv() == b"split"
+
+    def test_counters(self):
+        fabric = TcpFabric()
+        client, _ = fabric.connect("c", "s")
+        client.send(b"abcd")
+        assert client.messages_sent == 1
+        assert client.bytes_sent == 8  # 4-byte length prefix + payload
+
+
+class TestCostModel:
+    def test_one_way_latency_components(self):
+        model = TcpCostModel()
+        small = model.one_way_ns(32)
+        assert small >= (
+            model.send_syscall_ns
+            + 2 * model.kernel_processing_ns
+            + model.interrupt_wakeup_ns
+        )
+
+    def test_latency_grows_with_size(self):
+        model = TcpCostModel()
+        assert model.one_way_ns(65536) > model.one_way_ns(64)
+
+    def test_tcp_much_slower_than_rdma_for_small_messages(self):
+        """The paper attributes a ~26x latency reduction to RDMA (§5.4)."""
+        from repro.rdma import RNic
+
+        tcp = TcpCostModel().one_way_ns(64)
+        rdma = RNic().transfer_ns(64, inline=True)
+        assert 20 < tcp / rdma < 35
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            TcpCostModel(bandwidth_gbps=0)
+        with pytest.raises(ConfigurationError):
+            TcpCostModel().one_way_ns(-1)

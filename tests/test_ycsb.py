@@ -1,0 +1,187 @@
+"""YCSB workloads: specs, key choosers, streams, and the driver."""
+
+import pytest
+
+from repro.core import make_pair
+from repro.core.protocol import OpCode
+from repro.errors import ConfigurationError
+from repro.ycsb import (
+    UPDATE_MOSTLY,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    OperationStream,
+    UniformChooser,
+    WorkloadDriver,
+    WorkloadSpec,
+    ZipfianChooser,
+    make_value,
+)
+from repro.ycsb.generator import make_key
+
+
+class TestWorkloadSpecs:
+    def test_paper_mixes(self):
+        assert WORKLOAD_A.read_fraction == 0.50
+        assert WORKLOAD_B.read_fraction == 0.95
+        assert WORKLOAD_C.read_fraction == 1.00
+        assert UPDATE_MOSTLY.read_fraction == 0.05
+
+    def test_paper_defaults(self):
+        """600 k records, 32 B values, uniform distribution (§5.1/§5.2)."""
+        assert WORKLOAD_C.record_count == 600_000
+        assert WORKLOAD_C.value_size == 32
+        assert WORKLOAD_C.distribution == "uniform"
+
+    def test_with_value_size(self):
+        spec = WORKLOAD_C.with_value_size(4096)
+        assert spec.value_size == 4096
+        assert spec.read_fraction == 1.0
+
+    def test_with_record_count(self):
+        spec = WORKLOAD_C.with_record_count(3_000_000)
+        assert spec.record_count == 3_000_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", read_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", read_fraction=0.5, record_count=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", read_fraction=0.5, distribution="pareto")
+
+
+class TestKeyGeneration:
+    def test_keys_are_fixed_size_and_unique(self):
+        keys = {make_key(i) for i in range(1000)}
+        assert len(keys) == 1000
+        assert all(len(k) == 16 for k in keys)
+
+    def test_keys_deterministic(self):
+        assert make_key(42) == make_key(42)
+
+    def test_values_have_requested_size(self):
+        for size in (1, 16, 32, 1024, 16384):
+            assert len(make_value(3, size)) == size
+
+    def test_value_versions_differ(self):
+        assert make_value(3, 32, version=0) != make_value(3, 32, version=1)
+
+    def test_value_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_value(0, 0)
+
+
+class TestChoosers:
+    def test_uniform_covers_the_space(self):
+        chooser = UniformChooser(100, seed=1)
+        seen = {chooser.next_index() for _ in range(5000)}
+        assert len(seen) > 95
+
+    def test_uniform_is_roughly_flat(self):
+        chooser = UniformChooser(10, seed=2)
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[chooser.next_index()] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_zipfian_is_skewed(self):
+        chooser = ZipfianChooser(1000, seed=3)
+        counts = {}
+        for _ in range(20_000):
+            idx = chooser.next_index()
+            counts[idx] = counts.get(idx, 0) + 1
+        frequencies = sorted(counts.values(), reverse=True)
+        # The hottest key takes a disproportionate share.
+        assert frequencies[0] > 20_000 / 1000 * 10
+
+    def test_zipfian_indices_in_range(self):
+        chooser = ZipfianChooser(50, seed=4)
+        for _ in range(2000):
+            assert 0 <= chooser.next_index() < 50
+
+    def test_choosers_deterministic_by_seed(self):
+        a = [UniformChooser(100, seed=9).next_index() for _ in range(10)]
+        b = [UniformChooser(100, seed=9).next_index() for _ in range(10)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformChooser(0)
+        with pytest.raises(ConfigurationError):
+            ZipfianChooser(10, theta=1.5)
+
+
+class TestOperationStream:
+    def test_mix_fractions_approximate_spec(self):
+        spec = WorkloadSpec(name="t", read_fraction=0.7, record_count=100)
+        stream = OperationStream(spec, seed=5)
+        reads = sum(
+            1
+            for _ in range(4000)
+            if stream.next_operation()[0] is OpCode.GET
+        )
+        assert 0.65 < reads / 4000 < 0.75
+
+    def test_read_only_stream_has_no_updates(self):
+        stream = OperationStream(WORKLOAD_C.with_record_count(50), seed=1)
+        assert all(
+            stream.next_operation()[0] is OpCode.GET for _ in range(500)
+        )
+
+    def test_update_values_change_per_version(self):
+        spec = WorkloadSpec(name="t", read_fraction=0.0, record_count=1)
+        stream = OperationStream(spec, seed=1)
+        _, _, v1 = stream.next_operation()
+        _, _, v2 = stream.next_operation()
+        assert v1 != v2  # successive updates write new versions
+
+    def test_load_phase_covers_all_records(self):
+        spec = WorkloadSpec(name="t", read_fraction=1.0, record_count=200)
+        rows = list(OperationStream(spec, seed=1).load_phase())
+        assert len(rows) == 200
+        assert len({k for k, _ in rows}) == 200
+
+    def test_streams_deterministic_by_seed(self):
+        spec = WorkloadSpec(name="t", read_fraction=0.5, record_count=100)
+        ops_a = [OperationStream(spec, seed=7).next_operation() for _ in range(1)]
+        ops_b = [OperationStream(spec, seed=7).next_operation() for _ in range(1)]
+        assert ops_a == ops_b
+
+
+class TestDriver:
+    def test_driver_against_precursor(self):
+        _, client = make_pair(seed=6)
+        spec = WorkloadSpec(
+            name="small", read_fraction=0.5, record_count=30, value_size=16
+        )
+        driver = WorkloadDriver(client, spec, seed=6)
+        assert driver.load() == 30
+        result = driver.run(60)
+        assert result.operations == 60
+        assert result.reads + result.updates == 60
+        assert result.misses == 0  # all keys were pre-loaded
+        assert result.ops_per_second > 0
+
+    def test_driver_partial_load_produces_misses(self):
+        _, client = make_pair(seed=6)
+        spec = WorkloadSpec(
+            name="small", read_fraction=1.0, record_count=50, value_size=16
+        )
+        driver = WorkloadDriver(client, spec, seed=6)
+        driver.load(records=10)
+        result = driver.run(100)
+        assert result.misses > 0
+
+    def test_driver_requires_client_interface(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadDriver(object(), WORKLOAD_C)
+
+    def test_driver_rejects_zero_operations(self):
+        _, client = make_pair(seed=6)
+        driver = WorkloadDriver(
+            client,
+            WorkloadSpec(name="t", read_fraction=1.0, record_count=5),
+        )
+        with pytest.raises(ConfigurationError):
+            driver.run(0)
