@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard examples clean
+.PHONY: install test bench bench-quick scorecard examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,6 +21,17 @@ scorecard:
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done
+
+# Prefer ruff, fall back to pyflakes, fall back to a stdlib syntax pass.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		echo "lint: ruff"; $(PYTHON) -m ruff check src tests examples; \
+	elif $(PYTHON) -m pyflakes --version >/dev/null 2>&1; then \
+		echo "lint: pyflakes"; $(PYTHON) -m pyflakes src/repro tests examples; \
+	else \
+		echo "lint: compileall (ruff/pyflakes not installed)"; \
+		$(PYTHON) -m compileall -q src tests examples; \
+	fi
 
 clean:
 	rm -rf .pytest_cache .hypothesis bench_reports src/repro.egg-info

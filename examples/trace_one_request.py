@@ -1,0 +1,60 @@
+"""Trace one request end to end with the repro.obs subsystem.
+
+Starts an in-process Precursor server, runs one put() and one get(), and
+shows the three exporter views of the same instrumentation:
+
+1. the per-stage latency table for the traced get() — the Figure-8-style
+   breakdown for a *single live request*;
+2. one JSON-lines record (machine-readable, round-trippable);
+3. a slice of the Prometheus text exposition of the shared registry.
+
+Every top-level stage tiles the trace exactly: the durations (including the
+synthetic ``(untracked)`` gaps) sum to the end-to-end latency.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.client import PrecursorClient  # noqa: E402
+from repro.core.server import PrecursorServer  # noqa: E402
+from repro.obs import (  # noqa: E402
+    prometheus_text,
+    stage_latency_table,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.rdma.fabric import Fabric  # noqa: E402
+
+
+def main() -> None:
+    server = PrecursorServer(fabric=Fabric())
+    client = PrecursorClient(server)
+
+    client.put(b"user:42", b"a" * 128)
+    value = client.get(b"user:42")
+    assert value == b"a" * 128
+
+    trace = client.obs.tracer.last
+    print(stage_latency_table([trace], title="One traced get(), 128 B value"))
+
+    tops = trace.top_level_stages()
+    print(
+        f"\ntiling check: {len(tops)} top-level stages, "
+        f"sum {sum(s.duration_ns for s in tops)} ns "
+        f"== end-to-end {trace.total_ns} ns"
+    )
+
+    line = trace_to_json(trace)
+    print(f"\nJSON-lines record ({len(line)} bytes), round-trips exactly:")
+    back = trace_from_json(line)
+    print(f"  op={back.op} stages={back.stage_names()}")
+
+    print("\nPrometheus exposition (first 12 lines):")
+    for text_line in prometheus_text(server.obs.registry).splitlines()[:12]:
+        print(f"  {text_line}")
+
+
+if __name__ == "__main__":
+    main()

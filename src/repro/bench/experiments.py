@@ -17,6 +17,7 @@ from repro.bench.costs import SystemCosts
 from repro.bench.report import Series, format_table
 from repro.bench.simulation import SimulationConfig, SimulationResult, simulate
 from repro.core.protocol import OpCode
+from repro.obs import ManualClock, Tracer, stage_breakdown
 from repro.sim.stats import CdfPoint, ns_to_us
 from repro.ycsb.workload import (
     UPDATE_MOSTLY,
@@ -494,39 +495,72 @@ class Fig8Result:
         )
 
 
-def run_fig8(calibration: Calibration = None, quick: bool = False) -> Fig8Result:
-    """Regenerate Figure 8 analytically from the cost models."""
-    del quick  # analytic
-    cal = calibration if calibration is not None else Calibration()
+def fig8_traces(cal: Calibration, tracer: Tracer) -> None:
+    """Record one analytic get() trace per (system, value size) pair.
+
+    The tracer must run on a :class:`~repro.obs.clock.ManualClock`; each
+    stage advances it by the cost-model duration, so the resulting spans
+    carry exactly the analytic per-stage times.
+    """
+    clock = tracer.clock
     p_costs = SystemCosts("precursor", cal, read_fraction=1.0)
     ss_costs = SystemCosts("shieldstore", cal, read_fraction=1.0)
-    p_server, p_net, ss_server, ss_net = [], [], [], []
     for size in FIG8_SIZES:
         p = p_costs.op_cost(OpCode.GET, size)
-        ss = ss_costs.op_cost(OpCode.GET, size)
         p_cycles = p.server_total_cycles - cal.precursor_poll_overhead_cycles
-        p_server.append(ns_to_us(cal.server_cycles_to_ns(p_cycles)))
-        ss_server.append(
-            ns_to_us(cal.server_cycles_to_ns(ss.server_total_cycles))
-        )
-        p_net.append(
-            ns_to_us(
-                cal.client_nic.transfer_ns(p.request_bytes, inline=True)
-                + cal.server_nic.transfer_ns(p.response_bytes, inline=False)
-            )
-        )
-        ss_net.append(
-            ns_to_us(
-                cal.tcp.one_way_ns(ss.request_bytes)
-                + cal.tcp.one_way_ns(ss.response_bytes)
-            )
-        )
+        with tracer.start("get", system="precursor", value_size=size) as trace:
+            with trace.stage("server"):
+                clock.advance(int(round(cal.server_cycles_to_ns(p_cycles))))
+            with trace.stage("network"):
+                clock.advance(
+                    cal.client_nic.transfer_ns(p.request_bytes, inline=True)
+                    + cal.server_nic.transfer_ns(
+                        p.response_bytes, inline=False
+                    )
+                )
+        ss = ss_costs.op_cost(OpCode.GET, size)
+        with tracer.start(
+            "get", system="shieldstore", value_size=size
+        ) as trace:
+            with trace.stage("server"):
+                clock.advance(
+                    int(round(cal.server_cycles_to_ns(ss.server_total_cycles)))
+                )
+            with trace.stage("network"):
+                clock.advance(
+                    cal.tcp.one_way_ns(ss.request_bytes)
+                    + cal.tcp.one_way_ns(ss.response_bytes)
+                )
+
+
+def run_fig8(calibration: Calibration = None, quick: bool = False) -> Fig8Result:
+    """Regenerate Figure 8 analytically, routed through ``repro.obs``.
+
+    Each (system, value size) pair is recorded as one span-based trace on a
+    manual clock (see :func:`fig8_traces`); the breakdown columns are then
+    read back from :func:`~repro.obs.exporters.stage_breakdown` rather than
+    private bookkeeping, so the figure exercises the same pipeline as live
+    request traces.
+    """
+    del quick  # analytic
+    cal = calibration if calibration is not None else Calibration()
+    tracer = Tracer(clock=ManualClock())
+    fig8_traces(cal, tracer)
+    breakdown = stage_breakdown(
+        tracer.finished, group_by=("system", "value_size")
+    )
+
+    def column(system: str, stage: str) -> List[float]:
+        return [
+            ns_to_us(breakdown[(system, size)][stage]) for size in FIG8_SIZES
+        ]
+
     return Fig8Result(
         sizes=FIG8_SIZES,
-        precursor_server_us=p_server,
-        precursor_network_us=p_net,
-        shieldstore_server_us=ss_server,
-        shieldstore_network_us=ss_net,
+        precursor_server_us=column("precursor", "server"),
+        precursor_network_us=column("precursor", "network"),
+        shieldstore_server_us=column("shieldstore", "server"),
+        shieldstore_network_us=column("shieldstore", "network"),
     )
 
 

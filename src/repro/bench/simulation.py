@@ -27,13 +27,15 @@ model per-packet link arbitration, so the cap is analytic).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.bench.calibration import Calibration
 from repro.bench.costs import SystemCosts
 from repro.core.protocol import OpCode
 from repro.errors import ConfigurationError
+from repro.obs import ObsContext
+from repro.rdma.nic import NicMeter
 from repro.sim import LatencyRecorder, Simulator, Store, ThroughputMeter
 from repro.ycsb.workload import WorkloadSpec
 
@@ -53,6 +55,9 @@ class SimulationConfig:
     #: Keys resident in the store (drives EPC paging for Precursor).
     loaded_keys: int = 600_000
     calibration: Calibration = field(default_factory=Calibration)
+    #: Record latencies into a bounded log-linear histogram instead of an
+    #: unbounded sample list (million-op runs; see repro.sim.stats).
+    bounded_latency: bool = False
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -88,14 +93,41 @@ def _epc_fault_probability(config: SimulationConfig) -> float:
     return cal.epc.fault_probability(int(working_set))
 
 
-def simulate(config: SimulationConfig) -> SimulationResult:
-    """Run one experiment and return throughput + latency."""
+def simulate(
+    config: SimulationConfig, obs: ObsContext = None
+) -> SimulationResult:
+    """Run one experiment and return throughput + latency.
+
+    Pass an :class:`~repro.obs.ObsContext` to export the run's engine
+    counters (simulated clock, events), per-NIC transfer totals, operation
+    counts and a latency histogram into its metrics registry.
+    """
     cal = config.calibration
     costs = SystemCosts(config.system, cal, config.workload.read_fraction)
     rng = random.Random(config.seed)
     sim = Simulator()
     meter = ThroughputMeter()
-    latency = LatencyRecorder()
+    latency = LatencyRecorder(bounded=config.bounded_latency)
+
+    client_nic, server_nic = cal.client_nic, cal.server_nic
+    obs_ops = obs_latency = obs_faults = None
+    if obs is not None:
+        registry = obs.registry
+        sim.bind_obs(registry)
+        client_meter, server_meter = NicMeter(), NicMeter()
+        client_meter.bind_obs(registry, {"nic": "client"})
+        server_meter.bind_obs(registry, {"nic": "server"})
+        client_nic = replace(client_nic, meter=client_meter)
+        server_nic = replace(server_nic, meter=server_meter)
+        obs_ops = registry.counter(
+            "sim_operations_total", "operations completed", {"system": config.system}
+        )
+        obs_latency = registry.histogram(
+            "sim_latency_ns", "end-to-end operation latency", {"system": config.system}
+        )
+        obs_faults = registry.counter(
+            "sim_epc_faults_total", "EPC faults charged", {"system": config.system}
+        )
 
     # ShieldStore's request processing is effectively serialised by its
     # Merkle root (see Calibration.shieldstore_parallelism).
@@ -140,7 +172,7 @@ def simulate(config: SimulationConfig) -> SimulationResult:
             if rng.random() < cal.tcp_tail_probability:
                 base += int(rng.expovariate(1.0 / cal.tcp_tail_mean_ns))
             return base
-        nic = cal.client_nic if to_server else cal.server_nic
+        nic = client_nic if to_server else server_nic
         return nic.transfer_ns(nbytes, inline=nbytes <= nic.max_inline)
 
     def client_proc(client_index: int):
@@ -168,9 +200,13 @@ def simulate(config: SimulationConfig) -> SimulationResult:
             # client_cycles for symmetry; charge a fixed small receive path).
             yield sim.timeout(300)
             total_ops += 1
+            if obs_ops is not None:
+                obs_ops.inc()
             if sim.now >= warmup_ns:
                 meter.record_completion()
                 latency.record(sim.now - start)
+                if obs_latency is not None:
+                    obs_latency.record(sim.now - start)
 
     def server_thread(thread_index: int):
         nonlocal epc_faults
@@ -189,6 +225,8 @@ def simulate(config: SimulationConfig) -> SimulationResult:
                 if rng.random() < cal.epc_second_fault_probability:
                     faults += 1
                 epc_faults += faults
+                if obs_faults is not None:
+                    obs_faults.inc(faults)
                 extra_ns += faults * fault_ns
             if rng.random() < cal.tail_probability:
                 extra_ns += rng.expovariate(1.0 / cal.tail_mean_ns)

@@ -9,6 +9,12 @@ Usage::
 
 Each command prints the paper-style report (and optionally writes it to a
 file); ``all`` runs every artifact in sequence.
+
+Observability commands (see docs/OBSERVABILITY.md)::
+
+    python -m repro.cli trace                # per-stage table for one get()
+    python -m repro.cli trace --op put --json
+    python -m repro.cli metrics              # Prometheus text exposition
 """
 
 from __future__ import annotations
@@ -65,6 +71,66 @@ def _run_one(
     return text
 
 
+def _obs_workload(op: str, value_size: int, ops: int):
+    """Run a small in-process workload; return (client, traced ops)."""
+    from repro.core.client import PrecursorClient
+    from repro.core.server import PrecursorServer
+    from repro.rdma.fabric import Fabric
+
+    server = PrecursorServer(fabric=Fabric())
+    client = PrecursorClient(server)
+    value = bytes(value_size)
+    for i in range(ops):
+        key = b"key-%04d" % i
+        client.put(key, value)
+        if op == "get":
+            client.get(key)
+        elif op == "delete":
+            client.delete(key)
+    return client
+
+
+def run_trace(
+    op: str = "get",
+    value_size: int = 128,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> str:
+    """One traced operation against an in-process server; render it."""
+    from repro.obs.exporters import stage_latency_table, traces_to_json_lines
+
+    client = _obs_workload(op, value_size, ops=1)
+    traces = [t for t in client.obs.tracer.finished if t.op == op]
+    if as_json:
+        text = traces_to_json_lines(traces)
+    else:
+        text = stage_latency_table(
+            traces, title=f"Per-stage latency: {op}({value_size} B value)"
+        )
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        suffix = "jsonl" if as_json else "txt"
+        (out_dir / f"trace.{suffix}").write_text(text + "\n")
+    return text
+
+
+def run_metrics(
+    op: str = "get",
+    value_size: int = 128,
+    ops: int = 32,
+    out_dir: pathlib.Path = None,
+) -> str:
+    """Short in-process workload; dump the metrics registry."""
+    from repro.obs.exporters import prometheus_text
+
+    client = _obs_workload(op, value_size, ops=ops)
+    text = prometheus_text(client.obs.registry)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "metrics.prom").write_text(text)
+    return text.rstrip("\n")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -76,9 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_RUNNERS) + ["all", "list", "scorecard"],
+        choices=sorted(_RUNNERS) + ["all", "list", "scorecard", "trace", "metrics"],
         help="which figure/table to regenerate ('all' for everything, "
-        "'list' to enumerate, 'scorecard' for pass/fail vs the paper)",
+        "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
+        "'trace'/'metrics' to exercise the observability subsystem)",
     )
     parser.add_argument(
         "--quick",
@@ -98,6 +165,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --out: additionally write DIR/<artifact>.csv "
         "(plot-ready data)",
     )
+    obs = parser.add_argument_group("observability (trace/metrics only)")
+    obs.add_argument(
+        "--op",
+        choices=["get", "put", "delete"],
+        default="get",
+        help="operation to trace (default: get)",
+    )
+    obs.add_argument(
+        "--value-size",
+        type=int,
+        default=128,
+        metavar="BYTES",
+        help="payload size for the traced operation (default: 128)",
+    )
+    obs.add_argument(
+        "--ops",
+        type=int,
+        default=32,
+        metavar="N",
+        help="workload size for the 'metrics' command (default: 32)",
+    )
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        help="with 'trace': emit JSON lines instead of the stage table",
+    )
     return parser
 
 
@@ -108,6 +201,34 @@ def main(argv=None) -> int:
         for name in sorted(_RUNNERS):
             print(f"{name:8s} {_DESCRIPTIONS[name]}")
         print("scorecard  pass/fail verdict on every paper claim")
+        print("trace      per-stage span breakdown of one live operation")
+        print("metrics    Prometheus-style dump of the metrics registry")
+        return 0
+    if args.artifact in ("trace", "metrics") and args.value_size < 0:
+        print(
+            f"error: --value-size must be non-negative, got {args.value_size}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.artifact == "trace":
+        print(
+            run_trace(
+                op=args.op,
+                value_size=args.value_size,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        )
+        return 0
+    if args.artifact == "metrics":
+        print(
+            run_metrics(
+                op=args.op,
+                value_size=args.value_size,
+                ops=args.ops,
+                out_dir=args.out,
+            )
+        )
         return 0
     if args.artifact == "scorecard":
         from repro.bench.scorecard import run_scorecard

@@ -42,6 +42,7 @@ from repro.errors import (
     ProtocolError,
     ReplayError,
 )
+from repro.obs import ObsContext, Trace
 from repro.rdma.memory import AccessFlags
 from repro.rdma.verbs import Opcode as RdmaOpcode
 from repro.rdma.verbs import WorkRequest
@@ -78,6 +79,14 @@ class PrecursorClient:
         the reply ring up to this many seconds -- the mode used against a
         threaded server (:class:`~repro.core.threading.ServerThreadPool`),
         where another thread fills the ring.
+    obs:
+        Observability context to trace operations into; defaults to the
+        *server's* context so client- and server-side stages of one
+        operation land in the same trace (``docs/OBSERVABILITY.md``).
+    trace_ops:
+        When True (default), every single-key ``get``/``put``/``delete``
+        records an end-to-end span trace.  Disable for micro-benchmarks
+        that cannot afford the few clock reads per operation.
     """
 
     def __init__(
@@ -88,8 +97,12 @@ class PrecursorClient:
         auto_pump: bool = True,
         expected_measurement: Optional[bytes] = None,
         response_timeout_s: Optional[float] = None,
+        obs: Optional[ObsContext] = None,
+        trace_ops: bool = True,
     ):
         self.response_timeout_s = response_timeout_s
+        self.obs = obs if obs is not None else server.obs
+        self._trace_ops = trace_ops
         self.client_id = client_id if client_id is not None else next(_client_ids)
         self.keygen = keygen if keygen is not None else KeyGenerator()
         self.provider = CryptoProvider(self.keygen)
@@ -255,6 +268,22 @@ class PrecursorClient:
             reply_credit=self._reply_consumer.consumed,
         )
 
+    # -- tracing ---------------------------------------------------------------
+
+    def _start_trace(self, op: str) -> Optional[Trace]:
+        """Begin an end-to-end span trace for one operation.
+
+        Returns None when tracing is disabled or a trace is already active
+        (batched operations interleave submissions and replies, so only
+        single-key operations are traced per-op).
+        """
+        if not self._trace_ops:
+            return None
+        tracer = self.obs.tracer
+        if tracer.current is not None:
+            return None
+        return tracer.start(op, client_id=self.client_id)
+
     # -- key-value API --------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
@@ -265,21 +294,34 @@ class PrecursorClient:
         to the sealed control data.
         """
         self._check_key(key)
-        k_operation = self.keygen.operation_key()
-        payload = self.provider.payload_encrypt(k_operation, value)
-        control = self._next_control(OpCode.PUT, key, k_operation)
-        request = self._seal_control(control)
-        request = Request(
-            client_id=request.client_id,
-            sealed_control=request.sealed_control,
-            payload=payload,
-            reply_credit=request.reply_credit,
-        )
-        self._submit(request)
-        self.operations += 1
-        control_resp = self._open_response(self._await_response())
-        if control_resp.status is not Status.OK:
-            raise PrecursorError(f"put failed: {control_resp.status.name}")
+        trace = self._start_trace("put")
+        try:
+            with self.obs.tracer.stage("client.encrypt_payload"):
+                k_operation = self.keygen.operation_key()
+                payload = self.provider.payload_encrypt(k_operation, value)
+            with self.obs.tracer.stage("client.seal_request"):
+                control = self._next_control(OpCode.PUT, key, k_operation)
+                request = self._seal_control(control)
+                request = Request(
+                    client_id=request.client_id,
+                    sealed_control=request.sealed_control,
+                    payload=payload,
+                    reply_credit=request.reply_credit,
+                )
+            with self.obs.tracer.stage("client.rdma_write"):
+                self._submit(request)
+            self.operations += 1
+            response = self._await_response()
+            with self.obs.tracer.stage("client.open_response"):
+                control_resp = self._open_response(response)
+            if control_resp.status is not Status.OK:
+                raise PrecursorError(f"put failed: {control_resp.status.name}")
+        except BaseException:
+            if trace is not None:
+                trace.abort()
+            raise
+        if trace is not None:
+            trace.finish()
 
     def get(self, key: bytes) -> bytes:
         """Fetch and verify the value stored under ``key``.
@@ -290,43 +332,74 @@ class PrecursorClient:
         untrusted memory raises :class:`IntegrityError` here.
         """
         self._check_key(key)
-        control = self._next_control(OpCode.GET, key)
-        self._submit(self._seal_control(control))
-        self.operations += 1
-        response = self._await_response()
-        control_resp = self._open_response(response)
-        if control_resp.status is Status.NOT_FOUND:
-            raise KeyNotFoundError(key)
-        if control_resp.status is not Status.OK:
-            raise PrecursorError(f"get failed: {control_resp.status.name}")
-        if response.payload is None or control_resp.k_operation is None:
-            raise ProtocolError("GET response missing payload or key material")
-        payload = response.payload
-        if control_resp.mac is not None:
-            # Strict-integrity mode (§3.9): the MAC bound inside the sealed
-            # channel overrides whatever sits in untrusted memory.
-            payload = EncryptedPayload(
-                ciphertext=payload.ciphertext, mac=control_resp.mac
-            )
+        trace = self._start_trace("get")
         try:
-            return self.provider.payload_decrypt(
-                control_resp.k_operation, payload
-            )
-        except IntegrityError:
-            self.integrity_failures += 1
+            with self.obs.tracer.stage("client.seal_request"):
+                control = self._next_control(OpCode.GET, key)
+                request = self._seal_control(control)
+            with self.obs.tracer.stage("client.rdma_write"):
+                self._submit(request)
+            self.operations += 1
+            response = self._await_response()
+            with self.obs.tracer.stage("client.open_response"):
+                control_resp = self._open_response(response)
+            if control_resp.status is Status.NOT_FOUND:
+                raise KeyNotFoundError(key)
+            if control_resp.status is not Status.OK:
+                raise PrecursorError(f"get failed: {control_resp.status.name}")
+            if response.payload is None or control_resp.k_operation is None:
+                raise ProtocolError(
+                    "GET response missing payload or key material"
+                )
+            payload = response.payload
+            if control_resp.mac is not None:
+                # Strict-integrity mode (§3.9): the MAC bound inside the
+                # sealed channel overrides whatever sits in untrusted memory.
+                payload = EncryptedPayload(
+                    ciphertext=payload.ciphertext, mac=control_resp.mac
+                )
+            try:
+                with self.obs.tracer.stage("client.verify_decrypt"):
+                    value = self.provider.payload_decrypt(
+                        control_resp.k_operation, payload
+                    )
+            except IntegrityError:
+                self.integrity_failures += 1
+                raise
+        except BaseException:
+            if trace is not None:
+                trace.abort()
             raise
+        if trace is not None:
+            trace.finish()
+        return value
 
     def delete(self, key: bytes) -> None:
         """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""
         self._check_key(key)
-        control = self._next_control(OpCode.DELETE, key)
-        self._submit(self._seal_control(control))
-        self.operations += 1
-        control_resp = self._open_response(self._await_response())
-        if control_resp.status is Status.NOT_FOUND:
-            raise KeyNotFoundError(key)
-        if control_resp.status is not Status.OK:
-            raise PrecursorError(f"delete failed: {control_resp.status.name}")
+        trace = self._start_trace("delete")
+        try:
+            with self.obs.tracer.stage("client.seal_request"):
+                control = self._next_control(OpCode.DELETE, key)
+                request = self._seal_control(control)
+            with self.obs.tracer.stage("client.rdma_write"):
+                self._submit(request)
+            self.operations += 1
+            response = self._await_response()
+            with self.obs.tracer.stage("client.open_response"):
+                control_resp = self._open_response(response)
+            if control_resp.status is Status.NOT_FOUND:
+                raise KeyNotFoundError(key)
+            if control_resp.status is not Status.OK:
+                raise PrecursorError(
+                    f"delete failed: {control_resp.status.name}"
+                )
+        except BaseException:
+            if trace is not None:
+                trace.abort()
+            raise
+        if trace is not None:
+            trace.finish()
 
     # -- batched operations ----------------------------------------------------
 

@@ -49,6 +49,7 @@ from repro.errors import (
     ReplayError,
 )
 from repro.htable import ReadWriteLock, RobinHoodTable
+from repro.obs import ObsContext
 from repro.rdma.fabric import Fabric
 from repro.rdma.memory import AccessFlags, MemoryRegion
 from repro.rdma.qp import QueuePair
@@ -164,6 +165,7 @@ class PrecursorServer:
         fabric: Fabric = None,
         config: ServerConfig = None,
         keygen: KeyGenerator = None,
+        obs: ObsContext = None,
     ):
         self.fabric = fabric if fabric is not None else Fabric()
         self.config = config if config is not None else ServerConfig()
@@ -171,11 +173,36 @@ class PrecursorServer:
         self.pd = self.fabric.add_host(self.HOST_NAME)
         self.provider = CryptoProvider(keygen)
 
+        #: Shared observability context (tracer + metrics registry).  The
+        #: fabric, the enclave and every attached client record into it.
+        self.obs = obs if obs is not None else ObsContext.create()
+        self.fabric.bind_obs(self.obs.registry)
+
         cfg = self.config
         self.enclave = Enclave(
             name="precursor",
             code_size_bytes=cfg.code_size_bytes,
             stack_size_bytes=cfg.stack_size_bytes,
+        )
+        self.enclave.bind_obs(self.obs.registry)
+        registry = self.obs.registry
+        self._obs_requests = {
+            OpCode.PUT: registry.counter(
+                "server_requests_total", "requests handled", {"op": "put"}
+            ),
+            OpCode.GET: registry.counter(
+                "server_requests_total", "requests handled", {"op": "get"}
+            ),
+            OpCode.DELETE: registry.counter(
+                "server_requests_total", "requests handled", {"op": "delete"}
+            ),
+        }
+        self._obs_rejects = registry.counter(
+            "server_rejected_requests_total",
+            "frames dropped for auth/replay/protocol reasons",
+        )
+        self._obs_handle_ns = registry.histogram(
+            "server_handle_ns", "per-frame trusted handling time"
         )
         self.enclave.allocator.allocate(cfg.misc_trusted_bytes, "misc")
         self.enclave.register_ecall("init_hashtable", self._ecall_init_hashtable)
@@ -359,26 +386,38 @@ class PrecursorServer:
     # -- request handling (trusted side) ------------------------------------
 
     def _handle_frame(self, channel: _ClientChannel, frame: bytes) -> None:
+        clock = self.obs.tracer.clock
+        entered_ns = clock.now_ns()
+        try:
+            self._handle_frame_inner(channel, frame)
+        finally:
+            self._obs_handle_ns.record(max(0, clock.now_ns() - entered_ns))
+
+    def _handle_frame_inner(self, channel: _ClientChannel, frame: bytes) -> None:
         try:
             request = Request.decode(frame)
         except ProtocolError:
             self.stats.protocol_errors += 1
+            self._obs_rejects.inc()
             return
         if request.client_id != channel.client_id:
             # A client cannot speak for another: its frames arrive only in
             # its own ring, so a mismatched id is a protocol violation.
             self.stats.protocol_errors += 1
+            self._obs_rejects.inc()
             return
         channel.reply_producer.credit_update(request.reply_credit)
 
         session = self._sessions[channel.client_id]
         aad = struct.pack(">I", channel.client_id)
         try:
-            control_blob = self.provider.transport_open(
-                session.key, request.sealed_control, aad=aad
-            )
+            with self.obs.tracer.stage("server.unseal_control"):
+                control_blob = self.provider.transport_open(
+                    session.key, request.sealed_control, aad=aad
+                )
         except AuthenticationError:
             self.stats.auth_failures += 1
+            self._obs_rejects.inc()
             return  # unauthenticated -> drop silently
         self._process_control_blob(channel, control_blob, request)
 
@@ -394,18 +433,23 @@ class PrecursorServer:
             control = ControlData.decode(control_blob)
         except ProtocolError:
             self.stats.protocol_errors += 1
+            self._obs_rejects.inc()
             return
 
         try:
             self._replay.check_and_advance(channel.client_id, control.oid)
         except ReplayError:
             self.stats.replay_rejections += 1
+            self._obs_rejects.inc()
             self._send_response(
                 channel,
                 ResponseControl(status=Status.REPLAY, oid=control.oid),
             )
             return
 
+        counter = self._obs_requests.get(control.opcode)
+        if counter is not None:
+            counter.inc()
         if control.opcode is OpCode.PUT:
             self._handle_put(channel, control, request.payload)
         elif control.opcode is OpCode.GET:
@@ -431,15 +475,18 @@ class PrecursorServer:
             cfg.inline_small_values
             and payload.size() <= cfg.inline_threshold
         )
-        if inline:
-            ptr = None
-            inline_payload = payload.ciphertext + payload.mac
-            self.enclave.allocator.allocate(len(inline_payload), "inline_values")
-            self.stats.inline_stores += 1
-        else:
-            # Payload bytes go to the untrusted pool -- never the enclave.
-            ptr = self.payload_store.store(payload.ciphertext + payload.mac)
-            inline_payload = None
+        with self.obs.tracer.stage("server.payload_store"):
+            if inline:
+                ptr = None
+                inline_payload = payload.ciphertext + payload.mac
+                self.enclave.allocator.allocate(
+                    len(inline_payload), "inline_values"
+                )
+                self.stats.inline_stores += 1
+            else:
+                # Payload bytes go to the untrusted pool -- never the enclave.
+                ptr = self.payload_store.store(payload.ciphertext + payload.mac)
+                inline_payload = None
         entry = _Entry(
             k_operation=control.k_operation,
             ptr=ptr,
@@ -447,7 +494,8 @@ class PrecursorServer:
             mac=payload.mac if cfg.strict_integrity else None,
             inline_payload=inline_payload,
         )
-        with self._table_lock.write():
+        with self.obs.tracer.stage("server.table_update"), \
+                self._table_lock.write():
             table = self._ensure_table()
             try:
                 old = table.get(control.key)
@@ -505,7 +553,8 @@ class PrecursorServer:
 
     def _handle_get(self, channel: _ClientChannel, control: ControlData) -> None:
         self.stats.gets += 1
-        with self._table_lock.read():
+        with self.obs.tracer.stage("server.table_lookup"), \
+                self._table_lock.read():
             table = self._table
             entry: Optional[_Entry]
             if table is None:
@@ -550,7 +599,8 @@ class PrecursorServer:
 
     def _handle_delete(self, channel: _ClientChannel, control: ControlData) -> None:
         self.stats.deletes += 1
-        with self._table_lock.write():
+        with self.obs.tracer.stage("server.table_update"), \
+                self._table_lock.write():
             table = self._table
             entry = None
             if table is not None:
@@ -588,9 +638,13 @@ class PrecursorServer:
     ) -> None:
         session = self._sessions[channel.client_id]
         aad = b"resp" + struct.pack(">I", channel.client_id)
-        sealed = self.provider.transport_seal(session, control.encode(), aad=aad)
-        response = Response(sealed_control=sealed, payload=payload)
-        channel.reply_producer.produce(response.encode())
+        with self.obs.tracer.stage("server.seal_reply"):
+            sealed = self.provider.transport_seal(
+                session, control.encode(), aad=aad
+            )
+            response = Response(sealed_control=sealed, payload=payload)
+        with self.obs.tracer.stage("server.reply_write"):
+            channel.reply_producer.produce(response.encode())
 
     # -- trusted memory accounting -----------------------------------------
 

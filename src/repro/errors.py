@@ -63,3 +63,12 @@ class EnclaveError(PrecursorError):
 
 class SimulationError(PrecursorError):
     """The discrete-event simulator was driven into an invalid state."""
+
+
+class ObservabilityError(PrecursorError):
+    """The tracing/metrics subsystem was used incorrectly.
+
+    Raised on span-protocol violations (closing stages out of order,
+    finishing a trace with open stages) and invalid metric definitions
+    (type conflicts, negative counter increments, bad histogram bounds).
+    """

@@ -1,0 +1,54 @@
+"""``repro.obs``: unified tracing and metrics across every layer.
+
+The subsystem has three parts (see ``docs/OBSERVABILITY.md``):
+
+- **spans** (:mod:`repro.obs.span`): a :class:`Tracer` follows one
+  operation end to end -- client key-gen/encrypt, RDMA write, enclave
+  processing, reply, client MAC verify -- as named stages whose top-level
+  durations tile the end-to-end latency exactly;
+- **metrics** (:mod:`repro.obs.metrics`): a :class:`MetricsRegistry` of
+  counters, gauges and bounded log-linear histograms, bound lazily by the
+  core/RDMA/SGX/sim layers;
+- **exporters** (:mod:`repro.obs.exporters`): JSON-lines traces,
+  Prometheus text exposition, and human-readable stage tables, surfaced
+  through ``python -m repro.cli trace`` / ``python -m repro.cli metrics``.
+"""
+
+from repro.obs.clock import Clock, ManualClock, SimClock, WallClock
+from repro.obs.context import ObsContext
+from repro.obs.exporters import (
+    lint_prometheus,
+    prometheus_text,
+    stage_breakdown,
+    stage_latency_table,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+    traces_to_json_lines,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.span import Stage, Trace, Tracer, UNTRACKED_STAGE
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "SimClock",
+    "ManualClock",
+    "ObsContext",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Stage",
+    "Trace",
+    "Tracer",
+    "UNTRACKED_STAGE",
+    "trace_to_dict",
+    "trace_to_json",
+    "traces_to_json_lines",
+    "trace_from_json",
+    "prometheus_text",
+    "lint_prometheus",
+    "stage_latency_table",
+    "stage_breakdown",
+]

@@ -1,0 +1,32 @@
+"""The observability context: one tracer + one registry, threaded everywhere.
+
+An :class:`ObsContext` is the single object the ISSUE's "cross-layer"
+requirement refers to: the server creates (or receives) one, shares it with
+the enclave, the RDMA fabric and its clients, and every layer records into
+the same tracer/registry pair.  Experiments that want isolated measurement
+construct their own context; components that were never given one fall
+back to cheap no-op behavior (``tracer.stage`` with no active trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.clock import Clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+
+__all__ = ["ObsContext"]
+
+
+@dataclass
+class ObsContext:
+    """Bundle of the tracing and metrics sinks shared across layers."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def create(cls, clock: Clock = None, trace_capacity: int = 256) -> "ObsContext":
+        """Build a fresh context, optionally on a specific clock."""
+        return cls(tracer=Tracer(clock=clock, capacity=trace_capacity))

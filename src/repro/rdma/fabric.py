@@ -38,6 +38,35 @@ class Fabric:
         self.ops_executed = 0
         self.bytes_moved = 0
         self._faults_pending = 0
+        self._obs = None
+
+    def bind_obs(self, registry) -> None:
+        """Export verb counts, bytes moved, and CQ depth into ``registry``.
+
+        Idempotent; the per-verb counters are created lazily on first use
+        so only opcodes actually posted appear in the exposition.
+        """
+        self._obs = registry
+
+    def _record_obs(self, wr: WorkRequest, qp: QueuePair, ok: bool) -> None:
+        registry = self._obs
+        if registry is None:
+            return
+        verb = wr.opcode.name.lower()
+        registry.counter(
+            "rdma_verbs_total", "work requests posted", {"verb": verb}
+        ).inc()
+        if ok:
+            registry.counter(
+                "rdma_bytes_total", "payload bytes moved by the fabric"
+            ).inc(wr.byte_len)
+        else:
+            registry.counter(
+                "rdma_verb_errors_total", "work requests completed in error"
+            ).inc()
+        registry.gauge(
+            "rdma_send_cq_depth", "completions waiting in the send CQ"
+        ).set(len(qp.send_cq))
 
     def inject_faults(self, count: int = 1) -> None:
         """Make the next ``count`` operations fail (link flap / NIC error).
@@ -119,6 +148,7 @@ class Fabric:
                     byte_len=len(result) if wr.opcode is Opcode.RDMA_READ else wr.byte_len,
                 )
             )
+        self._record_obs(wr, qp, ok=status == "success")
         if status != "success":
             raise AccessError(status)
         if wr.opcode is Opcode.RDMA_READ:

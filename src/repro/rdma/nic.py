@@ -15,11 +15,45 @@ Two effects drive the paper's network numbers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 
-__all__ = ["RNic", "QpCacheModel"]
+__all__ = ["RNic", "NicMeter", "QpCacheModel"]
+
+
+class NicMeter:
+    """Mutable transfer accounting attachable to a (frozen) :class:`RNic`.
+
+    The timing model itself is immutable; simulations that want per-NIC
+    byte/transfer metrics attach a meter and optionally bind it to a
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    __slots__ = ("transfers", "bytes", "_obs_transfers", "_obs_bytes")
+
+    def __init__(self) -> None:
+        self.transfers = 0
+        self.bytes = 0
+        self._obs_transfers = None
+        self._obs_bytes = None
+
+    def bind_obs(self, registry, labels: dict = None) -> None:
+        """Mirror transfer counts/bytes into shared ``nic_*`` metrics."""
+        self._obs_transfers = registry.counter(
+            "nic_transfers_total", "messages timed by this NIC model", labels
+        )
+        self._obs_bytes = registry.counter(
+            "nic_bytes_total", "bytes timed by this NIC model", labels
+        )
+
+    def record(self, nbytes: int) -> None:
+        """Count one transfer of ``nbytes``."""
+        self.transfers += 1
+        self.bytes += nbytes
+        if self._obs_transfers is not None:
+            self._obs_transfers.inc()
+            self._obs_bytes.inc(nbytes)
 
 
 @dataclass(frozen=True)
@@ -34,6 +68,8 @@ class RNic:
     dma_read_ns: int = 250
     #: Largest inline payload (bytes); 912 on the paper's machines.
     max_inline: int = 912
+    #: Optional mutable transfer accounting (excluded from eq/hash).
+    meter: NicMeter = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.bandwidth_gbps <= 0:
@@ -53,6 +89,8 @@ class RNic:
         latency = self.base_latency_ns + self.serialization_ns(nbytes)
         if not inline:
             latency += self.dma_read_ns
+        if self.meter is not None:
+            self.meter.record(nbytes)
         return int(round(latency))
 
     def line_rate_mbps(self) -> float:

@@ -38,6 +38,11 @@ class TrustedAllocator:
     def __init__(self) -> None:
         self._by_tag: Dict[str, int] = {}
         self.total_bytes = 0
+        self._on_change: Callable[[int], None] = None
+
+    def _notify(self) -> None:
+        if self._on_change is not None:
+            self._on_change(self.total_bytes)
 
     def allocate(self, nbytes: int, tag: str) -> None:
         """Commit ``nbytes`` of trusted memory under ``tag``."""
@@ -45,6 +50,7 @@ class TrustedAllocator:
             raise EnclaveError(f"negative allocation: {nbytes}")
         self._by_tag[tag] = self._by_tag.get(tag, 0) + nbytes
         self.total_bytes += nbytes
+        self._notify()
 
     def free(self, nbytes: int, tag: str) -> None:
         """Release ``nbytes`` previously allocated under ``tag``."""
@@ -55,6 +61,7 @@ class TrustedAllocator:
             )
         self._by_tag[tag] = held - nbytes
         self.total_bytes -= nbytes
+        self._notify()
 
     def bytes_for(self, tag: str) -> int:
         """Bytes currently allocated under ``tag``."""
@@ -100,6 +107,33 @@ class Enclave:
         self.measurement = hashlib.sha256(
             f"enclave:{name}:{code_size_bytes}".encode()
         ).digest()
+
+    # -- observability -----------------------------------------------------
+
+    def bind_obs(self, registry) -> None:
+        """Publish this enclave's boundary and memory state into ``registry``.
+
+        Wires ecall/ocall/EPC-fault counters (via the shared
+        :class:`TransitionAccounting`) plus live gauges of the trusted
+        working set -- the same numbers the sgx-perf census of Table 1
+        reads, now continuously exported.
+        """
+        labels = {"enclave": self.name}
+        self.transitions.bind_obs(registry, labels)
+        bytes_gauge = registry.gauge(
+            "enclave_trusted_bytes", "trusted heap + code + stack bytes", labels
+        )
+        pages_gauge = registry.gauge(
+            "enclave_trusted_pages", "EPC pages committed (4 KiB)", labels
+        )
+        allocator = self.allocator
+
+        def _update(_total_bytes: int) -> None:
+            bytes_gauge.set(allocator.total_bytes)
+            pages_gauge.set(allocator.pages)
+
+        allocator._on_change = _update
+        _update(allocator.total_bytes)
 
     # -- gate registration -------------------------------------------------
 

@@ -43,6 +43,25 @@ class EpcCache:
         self.hits = 0
         self.faults = 0
         self.evictions = 0
+        self._obs_hits = None
+        self._obs_faults = None
+        self._obs_evictions = None
+        self._obs_resident = None
+
+    def bind_obs(self, registry, labels: dict = None) -> None:
+        """Mirror cache activity into shared ``epc_*`` metrics."""
+        self._obs_hits = registry.counter(
+            "epc_hits_total", "EPC accesses served without a fault", labels
+        )
+        self._obs_faults = registry.counter(
+            "epc_faults_total", "EPC page faults (page not resident)", labels
+        )
+        self._obs_evictions = registry.counter(
+            "epc_evictions_total", "EPC pages evicted to regular memory", labels
+        )
+        self._obs_resident = registry.gauge(
+            "epc_resident_pages", "pages currently resident in the EPC", labels
+        )
 
     def touch(self, page: int) -> bool:
         """Access ``page``; returns True when the access faulted."""
@@ -50,12 +69,20 @@ class EpcCache:
         if page in pages:
             pages.move_to_end(page)
             self.hits += 1
+            if self._obs_hits is not None:
+                self._obs_hits.inc()
             return False
         self.faults += 1
+        if self._obs_faults is not None:
+            self._obs_faults.inc()
         if len(pages) >= self.capacity_pages:
             pages.popitem(last=False)
             self.evictions += 1
+            if self._obs_evictions is not None:
+                self._obs_evictions.inc()
         pages[page] = None
+        if self._obs_resident is not None:
+            self._obs_resident.set(len(pages))
         return True
 
     def touch_range(self, first_page: int, num_pages: int) -> int:

@@ -37,7 +37,10 @@ class TransitionAccounting:
     """Mutable counters of boundary crossings and faults.
 
     ``total_cycles`` folds the counters through a :class:`TransitionCosts`,
-    giving simulations a single number to charge.
+    giving simulations a single number to charge.  When bound to a
+    :class:`~repro.obs.metrics.MetricsRegistry` (see :meth:`bind_obs`) every
+    crossing additionally increments the shared ``sgx_*_total`` counters, so
+    the same events feed both the simulator and the exporters.
     """
 
     def __init__(self, costs: TransitionCosts = None):
@@ -45,18 +48,39 @@ class TransitionAccounting:
         self.ecalls = 0
         self.ocalls = 0
         self.epc_faults = 0
+        self._obs_ecalls = None
+        self._obs_ocalls = None
+        self._obs_faults = None
+
+    def bind_obs(self, registry, labels: dict = None) -> None:
+        """Mirror crossings into ``registry`` (monotonic, survives reset)."""
+        self._obs_ecalls = registry.counter(
+            "sgx_ecalls_total", "world switches into the enclave", labels
+        )
+        self._obs_ocalls = registry.counter(
+            "sgx_ocalls_total", "world switches out of the enclave", labels
+        )
+        self._obs_faults = registry.counter(
+            "sgx_epc_faults_total", "EPC page faults serviced", labels
+        )
 
     def record_ecall(self) -> None:
         """Count one world switch into the enclave."""
         self.ecalls += 1
+        if self._obs_ecalls is not None:
+            self._obs_ecalls.inc()
 
     def record_ocall(self) -> None:
         """Count one world switch out of the enclave."""
         self.ocalls += 1
+        if self._obs_ocalls is not None:
+            self._obs_ocalls.inc()
 
     def record_epc_fault(self, count: int = 1) -> None:
         """Count ``count`` EPC page faults."""
         self.epc_faults += count
+        if self._obs_faults is not None:
+            self._obs_faults.inc(count)
 
     def total_cycles(self) -> float:
         """Aggregate cycle cost of everything recorded so far."""

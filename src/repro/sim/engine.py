@@ -135,13 +135,45 @@ class Simulator:
         sim.run(until=100_000_000)   # 100 ms
     """
 
-    __slots__ = ("_heap", "_seq", "now")
+    __slots__ = (
+        "_heap",
+        "_seq",
+        "now",
+        "events_executed",
+        "_obs_clock",
+        "_obs_events",
+        "_obs_synced",
+    )
 
     def __init__(self) -> None:
         self._heap: list = []
         self._seq = 0
         #: Current simulated time in nanoseconds.
         self.now = 0
+        #: Heap entries executed so far (process steps + callbacks).
+        self.events_executed = 0
+        self._obs_clock = None
+        self._obs_events = None
+        self._obs_synced = 0
+
+    def bind_obs(self, registry) -> None:
+        """Export the simulated clock and event count into ``registry``.
+
+        The gauges/counters are synchronised at every :meth:`run` exit (not
+        per event) to keep the hot loop free of metric calls.
+        """
+        self._obs_clock = registry.gauge(
+            "sim_clock_ns", "current simulated time"
+        )
+        self._obs_events = registry.counter(
+            "sim_events_total", "heap entries executed by the event loop"
+        )
+
+    def _sync_obs(self) -> None:
+        if self._obs_clock is not None:
+            self._obs_clock.set(self.now)
+            self._obs_events.inc(self.events_executed - self._obs_synced)
+            self._obs_synced = self.events_executed
 
     # -- scheduling primitives -------------------------------------------
 
@@ -188,21 +220,27 @@ class Simulator:
         """
         heap = self._heap
         pop = heapq.heappop
-        while heap:
-            when, _seq, target, value = heap[0]
-            if until is not None and when >= until:
+        executed = 0
+        try:
+            while heap:
+                when, _seq, target, value = heap[0]
+                if until is not None and when >= until:
+                    self.now = until
+                    return self.now
+                pop(heap)
+                self.now = when
+                executed += 1
+                if type(target) is Process:
+                    if target.alive:
+                        target._step(value)
+                else:
+                    target()
+            if until is not None:
                 self.now = until
-                return self.now
-            pop(heap)
-            self.now = when
-            if type(target) is Process:
-                if target.alive:
-                    target._step(value)
-            else:
-                target()
-        if until is not None:
-            self.now = until
-        return self.now
+            return self.now
+        finally:
+            self.events_executed += executed
+            self._sync_obs()
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next pending event, or None if idle."""

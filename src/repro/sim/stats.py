@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.metrics import Histogram
 
 __all__ = [
     "LatencyRecorder",
@@ -43,18 +44,51 @@ class CdfPoint:
 
 
 class LatencyRecorder:
-    """Accumulates latency samples and answers distribution queries."""
+    """Accumulates latency samples and answers distribution queries.
 
-    def __init__(self) -> None:
+    Two storage modes:
+
+    - **exact** (default): every sample is kept, quantiles are nearest-rank
+      over the sorted list.  Memory grows linearly with the run.
+    - **bounded** (``bounded=True``): samples go into a log-linear
+      :class:`~repro.obs.metrics.Histogram` with ``bucket_resolution``
+      sub-buckets per power of two.  Memory is bounded regardless of run
+      length; quantiles carry a relative error of at most
+      ``1 / (2 * bucket_resolution)`` (the minimum and maximum are exact).
+
+    Empty-recorder behaviour (check :attr:`is_empty` before querying):
+    ``mean()`` returns ``0.0`` and ``cdf()`` returns ``[]`` — both are
+    well-defined empty aggregates — while ``percentile()``, ``median()``
+    and ``summary()`` raise :class:`SimulationError`, because a quantile
+    of zero samples has no value to return.
+    """
+
+    def __init__(self, bounded: bool = False, bucket_resolution: int = 64):
         self._samples: List[int] = []
         self._sorted = True
+        self._hist: Optional[Histogram] = None
+        if bounded:
+            self._hist = Histogram(resolution=bucket_resolution)
+
+    @property
+    def bounded(self) -> bool:
+        """True when samples are folded into a bounded histogram."""
+        return self._hist is not None
+
+    @property
+    def histogram(self) -> Optional[Histogram]:
+        """The backing histogram in bounded mode, else None."""
+        return self._hist
 
     def record(self, latency_ns: int) -> None:
         """Add one sample (ns)."""
         if latency_ns < 0:
             raise SimulationError(f"negative latency: {latency_ns}")
-        self._samples.append(latency_ns)
-        self._sorted = False
+        if self._hist is not None:
+            self._hist.record(latency_ns)
+        else:
+            self._samples.append(latency_ns)
+            self._sorted = False
 
     def extend(self, latencies: Iterable[int]) -> None:
         """Add many samples at once."""
@@ -68,26 +102,42 @@ class LatencyRecorder:
         return self._samples
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self.count
 
     @property
     def count(self) -> int:
         """Number of recorded samples."""
+        if self._hist is not None:
+            return self._hist.count
         return len(self._samples)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no samples have been recorded."""
+        return self.count == 0
 
     def mean(self) -> float:
         """Arithmetic mean latency in ns; 0.0 when empty."""
-        if not self._samples:
+        if self.is_empty:
             return 0.0
+        if self._hist is not None:
+            return self._hist.mean()
         return sum(self._samples) / len(self._samples)
 
     def percentile(self, pct: float) -> int:
-        """Nearest-rank percentile in ns, ``pct`` in (0, 100]."""
+        """Nearest-rank percentile in ns, ``pct`` in (0, 100].
+
+        Raises :class:`SimulationError` when no samples are recorded.
+        """
         if not 0 < pct <= 100:
             raise SimulationError(f"percentile out of range: {pct}")
+        if self.is_empty:
+            raise SimulationError(
+                "no latency samples recorded; check is_empty before querying"
+            )
+        if self._hist is not None:
+            return self._hist.percentile(pct)
         samples = self._ensure_sorted()
-        if not samples:
-            raise SimulationError("no samples recorded")
         rank = max(1, math.ceil(pct / 100.0 * len(samples)))
         return samples[rank - 1]
 
@@ -95,13 +145,28 @@ class LatencyRecorder:
         """50th percentile in ns."""
         return self.percentile(50)
 
+    def max_ns(self) -> int:
+        """Largest recorded sample (exact in both modes)."""
+        if self.is_empty:
+            raise SimulationError(
+                "no latency samples recorded; check is_empty before querying"
+            )
+        if self._hist is not None:
+            return self._hist.max
+        return self._ensure_sorted()[-1]
+
     def cdf(self, points: int = 100) -> List[CdfPoint]:
         """Empirical CDF sampled at ``points`` evenly spaced fractions."""
-        samples = self._ensure_sorted()
-        if not samples:
+        if self.is_empty:
             return []
-        n = len(samples)
         out: List[CdfPoint] = []
+        if self._hist is not None:
+            for i in range(1, points + 1):
+                frac = i / points
+                out.append(CdfPoint(self._hist.quantile(frac), frac))
+            return out
+        samples = self._ensure_sorted()
+        n = len(samples)
         for i in range(1, points + 1):
             frac = i / points
             rank = max(1, math.ceil(frac * n))
@@ -109,16 +174,23 @@ class LatencyRecorder:
         return out
 
     def summary(self) -> Dict[str, float]:
-        """Mean / p50 / p90 / p95 / p99 / max in microseconds."""
-        if not self._samples:
-            return {}
+        """Mean / p50 / p90 / p95 / p99 / max in microseconds.
+
+        Raises :class:`SimulationError` when no samples are recorded (the
+        same behaviour as :meth:`percentile`; use :attr:`is_empty` to
+        distinguish an idle run from a query bug).
+        """
+        if self.is_empty:
+            raise SimulationError(
+                "no latency samples recorded; check is_empty before querying"
+            )
         return {
             "mean_us": ns_to_us(self.mean()),
             "p50_us": ns_to_us(self.percentile(50)),
             "p90_us": ns_to_us(self.percentile(90)),
             "p95_us": ns_to_us(self.percentile(95)),
             "p99_us": ns_to_us(self.percentile(99)),
-            "max_us": ns_to_us(self._ensure_sorted()[-1]),
+            "max_us": ns_to_us(self.max_ns()),
         }
 
 
@@ -160,6 +232,19 @@ class ThroughputMeter:
         if self._window_start is None or self._window_end is None:
             raise SimulationError("measurement window not closed")
         seconds = (self._window_end - self._window_start) / 1e9
+        if seconds <= 0:
+            # close_window already rejects this, but a subclass or a direct
+            # attribute poke could still get here -- fail with a real message
+            # instead of a ZeroDivisionError.
+            raise SimulationError(
+                "measurement window has zero duration; "
+                "open_window/close_window were given the same timestamp"
+            )
+        if self._in_window == 0:
+            raise SimulationError(
+                "no operations completed inside the measurement window; "
+                "throughput is undefined (run longer or shorten warm-up)"
+            )
         return self._in_window / seconds / 1e3
 
     @property

@@ -1,0 +1,146 @@
+"""Exporter round-trips: JSON lines, Prometheus text, stage tables."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    lint_prometheus,
+    prometheus_text,
+    stage_breakdown,
+    stage_latency_table,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+    traces_to_json_lines,
+)
+
+
+def sample_trace(server_ns=1000, network_ns=400, **attrs):
+    clock = ManualClock()
+    tracer = Tracer(clock=clock)
+    with tracer.start("get", **attrs) as trace:
+        with trace.stage("server", table="robinhood"):
+            clock.advance(server_ns)
+        with trace.stage("network"):
+            clock.advance(network_ns)
+    return tracer.last
+
+
+class TestJsonLines:
+    def test_round_trip_exact(self):
+        trace = sample_trace(system="precursor", value_size=64)
+        line = trace_to_json(trace)
+        back = trace_from_json(line)
+        assert trace_to_json(back) == line  # byte-exact round trip
+        assert back.total_ns == trace.total_ns == 1400
+        assert back.attrs == {"system": "precursor", "value_size": 64}
+        assert back.stage_names() == ["server", "network"]
+        assert back.stages[0].meta == {"table": "robinhood"}
+
+    def test_json_lines_batch(self):
+        traces = [sample_trace(), sample_trace()]
+        text = traces_to_json_lines(traces)
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # every line is standalone JSON
+        assert traces_to_json_lines([]) == ""
+
+    def test_unfinished_trace_rejected(self):
+        tracer = Tracer(clock=ManualClock())
+        trace = tracer.start("get")
+        with pytest.raises(ObservabilityError):
+            trace_to_dict(trace)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ObservabilityError):
+            trace_from_json('{"op": "get"}')
+
+
+class TestPrometheus:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", {"op": "get"}).inc(3)
+        reg.counter("ops_total", "operations", {"op": "put"}).inc(1)
+        reg.gauge("queue_depth", "pending items").set(7)
+        hist = reg.histogram("latency_ns", "op latency")
+        for v in (100, 2_000, 30_000):
+            hist.record(v)
+        return reg
+
+    def test_text_format_lints_clean(self):
+        text = prometheus_text(self.make_registry())
+        assert lint_prometheus(text) == []
+
+    def test_structure(self):
+        text = prometheus_text(self.make_registry())
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{op="get"} 3' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "# TYPE latency_ns histogram" in text
+        assert 'latency_ns_bucket{le="+Inf"} 3' in text
+        assert "latency_ns_count 3" in text
+        assert "latency_ns_sum 32100" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", "odd", {"k": 'a"b\\c\nd'}).inc()
+        text = prometheus_text(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert lint_prometheus(text) == []
+
+    def test_lint_catches_problems(self):
+        assert lint_prometheus("ops total 1") != []  # bad name
+        assert lint_prometheus("ops_total notanumber") != []  # bad value
+        bad_hist = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="100"} 5\n'
+            'h_bucket{le="200"} 3\n'  # cumulative counts went down
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\nh_count 5\n"
+        )
+        assert any("cumulative" in p or "monoton" in p for p in lint_prometheus(bad_hist))
+
+    def test_empty_registry(self):
+        assert lint_prometheus(prometheus_text(MetricsRegistry())) == []
+
+
+class TestStageTables:
+    def test_breakdown_grouping(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        for system, server_ns in (("precursor", 1000), ("shieldstore", 3000)):
+            with tracer.start("get", system=system) as trace:
+                with trace.stage("server"):
+                    clock.advance(server_ns)
+                with trace.stage("network"):
+                    clock.advance(500)
+        groups = stage_breakdown(tracer.finished, group_by=("system",))
+        assert groups[("precursor",)]["server"] == 1000
+        assert groups[("shieldstore",)]["server"] == 3000
+        assert groups[("precursor",)]["network"] == 500
+
+    def test_breakdown_averages(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        for server_ns in (100, 300):
+            with tracer.start("get") as trace:
+                with trace.stage("server"):
+                    clock.advance(server_ns)
+        groups = stage_breakdown(tracer.finished)
+        assert groups[()]["server"] == 200
+
+    def test_latency_table_shares_sum_to_total(self):
+        trace = sample_trace(server_ns=750, network_ns=250)
+        table = stage_latency_table([trace])
+        assert "server" in table and "network" in table
+        assert "75.0%" in table and "25.0%" in table
+        assert "end-to-end" in table
+
+    def test_latency_table_empty(self):
+        assert "no traces" in stage_latency_table([])

@@ -1,0 +1,172 @@
+"""Counters, gauges, log-linear histograms, and the metrics registry."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_exact_below_resolution(self):
+        h = Histogram(resolution=64)
+        for v in (0, 1, 5, 63):
+            h.record(v)
+        assert h.quantile(1.0) == 63
+        assert h.min == 0 and h.max == 63
+
+    def test_resolution_must_be_power_of_two(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(resolution=48)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ObservabilityError):
+            Histogram().record(-1)
+
+    def test_count_sum_mean(self):
+        h = Histogram()
+        h.record(10, count=3)
+        h.record(20)
+        assert h.count == 4
+        assert h.sum == 50
+        assert h.mean() == 12.5
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.is_empty
+        assert h.mean() == 0.0
+        with pytest.raises(ObservabilityError):
+            h.quantile(0.5)
+
+    def test_quantile_range_checked(self):
+        h = Histogram()
+        h.record(1)
+        with pytest.raises(ObservabilityError):
+            h.quantile(0.0)
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.5)
+
+    def test_quantile_error_bound_random(self):
+        rng = random.Random(11)
+        resolution = 64
+        h = Histogram(resolution=resolution)
+        samples = sorted(rng.randint(1, 10**9) for _ in range(50_000))
+        for v in samples:
+            h.record(v)
+        bound = h.relative_error_bound()
+        assert bound == 1 / (2 * resolution)
+        import math
+
+        for q in (0.01, 0.1, 0.5, 0.9, 0.99, 0.999):
+            rank = max(1, min(len(samples), math.ceil(q * len(samples))))
+            exact = samples[rank - 1]
+            approx = h.quantile(q)
+            assert abs(approx - exact) / exact <= bound, (q, approx, exact)
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.record(100)
+        b.record(10_000)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 100 and a.max == 10_000
+
+    def test_bucket_counts_cumulative_ready(self):
+        h = Histogram()
+        for v in (1, 2, 1_000, 2_000_000):
+            h.record(v)
+        buckets = h.bucket_counts()
+        uppers = [u for u, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert uppers == sorted(uppers)
+        assert counts == sorted(counts)  # cumulative, ready for le= buckets
+        assert counts[-1] == 4
+
+    def test_bounded_memory(self):
+        # 1M samples over 9 decades stay within resolution * log2(range).
+        rng = random.Random(3)
+        h = Histogram(resolution=64)
+        for _ in range(100_000):
+            h.record(rng.randint(0, 10**9))
+        assert len(h._buckets) < 64 * 32
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    samples=st.lists(
+        st.integers(min_value=0, max_value=10**12), min_size=1, max_size=200
+    )
+)
+def test_histogram_extremes_exact_property(samples):
+    h = Histogram()
+    for v in samples:
+        h.record(v)
+    assert h.min == min(samples)
+    assert h.max == max(samples)
+    assert h.quantile(1.0) == max(samples)
+    assert min(samples) <= h.quantile(0.5) <= max(samples)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops_total", "ops")
+        b = reg.counter("ops_total", "ops")
+        assert a is b
+
+    def test_labels_create_children(self):
+        reg = MetricsRegistry()
+        get = reg.counter("ops_total", "ops", {"op": "get"})
+        put = reg.counter("ops_total", "ops", {"op": "put"})
+        assert get is not put
+        get.inc(2)
+        assert reg.get("ops_total", {"op": "get"}).value == 2
+        assert reg.get("ops_total", {"op": "put"}).value == 0
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x_total", "x")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("bad name", "oops")
+
+    def test_contains_len_get(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", "queue depth")
+        assert "depth" in reg and "missing" not in reg
+        assert len(reg) == 1
+        assert reg.get("missing") is None
+
+    def test_collect_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a").inc()
+        reg.histogram("h_ns", "h").record(5)
+        families = {name: kind for name, kind, _, _ in reg.collect()}
+        assert families == {"a_total": "counter", "h_ns": "histogram"}

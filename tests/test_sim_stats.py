@@ -63,11 +63,19 @@ class TestLatencyRecorder:
 
     def test_empty_recorder(self):
         rec = LatencyRecorder()
+        assert rec.is_empty
         assert rec.cdf() == []
-        assert rec.summary() == {}
         assert rec.mean() == 0.0
+        # summary() and percentile() now agree: both raise on empty.
+        with pytest.raises(SimulationError):
+            rec.summary()
         with pytest.raises(SimulationError):
             rec.percentile(50)
+        with pytest.raises(SimulationError):
+            rec.max_ns()
+        rec.record(1)
+        assert not rec.is_empty
+        assert rec.summary()["max_us"] == 0.001
 
     def test_summary_keys(self):
         rec = LatencyRecorder()
@@ -89,6 +97,76 @@ class TestLatencyRecorder:
             rec.percentile(0)
         with pytest.raises(SimulationError):
             rec.percentile(101)
+
+
+class TestBoundedRecorder:
+    """Histogram-backed mode: bounded memory, bounded quantile error."""
+
+    def test_flags_and_exact_extremes(self):
+        rec = LatencyRecorder(bounded=True)
+        assert rec.bounded and rec.histogram is not None
+        rec.extend([100, 5_000, 123_456, 7])
+        assert rec.count == 4 and len(rec) == 4
+        assert rec.percentile(100) == 123_456  # max is exact
+        assert rec.max_ns() == 123_456
+        assert rec.summary()["max_us"] == pytest.approx(123.456)
+
+    def test_quantile_error_bound(self):
+        import random
+
+        rng = random.Random(7)
+        resolution = 64
+        exact = LatencyRecorder()
+        bounded = LatencyRecorder(bounded=True, bucket_resolution=resolution)
+        samples = [rng.randint(200, 40_000_000) for _ in range(20_000)]
+        exact.extend(samples)
+        bounded.extend(samples)
+        bound = bounded.histogram.relative_error_bound()
+        assert bound == 1 / (2 * resolution)
+        for pct in (10, 25, 50, 75, 90, 95, 99, 99.9):
+            true = exact.percentile(pct)
+            approx = bounded.percentile(pct)
+            assert abs(approx - true) / true <= bound, (
+                f"p{pct}: {approx} vs exact {true}"
+            )
+
+    def test_small_values_exact(self):
+        # Values below the sub-bucket resolution are represented exactly.
+        rec = LatencyRecorder(bounded=True, bucket_resolution=64)
+        rec.extend([1, 2, 3, 4, 5])
+        assert rec.median() == 3
+        assert rec.percentile(100) == 5
+
+    def test_empty_bounded_consistent(self):
+        rec = LatencyRecorder(bounded=True)
+        assert rec.is_empty
+        assert rec.cdf() == []
+        assert rec.mean() == 0.0
+        with pytest.raises(SimulationError):
+            rec.summary()
+        with pytest.raises(SimulationError):
+            rec.percentile(50)
+
+    def test_cdf_monotone_bounded(self):
+        rec = LatencyRecorder(bounded=True)
+        rec.extend(range(1, 1001))
+        cdf = rec.cdf(points=20)
+        latencies = [p.latency_ns for p in cdf]
+        assert latencies == sorted(latencies)
+        assert cdf[-1].latency_ns == 1000
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            LatencyRecorder(bounded=True).record(-5)
+
+
+class TestThroughputGuards:
+    def test_zero_op_window_rejected(self):
+        meter = ThroughputMeter()
+        meter.open_window(0)
+        meter.close_window(1_000_000)
+        with pytest.raises(SimulationError, match="no operations completed"):
+            meter.kops()
 
 
 @settings(max_examples=30, deadline=None)
