@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,10 @@ bench-quick:
 
 scorecard:
 	$(PYTHON) -m repro.cli scorecard
+
+# Functional sharded cluster: routing, live join + migration, epoch retry.
+shard-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli shard --shards 2 --workload b --ops 2000
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -12,7 +12,12 @@ fig6      throughput vs client count                    :func:`repro.bench.exper
 fig7      get() latency CDFs (+ EPC paging)             :func:`repro.bench.experiments.run_fig7`
 fig8      latency breakdown networking vs server        :func:`repro.bench.experiments.run_fig8`
 tab1      EPC working set vs inserted keys              :func:`repro.bench.experiments.run_table1`
+scaleout  throughput/latency vs shard count (1-8)       :func:`repro.bench.scaleout.run_scaleout`
 ========  ============================================  =======================
+
+``scaleout`` goes beyond the paper: it models the sharded deployment of
+:mod:`repro.shard` (one server machine per shard) with the same
+calibrated simulator.
 
 Throughput/latency numbers come from a discrete-event simulation of the
 testbed (:mod:`repro.bench.simulation`) whose cost constants are documented
@@ -21,13 +26,16 @@ counts real trusted allocations.
 """
 
 from repro.bench.calibration import Calibration
+from repro.bench.scaleout import ScaleoutResult, run_scaleout
 from repro.bench.simulation import SimulationConfig, SimulationResult, simulate
 from repro.bench import experiments
 
 __all__ = [
     "Calibration",
+    "ScaleoutResult",
     "SimulationConfig",
     "SimulationResult",
+    "run_scaleout",
     "simulate",
     "experiments",
 ]

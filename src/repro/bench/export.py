@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     Fig8Result,
     Table1Result,
 )
+from repro.bench.scaleout import ScaleoutResult
 
 __all__ = ["to_csv"]
 
@@ -140,6 +141,32 @@ def _table1(result: Table1Result) -> str:
     )
 
 
+def _scaleout(result: ScaleoutResult) -> str:
+    header = ["shards", "clients"]
+    for letter in ("A", "B", "C"):
+        header += [
+            f"ycsb_{letter.lower()}_kops",
+            f"ycsb_{letter.lower()}_p50_us",
+            f"ycsb_{letter.lower()}_p99_us",
+        ]
+    header += ["trusted_mib_per_shard", "epc_fault_fraction"]
+    rows = []
+    for i, shards in enumerate(result.shard_counts):
+        row: List = [shards, result.clients[i]]
+        for letter in ("A", "B", "C"):
+            row += [
+                round(result.kops[letter][i], 1),
+                round(result.p50_us[letter][i], 1),
+                round(result.p99_us[letter][i], 1),
+            ]
+        row += [
+            result.trusted_mib_per_shard[i],
+            result.fault_fraction[i],
+        ]
+        rows.append(row)
+    return _rows(header, rows)
+
+
 _EXPORTERS = {
     Fig1Result: _fig1,
     Fig4Result: _fig4,
@@ -148,6 +175,7 @@ _EXPORTERS = {
     Fig7Result: _fig7,
     Fig8Result: _fig8,
     Table1Result: _table1,
+    ScaleoutResult: _scaleout,
 }
 
 

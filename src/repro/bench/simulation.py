@@ -58,12 +58,20 @@ class SimulationConfig:
     #: Record latencies into a bounded log-linear histogram instead of an
     #: unbounded sample list (million-op runs; see repro.sim.stats).
     bounded_latency: bool = False
+    #: Server machines behind a consistent-hash shard map
+    #: (:mod:`repro.shard`).  Each shard brings its own polling threads,
+    #: NIC line rate and enclave, and holds ``loaded_keys / shards`` of
+    #: the resident keys -- which is what shrinks the per-enclave EPC
+    #: working set.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.clients < 1:
             raise ConfigurationError("need at least one client")
         if self.duration_ms <= self.warmup_ms:
             raise ConfigurationError("duration must exceed warmup")
+        if self.shards < 1:
+            raise ConfigurationError("need at least one shard")
 
 
 @dataclass
@@ -89,7 +97,10 @@ def _epc_fault_probability(config: SimulationConfig) -> float:
         # it "is not affected by the EPC paging in this case" (§5.3).
         return 0.0
     cal = config.calibration
-    working_set = config.loaded_keys * cal.epc_hot_bytes_per_entry
+    # Consistent hashing spreads the resident keys (near-)uniformly, so
+    # each shard's enclave only keeps its own slice of the table hot.
+    per_shard_keys = config.loaded_keys / config.shards
+    working_set = per_shard_keys * cal.epc_hot_bytes_per_entry
     return cal.epc.fault_probability(int(working_set))
 
 
@@ -136,7 +147,10 @@ def simulate(
         if config.system == "shieldstore"
         else cal.server_threads
     )
-    queues = [Store(sim) for _ in range(threads)]
+    # One queue per (shard, polling thread): each shard is a full server
+    # machine contributing its own ``threads`` polling threads.
+    shards = config.shards
+    queues = [Store(sim) for _ in range(shards * threads)]
     warmup_ns = int(config.warmup_ms * 1e6)
     duration_ns = int(config.duration_ms * 1e6)
 
@@ -178,7 +192,6 @@ def simulate(
     def client_proc(client_index: int):
         nonlocal epc_faults, total_ops
         thread_index = client_index % threads
-        queue = queues[thread_index]
         think_base = cal.client_think_ns
         jitter = cal.think_jitter
         while True:
@@ -186,6 +199,12 @@ def simulate(
             yield sim.timeout(int(think))
             is_read = rng.random() < read_fraction
             cost = get_cost if is_read else put_cost
+            # Key-hash routing: YCSB key choosers spread keys (near-)
+            # uniformly over the ring, so the owning shard is uniform
+            # per operation.  The client keeps one session per shard,
+            # polled by the same thread slot on every shard.
+            shard_index = rng.randrange(shards) if shards > 1 else 0
+            queue = queues[shard_index * threads + thread_index]
             start = sim.now
             # Client-side crypto + request assembly.
             yield sim.timeout(
@@ -242,7 +261,7 @@ def simulate(
 
     for index in range(config.clients):
         sim.spawn(client_proc(index))
-    for index in range(threads):
+    for index in range(shards * threads):
         sim.spawn(server_thread(index))
 
     sim.schedule(warmup_ns, lambda: meter.open_window(sim.now))
@@ -250,9 +269,10 @@ def simulate(
     meter.close_window(duration_ns)
 
     kops = meter.kops()
-    # Analytic server-NIC line-rate cap (see module docstring).
+    # Analytic server-NIC line-rate cap (see module docstring); sharding
+    # multiplies it, since every shard brings its own NIC.
     bytes_per_op = costs.mean_server_bytes(value_size)
-    cap = cal.link_capacity_kops(bytes_per_op)
+    cap = cal.link_capacity_kops(bytes_per_op) * shards
     kops = min(kops, cap)
 
     return SimulationResult(

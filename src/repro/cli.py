@@ -15,6 +15,12 @@ Observability commands (see docs/OBSERVABILITY.md)::
     python -m repro.cli trace                # per-stage table for one get()
     python -m repro.cli trace --op put --json
     python -m repro.cli metrics              # Prometheus text exposition
+
+Sharded-cluster command (see docs/SHARDING.md)::
+
+    python -m repro.cli shard --shards 2 --workload b --ops 2000
+    python -m repro.cli shard --shards 4 --workload a --json
+    python -m repro.cli scaleout --quick     # simulated 1-8 shard curves
 """
 
 from __future__ import annotations
@@ -28,6 +34,12 @@ from repro.bench import experiments
 
 __all__ = ["main"]
 
+def _run_scaleout_runner(quick: bool = False):
+    from repro.bench.scaleout import run_scaleout
+
+    return run_scaleout(quick=quick)
+
+
 _RUNNERS: Dict[str, Callable] = {
     "fig1": experiments.run_fig1,
     "fig4": experiments.run_fig4,
@@ -36,6 +48,7 @@ _RUNNERS: Dict[str, Callable] = {
     "fig7": experiments.run_fig7,
     "fig8": experiments.run_fig8,
     "table1": experiments.run_table1,
+    "scaleout": _run_scaleout_runner,
 }
 
 _DESCRIPTIONS = {
@@ -46,6 +59,7 @@ _DESCRIPTIONS = {
     "fig7": "get() latency CDFs incl. the EPC-paging run",
     "fig8": "get() latency breakdown: networking vs server processing",
     "table1": "EPC working set at 0/1/100k inserted keys",
+    "scaleout": "throughput/latency + EPC working set vs shard count (1-8)",
 }
 
 
@@ -131,6 +145,111 @@ def run_metrics(
     return text.rstrip("\n")
 
 
+def run_shard(
+    shards: int = 2,
+    workload: str = "b",
+    ops: int = 1000,
+    seed: int = 11,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> str:
+    """Functional sharded run: real crypto, routing and live migration.
+
+    Stands up ``shards`` servers behind a consistent-hash map, drives a
+    YCSB mix through a :class:`~repro.shard.router.ShardedClient`, then
+    joins one more shard live and re-reads a sample of keys through the
+    (now stale) router to exercise the epoch-retry protocol.
+    """
+    import json
+    from dataclasses import replace as dc_replace
+
+    from repro.errors import ConfigurationError
+    from repro.shard import ShardedCluster, ShardedClient
+    from repro.ycsb.driver import WorkloadDriver
+    from repro.ycsb.generator import make_key
+    from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_B, WORKLOAD_C
+
+    specs = {"a": WORKLOAD_A, "b": WORKLOAD_B, "c": WORKLOAD_C}
+    if workload not in specs:
+        raise ConfigurationError(
+            f"unknown workload {workload!r} (expected one of: a, b, c)"
+        )
+    if not 1 <= shards <= 64:
+        raise ConfigurationError(
+            f"--shards must be in [1, 64], got {shards}"
+        )
+    if ops < 1:
+        raise ConfigurationError(f"--ops must be positive, got {ops}")
+
+    # Pure-Python crypto runs at a few hundred ops/s; keep the resident
+    # set proportional to the request count so the command stays snappy.
+    records = max(64, min(512, ops // 4))
+    spec = dc_replace(specs[workload], record_count=records)
+
+    cluster = ShardedCluster(shards=shards, seed=seed)
+    client = ShardedClient(cluster, trace_ops=False)
+    driver = WorkloadDriver(client, spec, seed=seed)
+    driver.load()
+    run = driver.run(ops)
+
+    before_epoch = cluster.epoch
+    report = cluster.add_shard()
+    sample = [make_key(i, spec.key_size) for i in range(min(32, records))]
+    for key in sample:
+        client.get(key)
+
+    payload = {
+        "shards": shards,
+        "workload": workload,
+        "operations": run.operations,
+        "reads": run.reads,
+        "updates": run.updates,
+        "misses": run.misses,
+        "ops_per_second": round(run.ops_per_second, 1),
+        "p50_us": round(run.latency.percentile(50) / 1000.0, 1),
+        "p99_us": round(run.latency.percentile(99) / 1000.0, 1),
+        "key_counts": cluster.key_counts(),
+        "epoch_before_join": before_epoch,
+        "epoch_after_join": cluster.epoch,
+        "migrated_entries": report.total_moved,
+        "migrated_payload_bytes": report.payload_bytes,
+        "stale_retries": client.stale_retries,
+        "integrity_failures": client.integrity_failures,
+    }
+    if as_json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        counts = ", ".join(
+            f"{name}={count}" for name, count in payload["key_counts"].items()
+        )
+        lines = [
+            f"Sharded functional run: YCSB {workload.upper()}, "
+            f"{shards} shard(s), {ops} ops, {records} records",
+            "-" * 64,
+            f"throughput      {payload['ops_per_second']:>10} ops/s "
+            "(pure-Python crypto; see 'scaleout' for modelled numbers)",
+            f"latency p50     {payload['p50_us']:>10} us",
+            f"latency p99     {payload['p99_us']:>10} us",
+            f"reads/updates   {run.reads}/{run.updates} "
+            f"({run.misses} misses)",
+            "-" * 64,
+            f"live join       shard-{shards} joined: "
+            f"{report.total_moved} entries migrated sealed "
+            f"({report.payload_bytes} payload bytes), "
+            f"epoch {before_epoch} -> {cluster.epoch}",
+            f"stale retries   {payload['stale_retries']} "
+            f"(router re-routed after the epoch bump)",
+            f"integrity       {payload['integrity_failures']} MAC failures",
+            f"key placement   {counts}",
+        ]
+        text = "\n".join(lines)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        suffix = "json" if as_json else "txt"
+        (out_dir / f"shard.{suffix}").write_text(text + "\n")
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -142,10 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_RUNNERS) + ["all", "list", "scorecard", "trace", "metrics"],
+        choices=sorted(_RUNNERS)
+        + ["all", "list", "scorecard", "trace", "metrics", "shard"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
-        "'trace'/'metrics' to exercise the observability subsystem)",
+        "'trace'/'metrics' to exercise the observability subsystem, "
+        "'shard' for a functional sharded-cluster run)",
     )
     parser.add_argument(
         "--quick",
@@ -182,14 +303,37 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--ops",
         type=int,
-        default=32,
+        default=None,
         metavar="N",
-        help="workload size for the 'metrics' command (default: 32)",
+        help="workload size for the 'metrics' (default: 32) and 'shard' "
+        "(default: 1000) commands",
     )
     obs.add_argument(
         "--json",
         action="store_true",
-        help="with 'trace': emit JSON lines instead of the stage table",
+        help="with 'trace'/'shard': emit JSON instead of the text report",
+    )
+    shard = parser.add_argument_group("sharding ('shard' only)")
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shard count for the functional cluster (default: 2)",
+    )
+    shard.add_argument(
+        "--workload",
+        choices=["a", "b", "c"],
+        default="b",
+        help="YCSB mix to drive through the router (default: b)",
+    )
+    shard.add_argument(
+        "--seed",
+        type=int,
+        default=11,
+        metavar="S",
+        help="deterministic seed for ring placement + workload "
+        "(default: 11)",
     )
     return parser
 
@@ -203,6 +347,8 @@ def main(argv=None) -> int:
         print("scorecard  pass/fail verdict on every paper claim")
         print("trace      per-stage span breakdown of one live operation")
         print("metrics    Prometheus-style dump of the metrics registry")
+        print("shard      functional sharded run: routing, live join, "
+              "epoch retry")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -225,10 +371,27 @@ def main(argv=None) -> int:
             run_metrics(
                 op=args.op,
                 value_size=args.value_size,
-                ops=args.ops,
+                ops=args.ops if args.ops is not None else 32,
                 out_dir=args.out,
             )
         )
+        return 0
+    if args.artifact == "shard":
+        from repro.errors import ConfigurationError
+
+        try:
+            text = run_shard(
+                shards=args.shards,
+                workload=args.workload,
+                ops=args.ops if args.ops is not None else 1000,
+                seed=args.seed,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
         return 0
     if args.artifact == "scorecard":
         from repro.bench.scorecard import run_scorecard

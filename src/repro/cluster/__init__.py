@@ -4,6 +4,7 @@ from repro.cluster.testbed import (
     MachineSpec,
     TestbedSpec,
     paper_testbed,
+    sharded_testbed,
 )
 
-__all__ = ["MachineSpec", "TestbedSpec", "paper_testbed"]
+__all__ = ["MachineSpec", "TestbedSpec", "paper_testbed", "sharded_testbed"]

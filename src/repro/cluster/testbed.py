@@ -17,7 +17,7 @@ from typing import List
 from repro.errors import ConfigurationError
 from repro.rdma.nic import RNic
 
-__all__ = ["MachineSpec", "TestbedSpec", "paper_testbed"]
+__all__ = ["MachineSpec", "TestbedSpec", "paper_testbed", "sharded_testbed"]
 
 
 @dataclass(frozen=True)
@@ -49,14 +49,35 @@ class MachineSpec:
 
 @dataclass(frozen=True)
 class TestbedSpec:
-    """A server plus a set of client machines."""
+    """One or more servers plus a set of client machines.
+
+    The paper's testbed has a single server; scale-out experiments
+    (:mod:`repro.shard`) replicate it.  ``server`` stays the first server
+    so existing single-server callers are untouched; ``extra_servers``
+    holds the replicas a sharded deployment adds.
+    """
 
     server: MachineSpec
     clients: List[MachineSpec] = field(default_factory=list)
+    extra_servers: List[MachineSpec] = field(default_factory=list)
+
+    @property
+    def servers(self) -> List[MachineSpec]:
+        """Every server machine (the paper's one plus any replicas)."""
+        return [self.server, *self.extra_servers]
+
+    @property
+    def server_count(self) -> int:
+        """Number of server machines in the testbed."""
+        return 1 + len(self.extra_servers)
 
     def client_slots(self) -> int:
         """Total client hyper-threads available."""
         return sum(machine.hyper_threads for machine in self.clients)
+
+    def server_cycles_per_second(self) -> float:
+        """Aggregate cycle budget across all server machines."""
+        return sum(machine.cycles_per_second() for machine in self.servers)
 
 
 def paper_testbed() -> TestbedSpec:
@@ -91,3 +112,28 @@ def paper_testbed() -> TestbedSpec:
         )
     )
     return TestbedSpec(server=server, clients=clients)
+
+
+def sharded_testbed(shards: int) -> TestbedSpec:
+    """The paper testbed scaled out to ``shards`` server machines.
+
+    Each shard gets an identical copy of the §5.1 server (own CPU, RAM
+    and 40 Gbps NIC); the client fleet is unchanged.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"need at least one shard, got {shards}")
+    base = paper_testbed()
+    extra = [
+        MachineSpec(
+            name=f"server-{i}",
+            ghz=base.server.ghz,
+            cores=base.server.cores,
+            hyper_threads=base.server.hyper_threads,
+            memory_gb=base.server.memory_gb,
+            nic=RNic(bandwidth_gbps=base.server.nic.bandwidth_gbps),
+        )
+        for i in range(1, shards)
+    ]
+    return TestbedSpec(
+        server=base.server, clients=base.clients, extra_servers=extra
+    )

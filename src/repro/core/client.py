@@ -48,9 +48,21 @@ from repro.rdma.verbs import Opcode as RdmaOpcode
 from repro.rdma.verbs import WorkRequest
 from repro.sgx.attestation import attest_and_establish_session
 
-__all__ = ["PrecursorClient"]
+__all__ = ["PrecursorClient", "allocate_client_id"]
 
 _client_ids = itertools.count(1)
+
+
+def allocate_client_id() -> int:
+    """Reserve the next client id from the shared process-wide counter.
+
+    A sharded router (:mod:`repro.shard.router`) opens one session per
+    shard under a *single* identity -- the same client id on every shard
+    -- so per-tenant ownership survives key migration between shards.
+    Drawing from the same counter as auto-assigned ids keeps direct
+    clients and routed clients collision-free in one process.
+    """
+    return next(_client_ids)
 
 
 class PrecursorClient:
@@ -161,6 +173,11 @@ class PrecursorClient:
         self.operations = 0
         self.integrity_failures = 0
 
+    @property
+    def server(self) -> PrecursorServer:
+        """The server this client is attached to (router introspection)."""
+        return self._server
+
     # -- transport ------------------------------------------------------------
 
     def _write_request(self, offset: int, data: bytes) -> None:
@@ -208,6 +225,24 @@ class PrecursorClient:
                     self._refresh_credits()
             self._refresh_credits()
             self._producer.produce(frame)
+
+    def drain_replies(self) -> int:
+        """Discard every queued reply frame; returns the number dropped.
+
+        Error-path resync for batched callers (e.g. the shard router):
+        when a pipelined batch aborts mid-window, replies for the already
+        submitted remainder are still in flight, and the next operation
+        would otherwise read one of them and fail the oid match.
+        """
+        if self._pump is not None:
+            self._pump()
+        dropped = 0
+        while True:
+            frame = self._reply_consumer.poll_one()
+            if frame is None:
+                break
+            dropped += 1
+        return dropped
 
     def _await_response(self) -> Response:
         if self._pump is not None:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.crypto.provider import CryptoProvider, EncryptedPayload, SealedMessage
 from repro.crypto.keys import KeyGenerator, SessionKey
@@ -45,6 +45,7 @@ from repro.core.ring_buffer import RingConsumer, RingLayout, RingProducer
 from repro.errors import (
     AuthenticationError,
     ConfigurationError,
+    KeyNotFoundError,
     ProtocolError,
     ReplayError,
 )
@@ -56,12 +57,17 @@ from repro.rdma.qp import QueuePair
 from repro.rdma.verbs import Opcode as RdmaOpcode
 from repro.rdma.verbs import WorkRequest
 from repro.sgx.enclave import Enclave
+from repro.sgx.sealing import seal_data, unseal_data
 
 __all__ = ["PrecursorServer", "ServerConfig", "ServerStats"]
 
 #: Marks server->client traffic in the GCM IV space so the two directions
 #: of one session never reuse an IV (the IV is client_id || counter).
 _SERVER_IV_BIT = 0x8000_0000
+
+#: AAD binding migration records to their purpose: a sealed checkpoint or
+#: any other enclave-sealed blob can never be replayed into import_entry.
+_MIGRATION_AAD = b"precursor-migrate-v1"
 
 
 @dataclass(frozen=True)
@@ -121,6 +127,8 @@ class ServerStats:
     replay_rejections: int = 0
     protocol_errors: int = 0
     inline_stores: int = 0
+    entries_exported: int = 0
+    entries_imported: int = 0
 
 
 @dataclass
@@ -166,12 +174,22 @@ class PrecursorServer:
         config: ServerConfig = None,
         keygen: KeyGenerator = None,
         obs: ObsContext = None,
+        shard_name: str = None,
+        shard_index: int = 0,
     ):
         self.fabric = fabric if fabric is not None else Fabric()
         self.config = config if config is not None else ServerConfig()
         self.stats = ServerStats()
         self.pd = self.fabric.add_host(self.HOST_NAME)
         self.provider = CryptoProvider(keygen)
+
+        #: Shard membership: ``shard_name`` labels this server's metric
+        #: series (one registry serves a whole cluster); ``shard_index``
+        #: keeps the sealed-migration IV space disjoint across shards,
+        #: which all share one sealing key (identical measurement).
+        self.shard_name = shard_name
+        self.shard_index = shard_index
+        self._migration_seq = 0
 
         #: Shared observability context (tracer + metrics registry).  The
         #: fabric, the enclave and every attached client record into it.
@@ -184,25 +202,35 @@ class PrecursorServer:
             code_size_bytes=cfg.code_size_bytes,
             stack_size_bytes=cfg.stack_size_bytes,
         )
-        self.enclave.bind_obs(self.obs.registry)
+        shard_labels = {"shard": shard_name} if shard_name is not None else {}
+        self.enclave.bind_obs(self.obs.registry, shard_labels or None)
         registry = self.obs.registry
         self._obs_requests = {
             OpCode.PUT: registry.counter(
-                "server_requests_total", "requests handled", {"op": "put"}
+                "server_requests_total",
+                "requests handled",
+                {"op": "put", **shard_labels},
             ),
             OpCode.GET: registry.counter(
-                "server_requests_total", "requests handled", {"op": "get"}
+                "server_requests_total",
+                "requests handled",
+                {"op": "get", **shard_labels},
             ),
             OpCode.DELETE: registry.counter(
-                "server_requests_total", "requests handled", {"op": "delete"}
+                "server_requests_total",
+                "requests handled",
+                {"op": "delete", **shard_labels},
             ),
         }
         self._obs_rejects = registry.counter(
             "server_rejected_requests_total",
             "frames dropped for auth/replay/protocol reasons",
+            shard_labels or None,
         )
         self._obs_handle_ns = registry.histogram(
-            "server_handle_ns", "per-frame trusted handling time"
+            "server_handle_ns",
+            "per-frame trusted handling time",
+            shard_labels or None,
         )
         self.enclave.allocator.allocate(cfg.misc_trusted_bytes, "misc")
         self.enclave.register_ecall("init_hashtable", self._ecall_init_hashtable)
@@ -732,6 +760,168 @@ class PrecursorServer:
                 self._charge_table_growth()
             count += 1
         return count
+
+    # -- live migration (repro.shard.migrate) --------------------------------
+    #
+    # Shards rebalance by streaming entries between enclaves.  The security
+    # metadata (one-time key, strict-mode MAC, owner, grants) travels as a
+    # record sealed to the enclave *binary* identity: every shard runs the
+    # same measurement, so only a genuine Precursor enclave can unseal it
+    # -- plaintext key material never exists outside the two enclaves.  The
+    # payload travels as the ciphertext+MAC blob it already is in untrusted
+    # memory; tampering with it in transit is caught by the client's MAC
+    # check on the next get(), exactly as for at-rest tampering.
+
+    def stored_keys(self) -> List[bytes]:
+        """Snapshot of every key this shard currently owns."""
+        with self._table_lock.read():
+            if self._table is None:
+                return []
+            return [key for key, _entry in self._table.items()]
+
+    def _next_migration_iv(self) -> int:
+        # All shards share one sealing key (same measurement), so the IV
+        # counter space is partitioned by shard index to prevent reuse.
+        self._migration_seq += 1
+        return (self.shard_index << 40) | self._migration_seq
+
+    def export_entry(self, key: bytes) -> Tuple[bytes, bytes]:
+        """Export ``key`` for migration: ``(sealed_record, payload_blob)``.
+
+        The sealed record carries the enclave-resident metadata; the blob
+        is the untrusted ciphertext+MAC exactly as stored.  The entry
+        stays live on this shard until :meth:`evict_entry` -- the engine
+        copies first, flips ownership, then evicts, so a crash mid-move
+        never loses the key.
+        """
+        with self._table_lock.read():
+            table = self._table
+            try:
+                entry = table.get(key) if table is not None else None
+            except KeyError:
+                entry = None
+            if entry is None:
+                raise KeyNotFoundError(key)
+            if entry.inline_payload is not None:
+                blob = entry.inline_payload
+            else:
+                blob = self.payload_store.load(entry.ptr)
+            grants = sorted(self._grants.get(bytes(key), ()))
+            flags = (0x01 if entry.mac is not None else 0) | (
+                0x02 if entry.inline_payload is not None else 0
+            )
+            record = struct.pack(">H", len(key)) + bytes(key)
+            record += struct.pack(">B", len(entry.k_operation))
+            record += entry.k_operation
+            record += struct.pack(">IB", entry.client_id, flags)
+            if entry.mac is not None:
+                record += entry.mac
+            record += struct.pack(">H", len(grants))
+            for grantee in grants:
+                record += struct.pack(">I", grantee)
+        sealed = seal_data(
+            self.enclave, record, self._next_migration_iv(), aad=_MIGRATION_AAD
+        )
+        self.stats.entries_exported += 1
+        return sealed, blob
+
+    def import_entry(self, sealed_record: bytes, blob: bytes) -> bytes:
+        """Install a migrated entry; returns the key.
+
+        Raises :class:`~repro.errors.IntegrityError` when the record was
+        tampered with or sealed by a different enclave binary, and
+        :class:`ProtocolError` on a malformed record -- either way nothing
+        is installed.
+        """
+        # The target must be a running shard before entries land in its
+        # table; ``start()`` is idempotent, but a later first ``start()``
+        # would re-run ``init_hashtable`` and drop everything imported.
+        self.start()
+        record = unseal_data(self.enclave, sealed_record, aad=_MIGRATION_AAD)
+        try:
+            offset = 2
+            (key_len,) = struct.unpack_from(">H", record, 0)
+            key = record[offset : offset + key_len]
+            if len(key) != key_len or key_len == 0:
+                raise ProtocolError("migration record: bad key length")
+            offset += key_len
+            (k_len,) = struct.unpack_from(">B", record, offset)
+            offset += 1
+            k_operation = record[offset : offset + k_len]
+            if len(k_operation) != k_len:
+                raise ProtocolError("migration record: truncated key material")
+            offset += k_len
+            client_id, flags = struct.unpack_from(">IB", record, offset)
+            offset += 5
+            mac = None
+            if flags & 0x01:
+                mac = record[offset : offset + 16]
+                if len(mac) != 16:
+                    raise ProtocolError("migration record: truncated MAC")
+                offset += 16
+            (grant_count,) = struct.unpack_from(">H", record, offset)
+            offset += 2
+            grants = []
+            for _ in range(grant_count):
+                (grantee,) = struct.unpack_from(">I", record, offset)
+                grants.append(grantee)
+                offset += 4
+        except struct.error as exc:
+            raise ProtocolError(f"malformed migration record: {exc}") from exc
+        if len(blob) < 16:
+            raise ProtocolError("migrated payload shorter than its MAC")
+        inline = bool(flags & 0x02)
+        if inline:
+            ptr = None
+            inline_payload = bytes(blob)
+            self.enclave.allocator.allocate(len(inline_payload), "inline_values")
+        else:
+            ptr = self.payload_store.store(bytes(blob))
+            inline_payload = None
+        entry = _Entry(
+            k_operation=k_operation,
+            ptr=ptr,
+            client_id=client_id,
+            mac=mac,
+            inline_payload=inline_payload,
+        )
+        with self._table_lock.write():
+            table = self._ensure_table()
+            try:
+                old = table.get(key)
+            except KeyError:
+                old = None
+            table.put(key, entry)
+            self._charge_table_growth()
+        if old is not None:
+            if old.ptr is not None:
+                self.payload_store.release(old.ptr)
+            if old.inline_payload is not None:
+                self.enclave.allocator.free(
+                    len(old.inline_payload), "inline_values"
+                )
+        if grants:
+            self._grants[bytes(key)] = set(grants)
+        self.stats.entries_imported += 1
+        return key
+
+    def evict_entry(self, key: bytes) -> None:
+        """Drop ``key`` after a successful migration (frees all storage)."""
+        with self._table_lock.write():
+            table = self._table
+            entry = None
+            if table is not None:
+                try:
+                    entry = table.delete(key)
+                except KeyError:
+                    entry = None
+            self._grants.pop(bytes(key), None)
+        if entry is None:
+            raise KeyNotFoundError(key)
+        if entry.ptr is not None:
+            self.payload_store.release(entry.ptr)
+        if entry.inline_payload is not None:
+            self.enclave.allocator.free(len(entry.inline_payload), "inline_values")
 
     # -- introspection -----------------------------------------------------------
 

@@ -165,17 +165,65 @@ _SAMPLE_RE = re.compile(
     r" (?P<value>[^ ]+)( [0-9]+)?$"
 )
 
+# One label pair; the *name* part is deliberately loose so invalid names
+# are reported as such rather than as an opaque parse failure.
+_LABEL_PAIR_RE = re.compile(r'(?P<name>[^=,{}]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def _lint_label_block(
+    block: str, lineno: int, problems: List[str]
+) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Validate one ``{k="v",...}`` block; returns the canonical pairs.
+
+    Appends problems (and returns ``None`` on a parse failure) for the
+    things a scraper would reject or silently misread: unparseable
+    syntax, invalid or reserved (``__``-prefixed) label names, and the
+    same label name appearing twice in one sample.
+    """
+    inner = block[1:-1]
+    pairs: List[Tuple[str, str]] = []
+    seen: set = set()
+    pos = 0
+    while pos < len(inner):
+        match = _LABEL_PAIR_RE.match(inner, pos)
+        if not match:
+            problems.append(
+                f"line {lineno}: malformed label block {block!r}"
+            )
+            return None
+        name = match.group("name")
+        if not _LABEL_RE.match(name):
+            problems.append(f"line {lineno}: invalid label name {name!r}")
+        elif name.startswith("__"):
+            problems.append(f"line {lineno}: reserved label name {name!r}")
+        if name in seen:
+            problems.append(f"line {lineno}: duplicate label name {name!r}")
+        seen.add(name)
+        pairs.append((name, match.group("value")))
+        pos = match.end()
+        if pos < len(inner):
+            if inner[pos] != ",":
+                problems.append(
+                    f"line {lineno}: malformed label block {block!r}"
+                )
+                return None
+            pos += 1
+    return tuple(sorted(pairs))
+
 
 def lint_prometheus(text: str) -> List[str]:
     """Validate Prometheus text exposition; returns a list of problems.
 
     Checks the properties scrapers actually depend on: name syntax, TYPE
-    before samples, parseable values, and per-series monotone cumulative
-    histogram buckets ending in ``+Inf``.
+    before samples, parseable values, per-series monotone cumulative
+    histogram buckets ending in ``+Inf``, and -- for labelled series --
+    valid, non-reserved, non-repeated label names plus at most one sample
+    per distinct ``(name, labels)`` series.
     """
     problems: List[str] = []
     typed: Dict[str, str] = {}
     bucket_state: Dict[str, Tuple[float, float]] = {}  # series -> (last le, last count)
+    seen_series: set = set()  # (name, canonical labels) already sampled
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line:
             problems.append(f"line {lineno}: blank line")
@@ -208,6 +256,17 @@ def lint_prometheus(text: str) -> List[str]:
             problems.append(f"line {lineno}: bad value {match.group('value')!r}")
             continue
         labels = match.group("labels") or ""
+        canonical: Tuple[Tuple[str, str], ...] = ()
+        if labels:
+            parsed = _lint_label_block(labels, lineno, problems)
+            if parsed is None:
+                continue
+            canonical = parsed
+        if (name, canonical) in seen_series:
+            problems.append(
+                f"line {lineno}: duplicate sample for {name}{labels}"
+            )
+        seen_series.add((name, canonical))
         if name.endswith("_bucket"):
             le_match = re.search(r'le="([^"]*)"', labels)
             if not le_match:

@@ -110,15 +110,21 @@ class Enclave:
 
     # -- observability -----------------------------------------------------
 
-    def bind_obs(self, registry) -> None:
+    def bind_obs(self, registry, extra_labels: Dict[str, str] = None) -> None:
         """Publish this enclave's boundary and memory state into ``registry``.
 
         Wires ecall/ocall/EPC-fault counters (via the shared
         :class:`TransitionAccounting`) plus live gauges of the trusted
         working set -- the same numbers the sgx-perf census of Table 1
         reads, now continuously exported.
+
+        ``extra_labels`` distinguishes enclaves sharing one measurement:
+        a sharded cluster runs the identical binary on every machine, so
+        the per-shard series need a ``shard`` label to stay distinct.
         """
         labels = {"enclave": self.name}
+        if extra_labels:
+            labels.update(extra_labels)
         self.transitions.bind_obs(registry, labels)
         bytes_gauge = registry.gauge(
             "enclave_trusted_bytes", "trusted heap + code + stack bytes", labels

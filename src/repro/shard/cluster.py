@@ -1,0 +1,197 @@
+"""The sharded cluster: N Precursor servers behind one shard map.
+
+Each shard is a full :class:`~repro.core.server.PrecursorServer` on its
+own machine: its own RDMA fabric and NIC, its own enclave (hence its own
+EPC budget and replay table) -- the scale-out unit the paper's
+client-centric design makes cheap, since the server does almost no
+per-request work.  One shared :class:`~repro.obs.ObsContext` collects
+every shard's metrics under a ``shard`` label.
+
+Ownership is decided by a :class:`~repro.shard.ring.HashRing` wrapped in
+a versioned :class:`ShardMap`.  Membership changes (``add_shard`` /
+``remove_shard``) run the live migration engine and then install the new
+map under a bumped epoch; routers holding the old epoch notice on their
+next operation and re-route (see ``docs/SHARDING.md`` for the protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.testbed import TestbedSpec, sharded_testbed
+from repro.core.server import PrecursorServer, ServerConfig
+from repro.errors import ConfigurationError
+from repro.obs import ObsContext
+from repro.rdma.fabric import Fabric
+from repro.shard.migrate import MigrationEngine, MigrationReport
+from repro.shard.ring import DEFAULT_VNODES, HashRing
+
+__all__ = ["ShardMap", "ShardedCluster"]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """A versioned routing table: who owns which slice of the key space.
+
+    Routers cache a snapshot and compare epochs against the cluster's
+    authoritative map; a mismatch means a membership change happened and
+    the cached routing may be stale.
+    """
+
+    epoch: int
+    ring: HashRing
+
+    def owner(self, key: bytes) -> str:
+        """Shard owning ``key`` under this map."""
+        return self.ring.route(key)
+
+
+class ShardedCluster:
+    """N Precursor shards plus the authoritative shard map.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard count (names default to ``shard-0..N-1``).
+    config:
+        Per-shard :class:`~repro.core.server.ServerConfig`; every shard
+        gets the same configuration (one binary, one measurement).
+    vnodes / seed:
+        Ring geometry; deterministic placement under ``seed``.
+    obs:
+        Shared observability context; defaults to a fresh one.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        config: ServerConfig = None,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+        obs: ObsContext = None,
+        shard_names: Optional[List[str]] = None,
+    ):
+        if shard_names is not None:
+            names = list(shard_names)
+            if len(names) != len(set(names)):
+                raise ConfigurationError(f"duplicate shard names: {names}")
+        else:
+            if shards < 1:
+                raise ConfigurationError(
+                    f"need at least one shard, got {shards}"
+                )
+            names = [f"shard-{i}" for i in range(shards)]
+        self.config = config if config is not None else ServerConfig()
+        self.obs = obs if obs is not None else ObsContext.create()
+        self.testbed: TestbedSpec = sharded_testbed(len(names))
+        self._servers: Dict[str, PrecursorServer] = {}
+        self._next_index = 0
+        for name in names:
+            self._spawn_server(name)
+        self.shard_map = ShardMap(epoch=1, ring=HashRing(names, vnodes, seed))
+        self._engine = MigrationEngine(self)
+        self._obs_epoch = self.obs.registry.gauge(
+            "shard_map_epoch", "current shard-map epoch"
+        )
+        self._obs_epoch.set(self.shard_map.epoch)
+
+    def _spawn_server(self, name: str) -> PrecursorServer:
+        server = PrecursorServer(
+            fabric=Fabric(),
+            config=self.config,
+            obs=self.obs,
+            shard_name=name,
+            shard_index=self._next_index,
+        )
+        self._next_index += 1
+        # Start now (idempotent): a shard must be polling before the
+        # migration engine imports entries into it, or the first client
+        # connection would re-issue ``init_hashtable`` and wipe them.
+        server.start()
+        self._servers[name] = server
+        return server
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """Current member shard names (ring order)."""
+        return self.shard_map.ring.shards
+
+    @property
+    def epoch(self) -> int:
+        """Current shard-map epoch."""
+        return self.shard_map.epoch
+
+    def server(self, name: str) -> PrecursorServer:
+        """The server running shard ``name``."""
+        server = self._servers.get(name)
+        if server is None:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        return server
+
+    def owner(self, key: bytes) -> str:
+        """Authoritative owner of ``key``."""
+        return self.shard_map.owner(key)
+
+    def server_for(self, key: bytes) -> PrecursorServer:
+        """Authoritative owning server of ``key``."""
+        return self.server(self.owner(key))
+
+    def key_counts(self) -> Dict[str, int]:
+        """Stored keys per shard (live shards only)."""
+        return {
+            name: self._servers[name].key_count for name in self.shards
+        }
+
+    def total_keys(self) -> int:
+        """Keys stored across all live shards."""
+        return sum(self.key_counts().values())
+
+    def trusted_bytes(self) -> Dict[str, int]:
+        """Per-shard enclave working set (the Table-1 census, per shard)."""
+        return {
+            name: self._servers[name].trusted_working_set_bytes()
+            for name in self.shards
+        }
+
+    def process_pending(self) -> int:
+        """Pump every shard's polling loop once (explicit-pump mode)."""
+        return sum(
+            self._servers[name].process_pending() for name in self.shards
+        )
+
+    # -- membership changes ------------------------------------------------
+
+    def _install_map(self, ring: HashRing, epoch: int) -> None:
+        # Called by the migration engine once every key is in place.
+        self.shard_map = ShardMap(epoch=epoch, ring=ring)
+        self._obs_epoch.set(epoch)
+
+    def add_shard(self, name: str = None) -> MigrationReport:
+        """Join a new shard: spawn its server, rebalance, bump the epoch.
+
+        Consistent hashing moves ~``1/(n+1)`` of the keys, all of them
+        *onto* the joiner.
+        """
+        if name is None:
+            name = f"shard-{self._next_index}"
+        if name in self._servers:
+            raise ConfigurationError(f"shard {name!r} already exists")
+        self._spawn_server(name)
+        self.testbed = sharded_testbed(len(self.shards) + 1)
+        return self._engine.rebalance(self.shard_map.ring.with_shard(name))
+
+    def remove_shard(self, name: str) -> MigrationReport:
+        """Drain and retire shard ``name`` (its keys spread over the rest)."""
+        if name not in self.shard_map.ring:
+            raise ConfigurationError(f"shard {name!r} not in the ring")
+        report = self._engine.rebalance(self.shard_map.ring.without_shard(name))
+        retired = self._servers.pop(name)
+        if retired.key_count:
+            raise ConfigurationError(
+                f"shard {name!r} retired with {retired.key_count} keys left"
+            )
+        self.testbed = sharded_testbed(len(self.shards))
+        return report

@@ -1,0 +1,105 @@
+"""Live key migration between shards, sealed end to end.
+
+Rebalancing moves two things per key:
+
+- the **security metadata** (one-time key, strict-mode MAC, owner id,
+  tenant grants) -- secret state that lives in the source enclave.  It
+  travels as a record sealed to the Precursor enclave *binary* identity
+  (:func:`repro.sgx.sealing.seal_data`): every shard runs the identical
+  measurement, so only a genuine Precursor enclave can unseal it, and a
+  tampered or foreign record fails authenticated decryption at import.
+  Plaintext key material therefore never exists outside the source and
+  target enclaves;
+- the **payload**, which is already ciphertext+MAC in untrusted memory
+  and moves as-is.  In-transit tampering is caught exactly like at-rest
+  tampering: by the client's MAC check on the next ``get()``.
+
+The move order is copy -> install -> evict, so an interrupted migration
+leaves the key readable on its old shard rather than lost.  Ownership
+flips atomically for the whole batch when the cluster installs the new
+shard map under a bumped epoch; clients holding the old epoch re-route
+on their next operation (:mod:`repro.shard.router`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.shard.ring import HashRing
+
+__all__ = ["MigrationEngine", "MigrationReport"]
+
+
+@dataclass
+class MigrationReport:
+    """What one rebalance moved."""
+
+    #: Epoch installed by this rebalance.
+    epoch: int
+    #: (source, target) -> number of entries moved.
+    moved: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Untrusted payload bytes streamed between shards.
+    payload_bytes: int = 0
+    #: Sealed metadata bytes streamed between enclaves.
+    sealed_bytes: int = 0
+
+    @property
+    def total_moved(self) -> int:
+        """Entries moved across all shard pairs."""
+        return sum(self.moved.values())
+
+
+class MigrationEngine:
+    """Streams entries between a cluster's shards to match a new ring."""
+
+    def __init__(self, cluster):
+        self._cluster = cluster
+        registry = cluster.obs.registry
+        self._obs_moved = registry.counter(
+            "shard_migrated_entries_total", "entries moved between shards"
+        )
+        self._obs_bytes = registry.counter(
+            "shard_migrated_bytes_total",
+            "payload bytes streamed between shards",
+        )
+
+    def rebalance(self, new_ring: HashRing) -> MigrationReport:
+        """Move every misplaced key, then install ``new_ring``.
+
+        Every target named by ``new_ring`` must already have a running
+        server; sources no longer in the ring are fully drained.
+        """
+        cluster = self._cluster
+        old_map = cluster.shard_map
+        for name in new_ring.shards:
+            cluster.server(name)  # raises ConfigurationError when missing
+        moves: List[Tuple[bytes, str, str]] = []
+        for source in old_map.ring.shards:
+            server = cluster.server(source)
+            for key in server.stored_keys():
+                target = new_ring.route(key)
+                if target != source:
+                    moves.append((key, source, target))
+        report = MigrationReport(epoch=old_map.epoch + 1)
+        for key, source, target in moves:
+            src_server = cluster.server(source)
+            dst_server = cluster.server(target)
+            if src_server.enclave.measurement != dst_server.enclave.measurement:
+                # Defense in depth: unsealing would fail anyway, but refuse
+                # to even ship records towards a foreign enclave binary.
+                raise ConfigurationError(
+                    f"shard {target!r} runs a different enclave binary"
+                )
+            sealed, blob = src_server.export_entry(key)
+            dst_server.import_entry(sealed, blob)
+            src_server.evict_entry(key)
+            pair = (source, target)
+            report.moved[pair] = report.moved.get(pair, 0) + 1
+            report.payload_bytes += len(blob)
+            report.sealed_bytes += len(sealed)
+            self._obs_moved.inc()
+            self._obs_bytes.inc(len(blob))
+        cluster._install_map(new_ring, report.epoch)
+        return report

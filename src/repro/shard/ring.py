@@ -1,0 +1,130 @@
+"""Deterministic consistent-hash ring with virtual nodes.
+
+Precursor's client-centric split makes the server almost stateless per
+request, so horizontal partitioning is the natural scale-out move: each
+shard runs its own enclave (own EPC budget, own replay table) and owns a
+slice of the key space.  The ring decides ownership:
+
+- every shard contributes ``vnodes`` *virtual nodes*, placed by hashing
+  ``(seed, shard, replica)`` -- placement is fully deterministic under a
+  seed, so every client and every test derives the identical ring;
+- a key is owned by the first virtual node clockwise from the key's hash;
+- adding or removing one shard moves only the keys that fall between the
+  new/old virtual nodes and their predecessors -- in expectation a
+  ``1/(n+1)`` (join) or ``1/n`` (leave) fraction of the key space, the
+  consistent-hashing minimal-movement invariant the tests pin down.
+
+The ring is immutable: :meth:`with_shard` / :meth:`without_shard` return
+new rings, which is what lets the shard map version them under epochs
+(:mod:`repro.shard.cluster`) while in-flight clients keep routing on a
+stale snapshot until they observe the bump.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HashRing"]
+
+#: Default virtual nodes per shard; 128 keeps per-shard load within a few
+#: percent of uniform while the ring stays small enough to rebuild on
+#: every membership change.
+DEFAULT_VNODES = 128
+
+
+def _hash64(data: bytes) -> int:
+    """First 8 bytes of SHA-256 as an unsigned 64-bit ring position."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over named shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ):
+        names = list(shards)
+        if not names:
+            raise ConfigurationError("a ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate shard names: {names}")
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._shards: Tuple[str, ...] = tuple(names)
+        points: List[Tuple[int, str]] = []
+        for name in names:
+            for replica in range(vnodes):
+                point = _hash64(f"vnode:{seed}:{name}:{replica}".encode())
+                points.append((point, name))
+        # Ties are broken by shard name so the ring is a pure function of
+        # (shards, vnodes, seed) regardless of insertion order.
+        points.sort()
+        self._points = points
+        self._positions = [p for p, _ in points]
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def key_position(key: bytes) -> int:
+        """Ring position of ``key`` (placement-seed independent)."""
+        return _hash64(b"key:" + bytes(key))
+
+    def route(self, key: bytes) -> str:
+        """Shard owning ``key``: first virtual node clockwise."""
+        index = bisect.bisect_right(self._positions, self.key_position(key))
+        if index == len(self._points):
+            index = 0  # wrap around
+        return self._points[index][1]
+
+    def load_split(self, keys: Iterable[bytes]) -> Dict[str, int]:
+        """Count how many of ``keys`` each shard owns (all shards listed)."""
+        counts = {name: 0 for name in self._shards}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """Member shard names, in construction order."""
+        return self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    def with_shard(self, name: str) -> "HashRing":
+        """New ring with ``name`` joined (same vnodes/seed)."""
+        if name in self._shards:
+            raise ConfigurationError(f"shard {name!r} already in the ring")
+        return HashRing(
+            list(self._shards) + [name], vnodes=self.vnodes, seed=self.seed
+        )
+
+    def without_shard(self, name: str) -> "HashRing":
+        """New ring with ``name`` removed (same vnodes/seed)."""
+        if name not in self._shards:
+            raise ConfigurationError(f"shard {name!r} not in the ring")
+        if len(self._shards) == 1:
+            raise ConfigurationError("cannot remove the last shard")
+        return HashRing(
+            [s for s in self._shards if s != name],
+            vnodes=self.vnodes,
+            seed=self.seed,
+        )
+
+    def moved_keys(self, other: "HashRing", keys: Iterable[bytes]) -> List[bytes]:
+        """Keys whose owner differs between this ring and ``other``."""
+        return [key for key in keys if self.route(key) != other.route(key)]

@@ -1,0 +1,292 @@
+"""The shard-aware client router.
+
+A :class:`ShardedClient` wraps one attested
+:class:`~repro.core.client.PrecursorClient` session (QP pair, reply
+ring, replay counter) *per shard*, all under a single client identity,
+and routes every operation by key hash through a cached snapshot of the
+cluster's shard map.  Multi-key batches are fanned out per shard and the
+replies merged back into request order.
+
+Epoch protocol (see ``docs/SHARDING.md``):
+
+- **writes** are epoch-fenced: before a ``put`` the router validates its
+  cached epoch against the authoritative map and refreshes when stale,
+  so a write can never land on a shard that no longer owns the key;
+- **reads/deletes** route optimistically on the cached map.  When a
+  migration raced the operation, the old owner answers ``NOT_FOUND``;
+  the router then notices the epoch bump, refreshes its snapshot and
+  retries the operation against the new owner -- the "in-flight clients
+  retry stale-routed ops" half of the protocol.  A genuine miss under a
+  current epoch propagates unchanged.
+
+All of Precursor's client-side guarantees are per-underlying-session and
+survive routing: payload MACs are verified by the same code path, replay
+counters stay per (client, shard) session, and a one-shard router is
+protocol-equivalent to a direct client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.client import PrecursorClient, allocate_client_id
+from repro.crypto.keys import KeyGenerator
+from repro.errors import KeyNotFoundError
+from repro.obs import Trace
+
+__all__ = ["ShardedClient"]
+
+
+class ShardedClient:
+    """A client that speaks to a whole :class:`ShardedCluster`.
+
+    Parameters mirror :class:`~repro.core.client.PrecursorClient` where
+    they apply; ``client_id`` defaults to a fresh process-wide id used on
+    *every* shard, so ownership metadata stays valid when entries migrate
+    between shards.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        client_id: Optional[int] = None,
+        keygen: Optional[KeyGenerator] = None,
+        auto_pump: bool = True,
+        expected_measurement: Optional[bytes] = None,
+        trace_ops: bool = True,
+    ):
+        self.cluster = cluster
+        self.obs = cluster.obs
+        self.client_id = (
+            client_id if client_id is not None else allocate_client_id()
+        )
+        self.keygen = keygen if keygen is not None else KeyGenerator()
+        self._auto_pump = auto_pump
+        self._expected_measurement = expected_measurement
+        self._trace_ops = trace_ops
+        self._map = cluster.shard_map
+        self._clients: Dict[str, PrecursorClient] = {}
+        for name in cluster.shards:
+            self._connect(name)
+
+        #: Operations routed through this client, and stale-map events.
+        self.operations = 0
+        self.stale_retries = 0
+        registry = self.obs.registry
+        self._obs_routed = {}
+        self._obs_stale = registry.counter(
+            "router_stale_retries_total",
+            "operations re-routed after a shard-map epoch bump",
+        )
+
+    # -- connections -------------------------------------------------------
+
+    def _connect(self, shard: str) -> PrecursorClient:
+        client = PrecursorClient(
+            self.cluster.server(shard),
+            client_id=self.client_id,
+            keygen=self.keygen,
+            auto_pump=self._auto_pump,
+            expected_measurement=self._expected_measurement,
+            obs=self.obs,
+            trace_ops=False,  # the router traces whole routed operations
+        )
+        self._clients[shard] = client
+        return client
+
+    def _client(self, shard: str) -> PrecursorClient:
+        client = self._clients.get(shard)
+        if client is None:
+            # A shard that joined after this router connected: attest and
+            # open a session on first contact.
+            client = self._connect(shard)
+        return client
+
+    @property
+    def sessions(self) -> Dict[str, PrecursorClient]:
+        """Live per-shard sessions (shard name -> client)."""
+        return dict(self._clients)
+
+    @property
+    def integrity_failures(self) -> int:
+        """MAC verification failures across every shard session."""
+        return sum(c.integrity_failures for c in self._clients.values())
+
+    # -- shard map handling ------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the cached shard-map snapshot."""
+        return self._map.epoch
+
+    def refresh_map(self) -> bool:
+        """Re-fetch the shard map; returns True when it had changed."""
+        current = self.cluster.shard_map
+        if current.epoch == self._map.epoch:
+            return False
+        self._map = current
+        return True
+
+    def _note_stale(self) -> None:
+        self.stale_retries += 1
+        self._obs_stale.inc()
+
+    def _route(self, key: bytes, fenced: bool) -> Tuple[PrecursorClient, str]:
+        """Pick the shard for ``key``; fence writes against stale epochs."""
+        if fenced and self.cluster.shard_map.epoch != self._map.epoch:
+            self.refresh_map()
+            self._note_stale()
+        shard = self._map.owner(key)
+        counter = self._obs_routed.get(shard)
+        if counter is None:
+            counter = self.obs.registry.counter(
+                "router_routed_ops_total",
+                "operations routed to each shard",
+                {"shard": shard},
+            )
+            self._obs_routed[shard] = counter
+        counter.inc()
+        return self._client(shard), shard
+
+    # -- tracing -----------------------------------------------------------
+
+    def _start_trace(self, op: str) -> Optional[Trace]:
+        if not self._trace_ops:
+            return None
+        tracer = self.obs.tracer
+        if tracer.current is not None:
+            return None
+        return tracer.start(op, client_id=self.client_id, routed=True)
+
+    # -- key-value API -----------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Store ``value`` under ``key`` on its owning shard (epoch-fenced)."""
+        trace = self._start_trace("put")
+        try:
+            with self.obs.tracer.stage("router.route"):
+                client, _shard = self._route(key, fenced=True)
+            client.put(key, value)
+            self.operations += 1
+        except BaseException:
+            if trace is not None:
+                trace.abort()
+            raise
+        if trace is not None:
+            trace.finish()
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch and verify ``key``, retrying once after an epoch bump."""
+        trace = self._start_trace("get")
+        try:
+            with self.obs.tracer.stage("router.route"):
+                client, _shard = self._route(key, fenced=False)
+            try:
+                value = client.get(key)
+            except KeyNotFoundError:
+                # Either a true miss or a stale route that raced a
+                # migration; only an epoch bump warrants a retry.
+                if not self.refresh_map():
+                    raise
+                self._note_stale()
+                with self.obs.tracer.stage("router.route"):
+                    client, _shard = self._route(key, fenced=False)
+                value = client.get(key)
+            self.operations += 1
+        except BaseException:
+            if trace is not None:
+                trace.abort()
+            raise
+        if trace is not None:
+            trace.finish()
+        return value
+
+    def delete(self, key: bytes) -> None:
+        """Delete ``key``, retrying once after an epoch bump."""
+        trace = self._start_trace("delete")
+        try:
+            with self.obs.tracer.stage("router.route"):
+                client, _shard = self._route(key, fenced=False)
+            try:
+                client.delete(key)
+            except KeyNotFoundError:
+                if not self.refresh_map():
+                    raise
+                self._note_stale()
+                with self.obs.tracer.stage("router.route"):
+                    client, _shard = self._route(key, fenced=False)
+                client.delete(key)
+            self.operations += 1
+        except BaseException:
+            if trace is not None:
+                trace.abort()
+            raise
+        if trace is not None:
+            trace.finish()
+
+    # -- batched operations ------------------------------------------------
+
+    def _group_by_shard(self, keys) -> Dict[str, List[int]]:
+        """Request indices per owning shard, under the cached map."""
+        groups: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(self._map.owner(key), []).append(index)
+        return groups
+
+    def put_many(self, items) -> int:
+        """Fan a batch of puts out per shard; returns the stored count.
+
+        Epoch-fenced like :meth:`put`: the whole batch runs under one map
+        snapshot validated up front, so every item lands on its owner.
+        """
+        items = list(items)
+        if self.cluster.shard_map.epoch != self._map.epoch:
+            self.refresh_map()
+            self._note_stale()
+        groups = self._group_by_shard([key for key, _value in items])
+        stored = 0
+        for shard, indices in groups.items():
+            stored += self._client(shard).put_many(
+                [items[i] for i in indices]
+            )
+            counter = self._obs_routed.get(shard)
+            if counter is not None:
+                counter.inc(len(indices))
+        self.operations += len(items)
+        return stored
+
+    def get_many(self, keys) -> list:
+        """Fan a batch of gets out per shard; replies merge in key order.
+
+        Retries the remaining misses once when a concurrent epoch bump is
+        detected mid-batch.
+        """
+        keys = list(keys)
+        groups = self._group_by_shard(keys)
+        values: List[Optional[bytes]] = [None] * len(keys)
+        try:
+            for shard, indices in groups.items():
+                fetched = self._client(shard).get_many(
+                    [keys[i] for i in indices]
+                )
+                for index, value in zip(indices, fetched):
+                    values[index] = value
+        except KeyNotFoundError:
+            if not self.refresh_map():
+                raise
+            self._note_stale()
+            # The aborted window may have left replies queued on the
+            # session that raised; drop them before re-issuing.
+            for client in self._clients.values():
+                client.drain_replies()
+            missing = [i for i, v in enumerate(values) if v is None]
+            for shard, indices in self._group_by_shard(
+                [keys[i] for i in missing]
+            ).items():
+                fetched = self._client(shard).get_many(
+                    [keys[missing[j]] for j in indices]
+                )
+                for j, value in zip(indices, fetched):
+                    values[missing[j]] = value
+        self.operations += len(keys)
+        return values

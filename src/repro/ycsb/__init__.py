@@ -19,7 +19,9 @@ from repro.ycsb.generator import (
     OperationStream,
     UniformChooser,
     ZipfianChooser,
+    make_key,
     make_value,
+    stream_seed,
 )
 from repro.ycsb.workload import (
     UPDATE_MOSTLY,
@@ -40,7 +42,9 @@ __all__ = [
     "ZipfianChooser",
     "LatestChooser",
     "OperationStream",
+    "make_key",
     "make_value",
+    "stream_seed",
     "WorkloadDriver",
     "WorkloadResult",
 ]

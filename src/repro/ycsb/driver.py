@@ -47,7 +47,9 @@ class WorkloadResult:
 class WorkloadDriver:
     """Runs a workload spec against one client object."""
 
-    def __init__(self, client, spec: WorkloadSpec, seed: int = 0):
+    def __init__(
+        self, client, spec: WorkloadSpec, seed: int = 0, client_id: int = 0
+    ):
         for method in ("put", "get"):
             if not callable(getattr(client, method, None)):
                 raise ConfigurationError(
@@ -55,7 +57,7 @@ class WorkloadDriver:
                 )
         self.client = client
         self.spec = spec
-        self.stream = OperationStream(spec, seed=seed)
+        self.stream = OperationStream(spec, seed=seed, client_id=client_id)
 
     def load(self, records: int = None) -> int:
         """Insert the first ``records`` warm-up rows (default: all)."""

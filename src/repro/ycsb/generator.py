@@ -24,8 +24,24 @@ __all__ = [
     "LatestChooser",
     "make_key",
     "make_value",
+    "stream_seed",
     "OperationStream",
 ]
+
+
+def stream_seed(seed: int, client_id: int = 0) -> int:
+    """Effective RNG seed for one client's operation stream.
+
+    Multi-client runs (e.g. one router per simulated YCSB process, see
+    :mod:`repro.shard`) need *disjoint but reproducible* streams per
+    client.  ``client_id == 0`` maps to ``seed`` unchanged, so
+    single-client runs stay bit-identical across releases; any other id
+    derives an independent 64-bit seed from the pair.
+    """
+    if client_id == 0:
+        return seed
+    digest = hashlib.sha256(f"stream:{seed}:{client_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def make_key(index: int, key_size: int = 16) -> bytes:
@@ -146,12 +162,18 @@ def _make_chooser(spec: WorkloadSpec, seed: int) -> KeyChooser:
 
 
 class OperationStream:
-    """Deterministic stream of (opcode, key, value) operations."""
+    """Deterministic stream of (opcode, key, value) operations.
 
-    def __init__(self, spec: WorkloadSpec, seed: int = 0):
+    The stream is a pure function of ``(spec, seed, client_id)``: two
+    clients sharing a seed but holding different ids draw independent
+    key/op sequences (see :func:`stream_seed`).
+    """
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, client_id: int = 0):
         self.spec = spec
-        self._chooser = _make_chooser(spec, seed)
-        self._rng = random.Random(seed ^ 0x5BD1E995)
+        effective = stream_seed(seed, client_id)
+        self._chooser = _make_chooser(spec, effective)
+        self._rng = random.Random(effective ^ 0x5BD1E995)
         self._versions = {}
 
     def load_phase(self) -> Iterator[Tuple[bytes, bytes]]:

@@ -1,0 +1,305 @@
+"""Sharded cluster, router and live migration (repro.shard).
+
+Covers the ISSUE acceptance criteria: a 1-shard ShardedClient is
+protocol-equivalent to a direct PrecursorClient (same results, same
+replay and MAC enforcement), batches fan out per shard, stale-routed
+clients retry after an epoch bump, and migration preserves every
+client-side security guarantee.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.client import PrecursorClient
+from repro.core.server import PrecursorServer, ServerConfig
+from repro.errors import (
+    ConfigurationError,
+    IntegrityError,
+    KeyNotFoundError,
+)
+from repro.rdma.fabric import Fabric
+from repro.shard import ShardedCluster, ShardedClient
+
+
+@pytest.fixture
+def cluster():
+    return ShardedCluster(shards=2, seed=3)
+
+
+@pytest.fixture
+def client(cluster):
+    return ShardedClient(cluster)
+
+
+def _fill(client, count, prefix=b"key"):
+    items = [
+        (b"%s-%03d" % (prefix, i), b"value-%03d" % i) for i in range(count)
+    ]
+    for key, value in items:
+        client.put(key, value)
+    return items
+
+
+class TestSingleShardEquivalence:
+    """One shard behind the router == a direct client session."""
+
+    def test_same_results_as_direct_client(self):
+        direct_server = PrecursorServer(fabric=Fabric())
+        direct = PrecursorClient(direct_server)
+        routed = ShardedClient(ShardedCluster(shards=1))
+        ops = [(b"k-%02d" % i, b"v-%02d" % i) for i in range(25)]
+        for key, value in ops:
+            direct.put(key, value)
+            routed.put(key, value)
+        for key, value in ops:
+            assert direct.get(key) == routed.get(key) == value
+        direct.delete(b"k-03")
+        routed.delete(b"k-03")
+        for c in (direct, routed):
+            with pytest.raises(KeyNotFoundError):
+                c.get(b"k-03")
+
+    def test_miss_propagates_like_direct_client(self):
+        routed = ShardedClient(ShardedCluster(shards=1))
+        with pytest.raises(KeyNotFoundError):
+            routed.get(b"never-stored")
+
+    def test_mac_enforcement_unchanged(self):
+        cluster = ShardedCluster(shards=1)
+        routed = ShardedClient(cluster)
+        routed.put(b"k", b"v")
+        server = cluster.server_for(b"k")
+        entry = server._table.get(b"k")
+        server.payload_store.corrupt(entry.ptr, flip_at=2)
+        with pytest.raises(IntegrityError):
+            routed.get(b"k")
+        assert routed.integrity_failures == 1
+
+    def test_replay_enforcement_unchanged(self):
+        """A replayed wire frame is rejected per (client, shard) session."""
+        cluster = ShardedCluster(shards=1)
+        routed = ShardedClient(cluster)
+        routed.put(b"k", b"v1")
+        shard = cluster.shards[0]
+        server = cluster.server(shard)
+        channel = server._channels[routed.client_id]
+        consumer = channel.request_consumer
+        offset = consumer.layout.slot_offset(consumer.consumed - 1)
+        header = channel.request_region.read_local(offset, 8)
+        length, _seq = struct.unpack(">II", header)
+        captured = channel.request_region.read_local(offset + 8, length)
+        rejected_before = server.stats.replay_rejections
+        seq = consumer._next_seq
+        inject_at = consumer.layout.slot_offset(seq - 1)
+        channel.request_region.write_local(
+            inject_at, struct.pack(">II", len(captured), seq) + captured
+        )
+        server.process_pending()
+        assert server.stats.replay_rejections == rejected_before + 1
+
+
+class TestRoutingAndBatches:
+    def test_keys_spread_over_both_shards(self, cluster, client):
+        _fill(client, 64)
+        counts = cluster.key_counts()
+        assert sum(counts.values()) == 64
+        assert all(count > 0 for count in counts.values())
+
+    def test_every_key_readable_via_router(self, cluster, client):
+        items = _fill(client, 40)
+        for key, value in items:
+            assert client.get(key) == value
+
+    def test_router_agrees_with_authoritative_map(self, cluster, client):
+        items = _fill(client, 40)
+        for key, _ in items:
+            owner = cluster.owner(key)
+            assert key in cluster.server(owner).stored_keys()
+
+    def test_get_many_merges_in_request_order(self, cluster, client):
+        items = _fill(client, 50)
+        keys = [key for key, _ in items]
+        assert client.get_many(keys) == [value for _, value in items]
+        assert client.get_many(list(reversed(keys))) == [
+            value for _, value in reversed(items)
+        ]
+
+    def test_put_many_fans_out(self, cluster, client):
+        items = [(b"bulk-%03d" % i, b"B-%03d" % i) for i in range(30)]
+        assert client.put_many(items) == 30
+        counts = cluster.key_counts()
+        assert sum(counts.values()) == 30
+        assert all(count > 0 for count in counts.values())
+
+    def test_get_many_raises_on_genuine_miss(self, cluster, client):
+        _fill(client, 10)
+        with pytest.raises(KeyNotFoundError):
+            client.get_many([b"key-001", b"missing-key"])
+
+    def test_delete_routes_to_owner(self, cluster, client):
+        _fill(client, 20)
+        client.delete(b"key-007")
+        with pytest.raises(KeyNotFoundError):
+            client.get(b"key-007")
+        assert cluster.total_keys() == 19
+
+
+class TestEpochProtocol:
+    def test_join_bumps_epoch_and_stale_router_retries(
+        self, cluster, client
+    ):
+        items = _fill(client, 60)
+        assert cluster.epoch == 1 and client.epoch == 1
+        report = cluster.add_shard()
+        assert cluster.epoch == 2
+        assert report.epoch == 2
+        assert report.total_moved > 0
+        # The router still holds epoch 1; reading a migrated key takes
+        # the NOT_FOUND -> refresh -> retry path exactly once.
+        migrated = next(
+            key for key, _ in items if cluster.owner(key) == "shard-2"
+        )
+        before = client.stale_retries
+        assert client.get(migrated) == dict(items)[migrated]
+        assert client.stale_retries == before + 1
+        assert client.epoch == 2
+
+    def test_stale_batch_retries_and_merges(self, cluster, client):
+        items = _fill(client, 60)
+        cluster.add_shard()
+        keys = [key for key, _ in items]
+        assert client.get_many(keys) == [value for _, value in items]
+        assert client.epoch == 2
+
+    def test_writes_are_epoch_fenced(self, cluster, client):
+        _fill(client, 30)
+        cluster.add_shard()
+        client.put(b"post-join", b"P")  # must land on the new owner
+        owner = cluster.owner(b"post-join")
+        assert b"post-join" in cluster.server(owner).stored_keys()
+        assert client.epoch == 2
+
+    def test_true_miss_after_refresh_still_raises(self, cluster, client):
+        _fill(client, 10)
+        cluster.add_shard()
+        with pytest.raises(KeyNotFoundError):
+            client.get(b"never-stored")
+
+    def test_epoch_gauge_tracks_map(self, cluster, client):
+        registry = cluster.obs.registry
+        gauge = registry.gauge("shard_map_epoch", "")
+        assert gauge.value == 1
+        cluster.add_shard()
+        assert gauge.value == 2
+
+
+class TestMigrationSecurity:
+    def test_gets_succeed_after_migration(self, cluster, client):
+        items = _fill(client, 60)
+        report = cluster.add_shard()
+        assert report.total_moved > 0
+        for key, value in items:
+            assert client.get(key) == value
+        assert client.integrity_failures == 0
+
+    def test_tamper_after_migration_still_fails(self, cluster, client):
+        _fill(client, 60)
+        cluster.add_shard()
+        migrated = next(
+            key
+            for key in (b"key-%03d" % i for i in range(60))
+            if cluster.owner(key) == "shard-2"
+        )
+        server = cluster.server("shard-2")
+        entry = server._table.get(migrated)
+        server.payload_store.corrupt(entry.ptr, flip_at=1)
+        with pytest.raises(IntegrityError):
+            client.get(migrated)
+
+    def test_tampered_sealed_record_rejected_at_import(self, cluster, client):
+        _fill(client, 20)
+        source = cluster.server(cluster.owner(b"key-001"))
+        target_name = next(
+            name for name in cluster.shards
+            if name != cluster.owner(b"key-001")
+        )
+        target = cluster.server(target_name)
+        sealed, blob = source.export_entry(b"key-001")
+        tampered = bytearray(sealed)
+        tampered[len(tampered) // 2] ^= 0x40
+        before = target.key_count
+        with pytest.raises(IntegrityError):
+            target.import_entry(bytes(tampered), blob)
+        assert target.key_count == before
+
+    def test_sealed_record_hides_key_material(self, cluster, client):
+        """The one-time key never appears in the migration stream."""
+        _fill(client, 20)
+        source = cluster.server(cluster.owner(b"key-001"))
+        k_operation = source._table.get(b"key-001").k_operation
+        sealed, blob = source.export_entry(b"key-001")
+        assert k_operation not in sealed
+        assert k_operation not in blob
+
+    def test_migration_counters_exported(self, cluster, client):
+        _fill(client, 60)
+        report = cluster.add_shard()
+        counter = cluster.obs.registry.counter(
+            "shard_migrated_entries_total", ""
+        )
+        assert counter.value == report.total_moved
+
+    def test_tenant_grants_survive_migration(self):
+        config = ServerConfig(tenant_isolation=True)
+        cluster = ShardedCluster(shards=2, seed=3, config=config)
+        owner_client = ShardedClient(cluster)
+        reader = ShardedClient(cluster)
+        owner_client.put(b"shared-key", b"secret")
+        with pytest.raises(KeyNotFoundError):
+            reader.get(b"shared-key")  # denial reads as a miss
+        cluster.server_for(b"shared-key").grant_access(
+            b"shared-key", reader.client_id
+        )
+        assert reader.get(b"shared-key") == b"secret"
+        cluster.add_shard()
+        # Wherever the key lives now, owner and grantee still read it
+        # and strangers still miss.
+        assert owner_client.get(b"shared-key") == b"secret"
+        assert reader.get(b"shared-key") == b"secret"
+        stranger = ShardedClient(cluster)
+        with pytest.raises(KeyNotFoundError):
+            stranger.get(b"shared-key")
+
+
+class TestMembership:
+    def test_remove_shard_drains_and_data_survives(self, cluster, client):
+        items = _fill(client, 60)
+        cluster.add_shard()
+        retired = cluster.shards[0]
+        cluster.remove_shard(retired)
+        assert retired not in cluster.shards
+        assert cluster.total_keys() == 60
+        for key, value in items:
+            assert client.get(key) == value
+
+    def test_add_existing_shard_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.add_shard("shard-0")
+
+    def test_remove_unknown_shard_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.remove_shard("nope")
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCluster(shards=0)
+
+    def test_duplicate_shard_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCluster(shard_names=["a", "a"])
+
+    def test_testbed_tracks_membership(self, cluster):
+        assert cluster.testbed.server_count == 2
+        cluster.add_shard()
+        assert cluster.testbed.server_count == 3

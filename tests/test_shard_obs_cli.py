@@ -1,0 +1,162 @@
+"""Shard-labelled metrics, the extended Prometheus lint, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.exporters import lint_prometheus, prometheus_text
+from repro.shard import ShardedCluster, ShardedClient
+
+
+@pytest.fixture
+def exercised_cluster():
+    cluster = ShardedCluster(shards=2, seed=3)
+    client = ShardedClient(cluster)
+    for i in range(24):
+        client.put(b"key-%03d" % i, b"value-%03d" % i)
+        client.get(b"key-%03d" % i)
+    return cluster, client
+
+
+class TestShardLabels:
+    def test_per_shard_request_counters(self, exercised_cluster):
+        cluster, _client = exercised_cluster
+        registry = cluster.obs.registry
+        for shard in cluster.shards:
+            counter = registry.counter(
+                "server_requests_total", "", {"op": "put", "shard": shard}
+            )
+            assert counter.value > 0
+        total = sum(
+            registry.counter(
+                "server_requests_total", "", {"op": "put", "shard": shard}
+            ).value
+            for shard in cluster.shards
+        )
+        assert total == 24
+
+    def test_per_shard_reject_counters_exist(self, exercised_cluster):
+        cluster, _client = exercised_cluster
+        text = prometheus_text(cluster.obs.registry)
+        assert 'server_rejected_requests_total{shard="shard-0"}' in text
+        assert 'server_rejected_requests_total{shard="shard-1"}' in text
+
+    def test_router_counters(self, exercised_cluster):
+        cluster, client = exercised_cluster
+        registry = cluster.obs.registry
+        routed = sum(
+            registry.counter(
+                "router_routed_ops_total", "", {"shard": shard}
+            ).value
+            for shard in cluster.shards
+        )
+        assert routed == client.operations == 48
+
+    def test_unsharded_server_metrics_stay_unlabelled(self):
+        from repro.core.client import PrecursorClient
+        from repro.core.server import PrecursorServer
+        from repro.rdma.fabric import Fabric
+
+        server = PrecursorServer(fabric=Fabric())
+        client = PrecursorClient(server)
+        client.put(b"k", b"v")
+        text = prometheus_text(client.obs.registry)
+        assert 'server_requests_total{op="put"} 1' in text
+        assert "shard=" not in text
+
+    def test_sharded_registry_lints_clean(self, exercised_cluster):
+        cluster, _client = exercised_cluster
+        assert lint_prometheus(prometheus_text(cluster.obs.registry)) == []
+
+
+class TestLabelledLint:
+    def test_valid_labelled_series_pass(self):
+        text = (
+            "# TYPE x counter\n"
+            'x{shard="s0"} 1\n'
+            'x{shard="s1"} 2\n'
+        )
+        assert lint_prometheus(text) == []
+
+    def test_duplicate_series_flagged(self):
+        text = (
+            "# TYPE x counter\n"
+            'x{shard="s0"} 1\n'
+            'x{shard="s0"} 2\n'
+        )
+        assert any("duplicate sample" in p for p in lint_prometheus(text))
+
+    def test_duplicate_unlabelled_sample_flagged(self):
+        text = "# TYPE x counter\nx 1\nx 2\n"
+        assert any("duplicate sample" in p for p in lint_prometheus(text))
+
+    def test_label_order_does_not_mask_duplicates(self):
+        text = (
+            "# TYPE x counter\n"
+            'x{a="1",b="2"} 1\n'
+            'x{b="2",a="1"} 2\n'
+        )
+        assert any("duplicate sample" in p for p in lint_prometheus(text))
+
+    def test_invalid_label_name_flagged(self):
+        text = '# TYPE x counter\nx{1bad="v"} 1\n'
+        assert any("invalid label name" in p for p in lint_prometheus(text))
+
+    def test_reserved_label_name_flagged(self):
+        text = '# TYPE x counter\nx{__hidden="v"} 1\n'
+        assert any("reserved label name" in p for p in lint_prometheus(text))
+
+    def test_repeated_label_in_one_sample_flagged(self):
+        text = '# TYPE x counter\nx{a="1",a="2"} 1\n'
+        assert any(
+            "duplicate label name" in p for p in lint_prometheus(text)
+        )
+
+    def test_malformed_label_block_flagged(self):
+        text = '# TYPE x counter\nx{oops=} 1\n'
+        assert any("malformed" in p or "unparseable" in p
+                   for p in lint_prometheus(text))
+
+
+class TestShardCli:
+    def test_smoke_run(self, capsys):
+        assert main(["shard", "--shards", "2", "--ops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Sharded functional run" in out
+        assert "epoch 1 -> 2" in out
+
+    def test_json_output(self, capsys):
+        assert main(["shard", "--shards", "2", "--ops", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 2
+        assert payload["epoch_after_join"] == 2
+        assert payload["integrity_failures"] == 0
+        assert payload["migrated_entries"] > 0
+
+    def test_out_dir(self, tmp_path, capsys):
+        assert (
+            main(["shard", "--ops", "60", "--out", str(tmp_path)]) == 0
+        )
+        assert (tmp_path / "shard.txt").exists()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["shard", "--shards", "0"],
+            ["shard", "--shards", "65"],
+            ["shard", "--ops", "0"],
+        ],
+    )
+    def test_validation_errors_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_workload_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["shard", "--workload", "z"])
+
+    def test_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out and "scaleout" in out

@@ -1,0 +1,110 @@
+"""Consistent-hash ring invariants (repro.shard.ring).
+
+The properties the sharded cluster is built on: deterministic placement,
+near-uniform load, and minimal key movement on membership changes.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.cluster import ShardMap
+from repro.shard.ring import DEFAULT_VNODES, HashRing
+
+
+def _keys(count):
+    return [b"bench-key-%06d" % i for i in range(count)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_routing(self):
+        keys = _keys(500)
+        a = HashRing(["s0", "s1", "s2"], seed=7)
+        b = HashRing(["s0", "s1", "s2"], seed=7)
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_different_seed_different_placement(self):
+        keys = _keys(500)
+        a = HashRing(["s0", "s1", "s2"], seed=7)
+        b = HashRing(["s0", "s1", "s2"], seed=8)
+        assert [a.route(k) for k in keys] != [b.route(k) for k in keys]
+
+    def test_member_order_irrelevant(self):
+        keys = _keys(300)
+        a = HashRing(["s0", "s1", "s2"], seed=1)
+        b = HashRing(["s2", "s0", "s1"], seed=1)
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+
+class TestUniformity:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_load_within_15_percent_at_128_vnodes(self, shards):
+        """ISSUE acceptance: +-15 % of fair share at DEFAULT_VNODES."""
+        assert DEFAULT_VNODES == 128
+        keys = _keys(20_000)
+        names = [f"shard-{i}" for i in range(shards)]
+        ring = HashRing(names, vnodes=DEFAULT_VNODES, seed=0)
+        split = ring.load_split(keys)
+        fair = len(keys) / shards
+        assert set(split) == set(names)
+        for name, count in split.items():
+            deviation = abs(count - fair) / fair
+            assert deviation <= 0.15, (
+                f"{name} holds {count} keys, {deviation:.1%} off fair share"
+            )
+
+
+class TestMembershipChanges:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_join_moves_about_one_over_n_plus_one(self, shards):
+        keys = _keys(20_000)
+        names = [f"shard-{i}" for i in range(shards)]
+        ring = HashRing(names, seed=0)
+        grown = ring.with_shard("joiner")
+        moved = ring.moved_keys(grown, keys)
+        expected = 1.0 / (shards + 1)
+        fraction = len(moved) / len(keys)
+        assert abs(fraction - expected) <= 0.35 * expected
+        # Minimal movement: every moved key lands on the joiner, and no
+        # key moved between pre-existing shards.
+        for key in moved:
+            assert grown.route(key) == "joiner"
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        keys = _keys(10_000)
+        ring = HashRing(["s0", "s1", "s2", "s3"], seed=0)
+        shrunk = ring.without_shard("s2")
+        for key in keys:
+            owner = ring.route(key)
+            if owner != "s2":
+                assert shrunk.route(key) == owner
+            else:
+                assert shrunk.route(key) != "s2"
+
+    def test_cannot_remove_last_shard(self):
+        ring = HashRing(["only"], seed=0)
+        with pytest.raises(ConfigurationError):
+            ring.without_shard("only")
+
+    def test_duplicate_join_rejected(self):
+        ring = HashRing(["s0", "s1"], seed=0)
+        with pytest.raises(ConfigurationError):
+            ring.with_shard("s1")
+
+
+class TestShardMapEpochs:
+    def test_routing_stable_under_epoch_bump(self):
+        """A bumped epoch with an unchanged ring must not move any key."""
+        keys = _keys(2_000)
+        ring = HashRing(["s0", "s1", "s2"], seed=5)
+        old = ShardMap(epoch=1, ring=ring)
+        new = ShardMap(epoch=2, ring=ring)
+        assert [old.owner(k) for k in keys] == [new.owner(k) for k in keys]
+
+    def test_epoch_bump_with_join_only_moves_to_joiner(self):
+        keys = _keys(2_000)
+        ring = HashRing(["s0", "s1"], seed=5)
+        old = ShardMap(epoch=1, ring=ring)
+        new = ShardMap(epoch=2, ring=ring.with_shard("s2"))
+        for key in keys:
+            if old.owner(key) != new.owner(key):
+                assert new.owner(key) == "s2"

@@ -1,0 +1,102 @@
+"""Scale-out simulation and experiment (repro.bench shards support)."""
+
+import pytest
+
+from repro.bench.export import to_csv
+from repro.bench.scaleout import (
+    SCALEOUT_LOADED_KEYS,
+    ScaleoutResult,
+    run_scaleout,
+)
+from repro.bench.simulation import SimulationConfig, simulate
+from repro.errors import ConfigurationError
+from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_C
+
+
+@pytest.fixture(scope="module")
+def result() -> ScaleoutResult:
+    return run_scaleout(quick=True)
+
+
+class TestSimulationShards:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(system="precursor", workload=WORKLOAD_A, shards=0)
+
+    def test_default_is_one_shard(self):
+        config = SimulationConfig(system="precursor", workload=WORKLOAD_A)
+        assert config.shards == 1
+
+    def test_sharding_splits_the_epc_working_set(self):
+        """6 M keys page heavily on one enclave, not at all on four."""
+        def run(shards):
+            return simulate(
+                SimulationConfig(
+                    system="precursor",
+                    workload=WORKLOAD_C,
+                    clients=20,
+                    duration_ms=8.0,
+                    warmup_ms=2.0,
+                    loaded_keys=6_000_000,
+                    shards=shards,
+                    bounded_latency=True,
+                )
+            )
+
+        one = run(1)
+        four = run(4)
+        assert one.epc_fault_fraction > 0.3
+        assert four.epc_fault_fraction == 0.0
+        assert four.kops >= one.kops
+
+
+class TestScaleoutExperiment:
+    def test_throughput_monotonic_in_shards(self, result):
+        for letter in ("A", "B", "C"):
+            kops = result.kops[letter]
+            assert all(
+                later > earlier
+                for earlier, later in zip(kops, kops[1:])
+            ), f"YCSB {letter} aggregate throughput must grow: {kops}"
+
+    def test_trusted_memory_shrinks_proportionally(self, result):
+        mib = result.trusted_mib_per_shard
+        assert all(
+            later < earlier for earlier, later in zip(mib, mib[1:])
+        )
+        # Proportional split: doubling the shards halves the working set.
+        assert mib[0] / mib[-1] == pytest.approx(
+            result.shard_counts[-1] / result.shard_counts[0], rel=0.01
+        )
+
+    def test_epc_faults_vanish_with_enough_shards(self, result):
+        faults = result.fault_fraction
+        assert all(
+            later <= earlier for earlier, later in zip(faults, faults[1:])
+        )
+        assert faults[0] > 0.3  # one shard pages heavily at 6 M keys
+        assert faults[-1] == 0.0
+
+    def test_read_only_is_fastest_mix(self, result):
+        for i in range(len(result.shard_counts)):
+            assert result.kops["C"][i] >= result.kops["A"][i]
+
+    def test_offered_load_scales_with_shards(self, result):
+        assert result.clients == [50 * n for n in result.shard_counts]
+        assert result.loaded_keys == SCALEOUT_LOADED_KEYS
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "YCSB A" in text and "YCSB C" in text
+        assert "trusted MiB" in text
+        for shards in result.shard_counts:
+            assert str(shards) in text
+
+    def test_csv_export(self, result):
+        csv = to_csv(result)
+        header = csv.splitlines()[0].split(",")
+        assert header[0] == "shards"
+        assert "ycsb_a_kops" in header
+        assert "trusted_mib_per_shard" in header
+        assert "epc_fault_fraction" in header
+        assert len(csv.splitlines()) == 1 + len(result.shard_counts)
