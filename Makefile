@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,6 +22,16 @@ scorecard:
 # Functional sharded cluster: routing, live join + migration, epoch retry.
 shard-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard --shards 2 --workload b --ops 2000
+
+# Deterministic chaos runs under three fixed seeds (docs/FAULTS.md).
+# Each exits non-zero iff an injected fault caused an integrity violation
+# instead of being recovered.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 7 --ops 150
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 23 --ops 150 \
+		--schedule "drop:0.08,duplicate:0.05,delay:0.05,corrupt_payload:0.02,enclave_crash:0.01"
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 42 --ops 100 --shards 3 \
+		--schedule "drop:0.05,shard_death:0.03,corrupt_payload:0.01"
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     Fig8Result,
     Table1Result,
 )
+from repro.bench.faulttail import FaultTailResult
 from repro.bench.scaleout import ScaleoutResult
 
 __all__ = ["to_csv"]
@@ -167,6 +168,22 @@ def _scaleout(result: ScaleoutResult) -> str:
     return _rows(header, rows)
 
 
+def _faulttail(result: FaultTailResult) -> str:
+    return _rows(
+        ["fault_rate", "p50_us", "p99_us", "p999_us", "retries_per_kop"],
+        [
+            [
+                rate,
+                round(result.p50_us[i], 2),
+                round(result.p99_us[i], 2),
+                round(result.p999_us[i], 2),
+                round(result.retries_per_kop[i], 2),
+            ]
+            for i, rate in enumerate(result.fault_rates)
+        ],
+    )
+
+
 _EXPORTERS = {
     Fig1Result: _fig1,
     Fig4Result: _fig4,
@@ -176,6 +193,7 @@ _EXPORTERS = {
     Fig8Result: _fig8,
     Table1Result: _table1,
     ScaleoutResult: _scaleout,
+    FaultTailResult: _faulttail,
 }
 
 

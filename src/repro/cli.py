@@ -21,6 +21,13 @@ Sharded-cluster command (see docs/SHARDING.md)::
     python -m repro.cli shard --shards 2 --workload b --ops 2000
     python -m repro.cli shard --shards 4 --workload a --json
     python -m repro.cli scaleout --quick     # simulated 1-8 shard curves
+
+Fault-injection commands (see docs/FAULTS.md)::
+
+    python -m repro.cli chaos --seed 7       # seeded chaos + verification
+    python -m repro.cli chaos --seed 7 --schedule drop:0.1,enclave_crash:0.01
+    python -m repro.cli chaos --shards 3 --schedule shard_death:0.02 --json
+    python -m repro.cli faulttail --quick    # modelled retry-cost curves
 """
 
 from __future__ import annotations
@@ -40,6 +47,12 @@ def _run_scaleout_runner(quick: bool = False):
     return run_scaleout(quick=quick)
 
 
+def _run_faulttail_runner(quick: bool = False):
+    from repro.bench.faulttail import run_faulttail
+
+    return run_faulttail(quick=quick)
+
+
 _RUNNERS: Dict[str, Callable] = {
     "fig1": experiments.run_fig1,
     "fig4": experiments.run_fig4,
@@ -49,6 +62,7 @@ _RUNNERS: Dict[str, Callable] = {
     "fig8": experiments.run_fig8,
     "table1": experiments.run_table1,
     "scaleout": _run_scaleout_runner,
+    "faulttail": _run_faulttail_runner,
 }
 
 _DESCRIPTIONS = {
@@ -60,6 +74,7 @@ _DESCRIPTIONS = {
     "fig8": "get() latency breakdown: networking vs server processing",
     "table1": "EPC working set at 0/1/100k inserted keys",
     "scaleout": "throughput/latency + EPC working set vs shard count (1-8)",
+    "faulttail": "get() tail latency vs transport fault rate (retry cost)",
 }
 
 
@@ -250,6 +265,67 @@ def run_shard(
     return text
 
 
+def run_chaos_cmd(
+    seed: int = 11,
+    schedule: str = "drop:0.05,duplicate:0.05,delay:0.05,qp_error:0.02",
+    ops: int = 200,
+    shards: int = None,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Seeded chaos run; returns ``(text, exit_code)``.
+
+    Exit code 0 means every fault was recovered and the final store state
+    matched the shadow model; 1 means an integrity violation survived
+    (lost acked write, silent corruption, resurrection).
+    """
+    import json
+
+    from repro.faults import run_chaos
+
+    report = run_chaos(
+        seed=seed, schedule=schedule, ops=ops, shards=shards
+    )
+    if as_json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        counts = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(report.fault_counts.items())
+        ) or "none"
+        outcome_line = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(report.outcomes.items())
+        )
+        mode = (
+            f"{report.shards} shards" if report.shards else "single server"
+        )
+        lines = [
+            f"Chaos run: seed={report.seed} schedule='{report.schedule}' "
+            f"({report.ops} ops, {mode})",
+            "-" * 68,
+            f"faults injected   {sum(report.fault_counts.values())} "
+            f"({counts})",
+            f"outcomes          {outcome_line}",
+            f"recoveries        retries={report.retries} "
+            f"reconnects={report.reconnects} "
+            f"failovers={report.failovers} "
+            f"crash_restarts={report.crash_restarts}",
+            f"tamper detected   {report.tamper_detected}",
+            f"fault fingerprint {report.fault_fingerprint[:16]}...",
+            f"state digest      {report.state_digest[:16]}...",
+            f"verdict           "
+            + ("OK: store matches shadow model" if report.ok
+               else f"VIOLATIONS: {report.violations}"),
+        ]
+        text = "\n".join(lines)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        suffix = "json" if as_json else "txt"
+        (out_dir / f"chaos.{suffix}").write_text(text + "\n")
+    return text, report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -262,11 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "artifact",
         choices=sorted(_RUNNERS)
-        + ["all", "list", "scorecard", "trace", "metrics", "shard"],
+        + ["all", "list", "scorecard", "trace", "metrics", "shard",
+           "chaos"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
-        "'shard' for a functional sharded-cluster run)",
+        "'shard' for a functional sharded-cluster run, 'chaos' for a "
+        "seeded fault-injection run with shadow verification)",
     )
     parser.add_argument(
         "--quick",
@@ -313,13 +391,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with 'trace'/'shard': emit JSON instead of the text report",
     )
-    shard = parser.add_argument_group("sharding ('shard' only)")
+    shard = parser.add_argument_group("sharding ('shard'/'chaos')")
     shard.add_argument(
         "--shards",
         type=int,
-        default=2,
+        default=None,
         metavar="N",
-        help="shard count for the functional cluster (default: 2)",
+        help="shard count for the functional cluster ('shard' default: 2; "
+        "'chaos' default: single unsharded server)",
     )
     shard.add_argument(
         "--workload",
@@ -335,6 +414,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic seed for ring placement + workload "
         "(default: 11)",
     )
+    chaos = parser.add_argument_group("fault injection ('chaos' only)")
+    chaos.add_argument(
+        "--schedule",
+        default="drop:0.05,duplicate:0.05,delay:0.05,qp_error:0.02",
+        metavar="SPEC",
+        help="comma-separated 'kind:rate' fault schedule (kinds: drop, "
+        "duplicate, delay, corrupt_payload, corrupt_control, qp_error, "
+        "enclave_crash, shard_death)",
+    )
     return parser
 
 
@@ -349,6 +437,8 @@ def main(argv=None) -> int:
         print("metrics    Prometheus-style dump of the metrics registry")
         print("shard      functional sharded run: routing, live join, "
               "epoch retry")
+        print("chaos      seeded fault-injection run with shadow-model "
+              "verification")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -381,7 +471,7 @@ def main(argv=None) -> int:
 
         try:
             text = run_shard(
-                shards=args.shards,
+                shards=args.shards if args.shards is not None else 2,
                 workload=args.workload,
                 ops=args.ops if args.ops is not None else 1000,
                 seed=args.seed,
@@ -393,6 +483,23 @@ def main(argv=None) -> int:
             return 2
         print(text)
         return 0
+    if args.artifact == "chaos":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_chaos_cmd(
+                seed=args.seed,
+                schedule=args.schedule,
+                ops=args.ops if args.ops is not None else 200,
+                shards=args.shards,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
     if args.artifact == "scorecard":
         from repro.bench.scorecard import run_scorecard
 

@@ -34,13 +34,16 @@ from repro.core.server import PrecursorServer
 from repro.crypto.keys import KeyGenerator, SessionKey
 from repro.crypto.provider import CryptoProvider, EncryptedPayload
 from repro.errors import (
+    AccessError,
     AuthenticationError,
     CapacityError,
     IntegrityError,
     KeyNotFoundError,
+    OperationTimeoutError,
     PrecursorError,
     ProtocolError,
     ReplayError,
+    ShardUnavailableError,
 )
 from repro.obs import ObsContext, Trace
 from repro.rdma.memory import AccessFlags
@@ -51,6 +54,11 @@ from repro.sgx.attestation import attest_and_establish_session
 __all__ = ["PrecursorClient", "allocate_client_id"]
 
 _client_ids = itertools.count(1)
+
+#: Sentinel returned by :meth:`PrecursorClient._exchange` when the server's
+#: replay filter confirmed a retried request was already applied but no
+#: cached reply could be recovered (e.g. after a crash-restart).
+_APPLIED = object()
 
 
 def allocate_client_id() -> int:
@@ -91,6 +99,16 @@ class PrecursorClient:
         the reply ring up to this many seconds -- the mode used against a
         threaded server (:class:`~repro.core.threading.ServerThreadPool`),
         where another thread fills the ring.
+    max_retries:
+        Per-operation retry budget (default 0: fail fast, the historical
+        behaviour).  With retries enabled, a transport fault or reply
+        timeout triggers reconnect-and-resubmit under the *same* ``oid``,
+        so the server's replay filter deduplicates a request that was
+        already applied -- retried PUTs never double-apply and GETs are
+        idempotent (``docs/FAULTS.md``).
+    retry_backoff_s / retry_backoff_cap_s:
+        Capped exponential backoff between attempts: the Nth retry sleeps
+        ``min(cap, backoff * 2**(N-1))`` seconds.
     obs:
         Observability context to trace operations into; defaults to the
         *server's* context so client- and server-side stages of one
@@ -111,8 +129,14 @@ class PrecursorClient:
         response_timeout_s: Optional[float] = None,
         obs: Optional[ObsContext] = None,
         trace_ops: bool = True,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0002,
+        retry_backoff_cap_s: float = 0.01,
     ):
         self.response_timeout_s = response_timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
         self.obs = obs if obs is not None else server.obs
         self._trace_ops = trace_ops
         self.client_id = client_id if client_id is not None else next(_client_ids)
@@ -123,39 +147,64 @@ class PrecursorClient:
         )
         self._server = server
 
-        # 1. Remote attestation establishes trust and the session key (§3.6).
+        # Attestation + RDMA bootstrap; reused verbatim by reconnect().
+        self._expected_measurement = expected_measurement
+        self.fabric = server.fabric
+        self._host = f"client-{self.client_id}"
+        self.pd = self.fabric.add_host(self._host)
+        self._establish(reconnect=False)
+        self._oid = 0
+
+        #: Client-side operation counters.
+        self.operations = 0
+        self.integrity_failures = 0
+        self.retries = 0
+        self.reconnects = 0
+
+        #: Chaos seam (repro.faults): called with the encoded frame after
+        #: each submit; returning True makes the client post the frame
+        #: again (a duplicated RDMA write -- the server must deduplicate).
+        self.submit_fault_hook: Optional[Callable[[bytes], bool]] = None
+
+    def _establish(self, reconnect: bool) -> None:
+        """Attest, connect a fresh QP pair, and (re)register the rings.
+
+        1. Remote attestation establishes trust and the session key (§3.6).
+        2. RDMA bootstrap: register local regions, connect QPs, learn the
+           server's buffer window (rkey + layout).
+
+        Both the first admission and every reconnect run the full
+        handshake -- a QP that dropped to ERR cannot be trusted to carry a
+        stale session, so re-attestation mints a fresh session key while
+        the enclave keeps the client's replay expectation.
+        """
+        server = self._server
         measurement = (
-            expected_measurement
-            if expected_measurement is not None
+            self._expected_measurement
+            if self._expected_measurement is not None
             else server.enclave.measurement
         )
         self.session = attest_and_establish_session(
             server.enclave, measurement, self.client_id, self.keygen
         )
 
-        # 2. RDMA bootstrap: register local regions, connect QPs, learn the
-        #    server's buffer window (rkey + layout).
-        fabric = server.fabric
-        self._host = f"client-{self.client_id}"
-        self.pd = fabric.add_host(self._host)
-        self._qp, server_qp = fabric.create_qp_pair(self._host, server.HOST_NAME)
+        self._qp, server_qp = self.fabric.create_qp_pair(
+            self._host, server.HOST_NAME
+        )
 
         # Reply ring and credit word live in *client* memory; the server
         # writes both with one-sided WRITEs.
-        # Layout depends on server config; fetch via admission below.
-        self._reply_region = None
         self._credit_region = self.pd.register(
             8, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_WRITE
         )
-
-        # Pre-register reply region using the server's ring geometry.
         layout_probe = server.config
         reply_bytes = layout_probe.ring_slots * layout_probe.ring_slot_size
         self._reply_region = self.pd.register(
             reply_bytes, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_WRITE
         )
 
-        request_rkey, layout = server.add_client(
+        admit = server.reconnect_client if reconnect else server.add_client
+        request_rkey, layout = admit(
             self.client_id,
             self.session.key,
             server_qp,
@@ -166,12 +215,37 @@ class PrecursorClient:
         self._request_rkey = request_rkey
         self._producer = RingProducer(layout, write_remote=self._write_request)
         self._reply_consumer = RingConsumer(layout, self._reply_region)
-        self._oid = 0
-        self.fabric = fabric
 
-        #: Client-side operation counters.
-        self.operations = 0
-        self.integrity_failures = 0
+    def reconnect(self) -> None:
+        """Restore service after a transport fault left the QP in ERR.
+
+        Re-runs the full admission handshake: re-attestation (fresh
+        session key), a fresh QP pair, and fresh request/reply rings on
+        both sides.  The ``oid`` sequence continues where it left off --
+        the server kept (or restored) the replay expectation -- so an
+        operation that was in flight when the connection died can be
+        resubmitted under its original oid and deduplicated.
+
+        Raises :class:`~repro.errors.ShardUnavailableError` while the
+        server is crashed; once it restarts, reconnection succeeds.
+
+        Returns the oid the server's replay filter expects next -- the
+        resync point the retry engine uses to keep the sequence in
+        lockstep after lost requests.
+        """
+        if self._server.crashed:
+            raise ShardUnavailableError(
+                f"server {self._server.shard_name or self._server.HOST_NAME!r}"
+                " is down; reconnect after it restarts"
+            )
+        self._establish(reconnect=True)
+        self.reconnects += 1
+        self.obs.registry.counter(
+            "recoveries_total",
+            "recovery actions taken",
+            {"kind": "reconnect"},
+        ).inc()
+        return self._server.replay_expected(self.client_id)
 
     @property
     def server(self) -> PrecursorServer:
@@ -225,6 +299,12 @@ class PrecursorClient:
                     self._refresh_credits()
             self._refresh_credits()
             self._producer.produce(frame)
+        hook = self.submit_fault_hook
+        if hook is not None and hook(frame):
+            try:
+                self._producer.produce(frame)  # duplicated in-flight frame
+            except CapacityError:
+                pass  # ring full: the duplicate is simply lost
 
     def drain_replies(self) -> int:
         """Discard every queued reply frame; returns the number dropped.
@@ -256,23 +336,25 @@ class PrecursorClient:
                 time.sleep(5e-6)
                 frame = self._reply_consumer.poll_one()
         if frame is None:
-            raise PrecursorError(
+            raise OperationTimeoutError(
                 "no response available; pump the server (process_pending) "
-                "when auto_pump is disabled"
+                "when auto_pump is disabled -- or the request/reply was "
+                "lost in transit"
             )
         return Response.decode(frame)
+
+    def _open_control(self, response: Response) -> ResponseControl:
+        """Authenticate and decode a reply's sealed control segment."""
+        aad = b"resp" + struct.pack(">I", self.client_id)
+        blob = self.provider.transport_open(
+            self.session.key, response.sealed_control, aad=aad
+        )
+        return ResponseControl.decode(blob)
 
     def _open_response(
         self, response: Response, expected_oid: Optional[int] = None
     ) -> ResponseControl:
-        aad = b"resp" + struct.pack(">I", self.client_id)
-        try:
-            blob = self.provider.transport_open(
-                self.session.key, response.sealed_control, aad=aad
-            )
-        except AuthenticationError:
-            raise
-        control = ResponseControl.decode(blob)
+        control = self._open_control(response)
         if expected_oid is None:
             expected_oid = self._oid
         if control.oid != expected_oid:
@@ -283,6 +365,134 @@ class PrecursorClient:
         if control.status is Status.REPLAY:
             raise ReplayError(f"server rejected oid {self._oid} as a replay")
         return control
+
+    def _collect_reply(
+        self, expected_oid: int
+    ) -> "tuple[Response, ResponseControl]":
+        """Await the reply for ``expected_oid``.
+
+        In retry mode, replies for *earlier* oids may still be queued --
+        the cached ack a duplicate triggered, or the late reply of an
+        operation that was already resolved by a retry.  Those are
+        skipped; a reply from the *future* is still a protocol violation.
+        """
+        while True:
+            response = self._await_response()
+            with self.obs.tracer.stage("client.open_response"):
+                control = self._open_control(response)
+            if control.oid < expected_oid and self.max_retries > 0:
+                continue
+            if control.oid != expected_oid:
+                raise ProtocolError(
+                    f"response oid {control.oid} does not match request "
+                    f"{expected_oid}"
+                )
+            if control.status is Status.REPLAY:
+                raise ReplayError(
+                    f"server rejected oid {expected_oid} as a replay"
+                )
+            return response, control
+
+    # -- retry engine ----------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        if self.retry_backoff_s <= 0:
+            return
+        delay = min(
+            self.retry_backoff_cap_s,
+            self.retry_backoff_s * (2 ** (attempt - 1)),
+        )
+        time.sleep(delay)
+
+    def _count_retry(self, op: str) -> None:
+        self.retries += 1
+        self.obs.registry.counter(
+            "retries_total", "client operation retries", {"op": op}
+        ).inc()
+
+    def _resync_after_failure(self, control: ControlData) -> None:
+        """Re-align the local oid counter after an operation failed for good.
+
+        ``_next_control`` consumed an oid the server may never have seen;
+        leaving ``_oid`` ahead of the replay expectation would make every
+        subsequent operation a permanent oid mismatch.  Ask the filter
+        where it stands and step back so the next operation re-uses the
+        orphaned oid.  When the server is unreachable the later
+        :meth:`reconnect` performs the same resync.
+        """
+        try:
+            expected = self._server.replay_expected(self.client_id)
+        except PrecursorError:
+            return
+        if expected <= control.oid and self._oid == control.oid:
+            self._oid = expected - 1
+
+    def _exchange(self, control: ControlData, payload=None, op: str = "op"):
+        """Submit one sealed request and collect its reply, with retries.
+
+        Returns ``(response, response_control)`` -- or the :data:`_APPLIED`
+        sentinel when a retry learned from the replay filter that the
+        original attempt was applied but its reply is unrecoverable.
+
+        The retry loop is replay-safe by construction: every attempt
+        re-seals the *same* control data (same oid, same one-time key) and
+        re-ships the *same* ciphertext, so the server either applies it
+        once or recognises the duplicate and re-sends the cached ack.
+        Each retry performs a full :meth:`reconnect` -- a lost ring write
+        desynchronises the ring sequence, so fresh rings (and a fresh QP,
+        and re-attestation) are the uniform recovery action.
+        """
+        attempt = 0
+        while True:
+            try:
+                with self.obs.tracer.stage("client.seal_request"):
+                    request = self._seal_control(control)
+                    if payload is not None:
+                        request = Request(
+                            client_id=request.client_id,
+                            sealed_control=request.sealed_control,
+                            payload=payload,
+                            reply_credit=request.reply_credit,
+                        )
+                with self.obs.tracer.stage("client.rdma_write"):
+                    self._submit(request)
+                return self._collect_reply(control.oid)
+            except (
+                AccessError,
+                OperationTimeoutError,
+                AuthenticationError,
+                ProtocolError,
+            ):
+                # Transport-shaped failures: lost/duplicated/corrupted
+                # frame or a dead QP.  Retry under the same oid.
+                if attempt >= self.max_retries:
+                    self._resync_after_failure(control)
+                    raise
+            except ReplayError:
+                if attempt == 0:
+                    raise
+                # A retried request hit the replay filter without a cached
+                # reply: the original WAS applied (only this client can
+                # advance its oid), the ack is simply gone -- e.g. the
+                # server crash-restarted in between.
+                return _APPLIED
+            attempt += 1
+            self._count_retry(op)
+            self._backoff(attempt)
+            expected = self.reconnect()
+            if expected is not None and expected < control.oid:
+                # The filter has not advanced past an *earlier* oid: the
+                # monotonic expectation proves none of the intervening
+                # requests were applied (sealed checkpoints cannot roll it
+                # back).  Re-key this attempt at the expected oid so the
+                # two sides resume in lockstep.
+                control = ControlData(
+                    opcode=control.opcode,
+                    oid=expected,
+                    key=control.key,
+                    k_operation=control.k_operation,
+                )
+                self._oid = expected
 
     def _next_control(
         self, opcode: OpCode, key: bytes, k_operation: Optional[bytes] = None
@@ -334,23 +544,15 @@ class PrecursorClient:
             with self.obs.tracer.stage("client.encrypt_payload"):
                 k_operation = self.keygen.operation_key()
                 payload = self.provider.payload_encrypt(k_operation, value)
-            with self.obs.tracer.stage("client.seal_request"):
-                control = self._next_control(OpCode.PUT, key, k_operation)
-                request = self._seal_control(control)
-                request = Request(
-                    client_id=request.client_id,
-                    sealed_control=request.sealed_control,
-                    payload=payload,
-                    reply_credit=request.reply_credit,
-                )
-            with self.obs.tracer.stage("client.rdma_write"):
-                self._submit(request)
+            control = self._next_control(OpCode.PUT, key, k_operation)
             self.operations += 1
-            response = self._await_response()
-            with self.obs.tracer.stage("client.open_response"):
-                control_resp = self._open_response(response)
-            if control_resp.status is not Status.OK:
-                raise PrecursorError(f"put failed: {control_resp.status.name}")
+            result = self._exchange(control, payload=payload, op="put")
+            if result is not _APPLIED:
+                _response, control_resp = result
+                if control_resp.status is not Status.OK:
+                    raise PrecursorError(
+                        f"put failed: {control_resp.status.name}"
+                    )
         except BaseException:
             if trace is not None:
                 trace.abort()
@@ -369,15 +571,25 @@ class PrecursorClient:
         self._check_key(key)
         trace = self._start_trace("get")
         try:
-            with self.obs.tracer.stage("client.seal_request"):
+            fresh_issues = 0
+            while True:
                 control = self._next_control(OpCode.GET, key)
-                request = self._seal_control(control)
-            with self.obs.tracer.stage("client.rdma_write"):
-                self._submit(request)
-            self.operations += 1
-            response = self._await_response()
-            with self.obs.tracer.stage("client.open_response"):
-                control_resp = self._open_response(response)
+                self.operations += 1
+                result = self._exchange(control, op="get")
+                if result is _APPLIED:
+                    # The earlier attempt was consumed server-side but its
+                    # reply is unrecoverable.  GET has no side effects:
+                    # simply re-issue it under a fresh oid.
+                    if fresh_issues >= max(1, self.max_retries):
+                        raise OperationTimeoutError(
+                            f"get {key!r}: reply unrecoverable after "
+                            f"{fresh_issues} fresh re-issues"
+                        )
+                    fresh_issues += 1
+                    self._count_retry("get")
+                    continue
+                response, control_resp = result
+                break
             if control_resp.status is Status.NOT_FOUND:
                 raise KeyNotFoundError(key)
             if control_resp.status is not Status.OK:
@@ -414,21 +626,19 @@ class PrecursorClient:
         self._check_key(key)
         trace = self._start_trace("delete")
         try:
-            with self.obs.tracer.stage("client.seal_request"):
-                control = self._next_control(OpCode.DELETE, key)
-                request = self._seal_control(control)
-            with self.obs.tracer.stage("client.rdma_write"):
-                self._submit(request)
+            control = self._next_control(OpCode.DELETE, key)
             self.operations += 1
-            response = self._await_response()
-            with self.obs.tracer.stage("client.open_response"):
-                control_resp = self._open_response(response)
-            if control_resp.status is Status.NOT_FOUND:
-                raise KeyNotFoundError(key)
-            if control_resp.status is not Status.OK:
-                raise PrecursorError(
-                    f"delete failed: {control_resp.status.name}"
-                )
+            result = self._exchange(control, op="delete")
+            if result is not _APPLIED:
+                _response, control_resp = result
+                if control_resp.status is Status.NOT_FOUND:
+                    raise KeyNotFoundError(key)
+                if control_resp.status is not Status.OK:
+                    raise PrecursorError(
+                        f"delete failed: {control_resp.status.name}"
+                    )
+            # _APPLIED: the delete was consumed server-side and only the
+            # ack was lost -- the key is gone either way, report success.
         except BaseException:
             if trace is not None:
                 trace.abort()

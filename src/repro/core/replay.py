@@ -57,6 +57,10 @@ class ReplayGuard:
             )
         self._expected[client_id] = expected + 1
 
+    def is_registered(self, client_id: int) -> bool:
+        """Whether ``client_id`` is being tracked."""
+        return client_id in self._expected
+
     def expected_oid(self, client_id: int) -> int:
         """The oid the next request from ``client_id`` must carry."""
         expected = self._expected.get(client_id)

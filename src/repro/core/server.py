@@ -25,6 +25,7 @@ Table 1 can be measured with :mod:`repro.sgx.sgxperf`.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -48,6 +49,7 @@ from repro.errors import (
     KeyNotFoundError,
     ProtocolError,
     ReplayError,
+    ShardUnavailableError,
 )
 from repro.htable import ReadWriteLock, RobinHoodTable
 from repro.obs import ObsContext
@@ -125,6 +127,7 @@ class ServerStats:
     misses: int = 0
     auth_failures: int = 0
     replay_rejections: int = 0
+    duplicate_replies: int = 0
     protocol_errors: int = 0
     inline_stores: int = 0
     entries_exported: int = 0
@@ -154,6 +157,15 @@ class _ClientChannel:
     credit_rkey: int
     reply_producer: RingProducer = field(default=None)
     revoked: bool = False
+    #: At-most-once duplicate filter (retry support): the oid, request
+    #: digest and reply of the most recently *applied* request.  A
+    #: retransmission -- same oid, same digest -- gets the cached ack
+    #: re-sent instead of a REPLAY rejection, so a client whose reply was
+    #: lost can retry without double-applying.
+    last_oid: Optional[int] = None
+    last_digest: Optional[bytes] = None
+    last_reply_control: Optional[ResponseControl] = None
+    last_reply_payload: Optional[EncryptedPayload] = None
 
 
 class PrecursorServer:
@@ -257,6 +269,9 @@ class PrecursorServer:
         self._channels: Dict[int, _ClientChannel] = {}
         self._started = False
         self._polling = False
+        #: Set by :meth:`crash`; every entry point then raises
+        #: :class:`ShardUnavailableError` until :meth:`restart`.
+        self.crashed = False
 
     # -- ecall implementations (trusted side) ------------------------------
 
@@ -269,18 +284,26 @@ class PrecursorServer:
     def _ecall_start_polling(self) -> None:
         self._polling = True
 
-    def _ecall_add_client(self, client_id: int, session_key: bytes) -> None:
+    def _ecall_add_client(
+        self, client_id: int, session_key: bytes, reconnect: bool = False
+    ) -> None:
         if not self._client_state_allocated:
             self.enclave.allocator.allocate(
                 self.config.client_state_bytes, "client_state"
             )
             self._client_state_allocated = True
-        if client_id in self._sessions:
+        if client_id in self._sessions and not reconnect:
             raise ConfigurationError(f"client {client_id} already registered")
         self._sessions[client_id] = SessionKey(
             key=session_key, client_id=client_id | _SERVER_IV_BIT
         )
-        self._replay.register_client(client_id)
+        if not self._replay.is_registered(client_id):
+            # Fresh admission -- or a reconnect after crash-restart where
+            # the restored checkpoint did not know this client yet.
+            self._replay.register_client(client_id)
+        # On a plain reconnect (QP flap) the replay expectation is *kept*:
+        # the client resumes its oid sequence, so a request lost before the
+        # flap can be retried under its original oid.
 
     def _ocall_grow_pool(self, nbytes: int) -> None:
         # The single batched ocall of §4; PayloadStore performs the actual
@@ -305,6 +328,67 @@ class PrecursorServer:
         self.enclave.ecall("start_polling")
         self._started = True
 
+    def _check_alive(self) -> None:
+        if self.crashed:
+            name = self.shard_name or self.HOST_NAME
+            raise ShardUnavailableError(f"server {name!r} has crashed")
+
+    def crash(self) -> None:
+        """Kill this server: enclave torn down, every connection severed.
+
+        Models a machine/enclave failure.  All trusted state (hash table,
+        sessions, replay counters) is conceptually lost -- only what was
+        sealed to disk beforehand (:mod:`repro.core.persistence`) survives.
+        Every QP errors out, so in-flight client posts fail fast rather
+        than timing out.  Service resumes only after :meth:`restart`.
+        """
+        self.crashed = True
+        self.enclave.destroy()
+        for channel in self._channels.values():
+            channel.qp.error_out()
+
+    def restart(self) -> None:
+        """Boot a fresh enclave after :meth:`crash`.
+
+        The replacement enclave runs the same binary (identical
+        measurement), so it can unseal checkpoints its predecessor wrote
+        -- restore one with :class:`~repro.core.persistence.CheckpointManager`.
+        All volatile trusted state starts empty; clients must re-attest
+        through :meth:`reconnect_client`.
+        """
+        if not self.crashed:
+            raise ConfigurationError("restart() is only valid after crash()")
+        cfg = self.config
+        enclave = Enclave(
+            name="precursor",
+            code_size_bytes=cfg.code_size_bytes,
+            stack_size_bytes=cfg.stack_size_bytes,
+        )
+        shard_labels = (
+            {"shard": self.shard_name} if self.shard_name is not None else {}
+        )
+        enclave.bind_obs(self.obs.registry, shard_labels or None)
+        enclave.allocator.allocate(cfg.misc_trusted_bytes, "misc")
+        enclave.register_ecall("init_hashtable", self._ecall_init_hashtable)
+        enclave.register_ecall("start_polling", self._ecall_start_polling)
+        enclave.register_ecall("add_client", self._ecall_add_client)
+        enclave.register_ocall("grow_payload_pool", self._ocall_grow_pool)
+        self.enclave = enclave
+        self._table = None
+        self._sessions = {}
+        self._replay = ReplayGuard()
+        self._client_state_allocated = False
+        self._table_capacity_charged = 0
+        self._grants = {}
+        self.payload_store = PayloadStore(
+            arena_size=cfg.arena_size,
+            grow_ocall=self._grow_via_ocall,
+        )
+        self._channels = {}
+        self._started = False
+        self._polling = False
+        self.crashed = False
+
     # -- client admission ------------------------------------------------------
 
     def add_client(
@@ -320,6 +404,7 @@ class PrecursorServer:
         Returns ``(request_rkey, ring_layout)`` -- the registered buffer
         window the server shares to bootstrap RDMA (paper §3.6).
         """
+        self._check_alive()
         self.start()
         self.enclave.ecall("add_client", client_id, session_key)
         cfg = self.config
@@ -343,6 +428,70 @@ class PrecursorServer:
         )
         self._channels[client_id] = channel
         return request_region.rkey, layout
+
+    def reconnect_client(
+        self,
+        client_id: int,
+        session_key: bytes,
+        qp: QueuePair,
+        reply_rkey: int,
+        credit_rkey: int,
+    ) -> Tuple[int, RingLayout]:
+        """Re-admit a client after a QP error or a server restart.
+
+        The client has re-attested (``session_key`` is the *new* session
+        key) and brings a fresh QP and reply/credit regions.  Crucially the
+        enclave keeps the client's replay expectation when it still has one
+        -- the client resumes its ``oid`` sequence, so a request that was
+        in flight when the connection died can be retried under its
+        original oid and deduplicated.  After a crash-restart the replay
+        state instead comes from the restored checkpoint (or starts fresh
+        for clients the checkpoint never saw).
+        """
+        self._check_alive()
+        self.start()
+        self.enclave.ecall("add_client", client_id, session_key, reconnect=True)
+        cfg = self.config
+        layout = RingLayout(cfg.ring_slots, cfg.ring_slot_size)
+        request_region = self.pd.register(
+            layout.total_bytes, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_WRITE
+        )
+        channel = _ClientChannel(
+            client_id=client_id,
+            request_region=request_region,
+            request_consumer=RingConsumer(layout, request_region),
+            qp=qp,
+            reply_rkey=reply_rkey,
+            credit_rkey=credit_rkey,
+        )
+        channel.reply_producer = RingProducer(
+            layout,
+            write_remote=lambda offset, data, ch=channel: self._rdma_write(
+                ch, ch.reply_rkey, offset, data
+            ),
+        )
+        old = self._channels.get(client_id)
+        if old is not None:
+            # The duplicate-reply cache must survive reconnection: the
+            # very reason the client reconnects may be a reply it never
+            # saw for a request the enclave already applied.
+            channel.last_oid = old.last_oid
+            channel.last_digest = old.last_digest
+            channel.last_reply_control = old.last_reply_control
+            channel.last_reply_payload = old.last_reply_payload
+        self._channels[client_id] = channel
+        return request_region.rkey, layout
+
+    def replay_expected(self, client_id: int) -> int:
+        """The oid the enclave expects next from ``client_id``.
+
+        Conceptually part of the attested reconnect handshake: a client
+        coming back from a transport fault (or a server crash-restart)
+        learns where the enclave's replay filter stands so the two sides
+        resume the sequence in lockstep (``docs/FAULTS.md``).
+        """
+        self._check_alive()
+        return self._replay.expected_oid(client_id)
 
     def revoke_client(self, client_id: int) -> None:
         """Revoke a (rogue) client by erroring out its QP (§3.9)."""
@@ -381,6 +530,7 @@ class PrecursorServer:
         rings (§3.8); :class:`~repro.core.threading.ServerThreadPool`
         partitions clients over threads by calling this.
         """
+        self._check_alive()
         channel = self._channel(client_id)
         if channel.revoked:
             return 0
@@ -404,6 +554,7 @@ class PrecursorServer:
         Returns the number of requests handled.  In the real system this
         loop runs forever inside the enclave; in-process callers pump it.
         """
+        self._check_alive()
         if not self._started:
             raise ConfigurationError("server not started")
         handled = 0
@@ -434,7 +585,16 @@ class PrecursorServer:
             self.stats.protocol_errors += 1
             self._obs_rejects.inc()
             return
-        channel.reply_producer.credit_update(request.reply_credit)
+        try:
+            channel.reply_producer.credit_update(request.reply_credit)
+        except ConfigurationError:
+            # The credit rides outside the sealed segment, so a corrupted
+            # frame can carry an impossible value.  Treat it like any
+            # other malformed field: drop the frame, never crash the
+            # polling loop (the sender's retry re-ships a clean credit).
+            self.stats.protocol_errors += 1
+            self._obs_rejects.inc()
+            return
 
         session = self._sessions[channel.client_id]
         aad = struct.pack(">I", channel.client_id)
@@ -464,16 +624,34 @@ class PrecursorServer:
             self._obs_rejects.inc()
             return
 
+        digest = self._request_digest(control_blob, request.payload)
         try:
             self._replay.check_and_advance(channel.client_id, control.oid)
         except ReplayError:
             self.stats.replay_rejections += 1
             self._obs_rejects.inc()
-            self._send_response(
-                channel,
-                ResponseControl(status=Status.REPLAY, oid=control.oid),
-            )
+            if (
+                control.oid == channel.last_oid
+                and digest == channel.last_digest
+                and channel.last_reply_control is not None
+            ):
+                # Byte-identical retransmission of the last applied
+                # request: the client never saw our reply.  Re-send the
+                # cached ack (at-most-once semantics) -- the operation is
+                # NOT applied again.
+                self.stats.duplicate_replies += 1
+                self._send_response(
+                    channel,
+                    channel.last_reply_control,
+                    channel.last_reply_payload,
+                )
+            else:
+                self._send_response(
+                    channel,
+                    ResponseControl(status=Status.REPLAY, oid=control.oid),
+                )
             return
+        channel.last_digest = digest
 
         counter = self._obs_requests.get(control.opcode)
         if counter is not None:
@@ -658,6 +836,23 @@ class PrecursorServer:
             channel, ResponseControl(status=status, oid=control.oid)
         )
 
+    @staticmethod
+    def _request_digest(
+        control_blob: bytes, payload: Optional[EncryptedPayload]
+    ) -> bytes:
+        """Fingerprint of one request for the duplicate filter.
+
+        Covers the authenticated control bytes *and* the untrusted payload:
+        a new request that happens to reuse an old oid (a protocol bug or
+        an attack) hashes differently and is rejected as a replay instead
+        of being acked with a stale cached reply.
+        """
+        h = hashlib.sha256(control_blob)
+        if payload is not None:
+            h.update(payload.ciphertext)
+            h.update(payload.mac)
+        return h.digest()
+
     def _send_response(
         self,
         channel: _ClientChannel,
@@ -671,6 +866,16 @@ class PrecursorServer:
                 session, control.encode(), aad=aad
             )
             response = Response(sealed_control=sealed, payload=payload)
+        if control.status is not Status.REPLAY:
+            # Cache the reply for the duplicate filter BEFORE attempting
+            # the reply write: if the write itself is lost to a transport
+            # fault, the retried request can still recover the genuine
+            # ack from the cache.  (REPLAY rejections are themselves never
+            # cached: a replayed frame must not overwrite the genuine
+            # reply it duplicates.)
+            channel.last_oid = control.oid
+            channel.last_reply_control = control
+            channel.last_reply_payload = payload
         with self.obs.tracer.stage("server.reply_write"):
             channel.reply_producer.produce(response.encode())
 
@@ -740,6 +945,7 @@ class PrecursorServer:
         the experiments use to pre-load 600 k (or 3 M) entries without
         paying pure-Python AES on every control message.
         """
+        self._check_alive()
         keygen = keygen if keygen is not None else KeyGenerator(seed=7)
         if client_id not in self._sessions:
             raise ConfigurationError(f"unknown client {client_id}")
@@ -794,6 +1000,7 @@ class PrecursorServer:
         copies first, flips ownership, then evicts, so a crash mid-move
         never loses the key.
         """
+        self._check_alive()
         with self._table_lock.read():
             table = self._table
             try:
@@ -836,6 +1043,7 @@ class PrecursorServer:
         # The target must be a running shard before entries land in its
         # table; ``start()`` is idempotent, but a later first ``start()``
         # would re-run ``init_hashtable`` and drop everything imported.
+        self._check_alive()
         self.start()
         record = unseal_data(self.enclave, sealed_record, aad=_MIGRATION_AAD)
         try:
@@ -907,6 +1115,7 @@ class PrecursorServer:
 
     def evict_entry(self, key: bytes) -> None:
         """Drop ``key`` after a successful migration (frees all storage)."""
+        self._check_alive()
         with self._table_lock.write():
             table = self._table
             entry = None

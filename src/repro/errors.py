@@ -53,6 +53,27 @@ class AttestationError(PrecursorError):
     """Remote attestation of the server enclave failed."""
 
 
+class OperationTimeoutError(PrecursorError):
+    """An operation's reply did not arrive within its deadline.
+
+    Raised by the client when the reply ring stays empty past the per-op
+    timeout (or, in pumped mode, after the server was pumped and produced
+    nothing).  A timeout is *retryable*: the request may have been lost
+    before the server saw it, or its reply may have been lost afterwards --
+    the retry path re-sends under the same ``oid`` so the server's replay
+    filter deduplicates whichever case it was.
+    """
+
+
+class ShardUnavailableError(PrecursorError):
+    """The target server/shard has crashed and cannot serve requests.
+
+    Raised by any server entry point after :meth:`PrecursorServer.crash`.
+    Routers treat it as a failover signal: mark the shard dead, refresh the
+    ring epoch, and route around it.
+    """
+
+
 class AccessError(PrecursorError):
     """An RDMA access violated memory-region permissions or bounds."""
 

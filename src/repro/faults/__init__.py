@@ -1,0 +1,30 @@
+"""Deterministic fault injection and recovery (``docs/FAULTS.md``).
+
+The package splits policy from mechanics:
+
+- :mod:`repro.faults.schedule` -- declarative ``kind:rate`` schedules;
+- :mod:`repro.faults.engine` -- the seeded engine that draws faults and
+  keeps the ordered, fingerprintable injection log;
+- :mod:`repro.faults.recovery` -- whole-server crash-restart;
+- :mod:`repro.faults.harness` -- seeded chaos workloads with shadow-dict
+  verification (the ``repro chaos`` CLI entry point).
+
+The injection *mechanics* live on the seams they exercise: the fabric's
+fault hook, the client's duplicate-submit hook, the payload store's
+``corrupt``, and the server/cluster crash machinery.
+"""
+
+from repro.faults.engine import FaultEngine
+from repro.faults.harness import ChaosReport, run_chaos
+from repro.faults.recovery import crash_restart
+from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
+
+__all__ = [
+    "ChaosReport",
+    "FaultEngine",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "crash_restart",
+    "run_chaos",
+]

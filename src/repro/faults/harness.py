@@ -1,0 +1,427 @@
+"""The chaos harness: seeded workloads under fault schedules, verified.
+
+:func:`run_chaos` drives a deterministic key-value workload (a YCSB-ish
+put/get/delete mix over a bounded keyspace) against a single server or a
+sharded cluster while a :class:`~repro.faults.engine.FaultEngine` injects
+faults, and checks every observable outcome against a shadow dict:
+
+- a GET returning a value the shadow never stored (or a stale one) is a
+  **silent corruption** violation;
+- a GET/DELETE answering NOT_FOUND for a key the shadow holds -- with no
+  shard down to excuse it -- is a **lost acked write** violation;
+- a GET returning a value for a key the shadow deleted is a
+  **resurrection** violation;
+- an :class:`~repro.errors.IntegrityError` is *correct* behaviour (the
+  client caught tampering); the harness counts it and repairs the key.
+
+Operations that exhaust their retry budget must fail with a *typed*
+:class:`~repro.errors.PrecursorError`; the harness then resolves the
+store's actual state with a fault-free readback so the shadow stays
+truthful.  After the workload, every possible key is read back fault-free
+and compared against the shadow exactly.
+
+Determinism: one seed feeds the fault engine, a second derived stream
+feeds the workload, so two runs with the same ``(seed, schedule)`` agree
+byte-for-byte on the fault log (:meth:`FaultEngine.fingerprint`) and on
+the final store state (:attr:`ChaosReport.state_digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.client import PrecursorClient
+from repro.core.persistence import CheckpointManager
+from repro.core.server import PrecursorServer
+from repro.crypto.keys import KeyGenerator
+from repro.errors import (
+    IntegrityError,
+    KeyNotFoundError,
+    PrecursorError,
+    ShardUnavailableError,
+)
+from repro.faults.engine import FaultEngine
+from repro.faults.recovery import crash_restart
+from repro.faults.schedule import FaultKind, FaultSchedule
+from repro.obs import ObsContext
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+#: Ops a dead shard stays down before the harness restores it.
+_OUTAGE_SPAN = 3
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run observed."""
+
+    seed: int
+    schedule: str
+    ops: int
+    shards: Optional[int]
+    #: Outcome class -> count (ok, miss, tamper_detected, unavailable, ...).
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    #: Integrity violations -- empty on a correct run.
+    violations: List[str] = field(default_factory=list)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    fault_log: List[str] = field(default_factory=list)
+    fault_fingerprint: str = ""
+    #: SHA-256 over the final (fault-free) readback of the whole keyspace.
+    state_digest: str = ""
+    retries: int = 0
+    reconnects: int = 0
+    failovers: int = 0
+    crash_restarts: int = 0
+    tamper_detected: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no integrity violation was observed."""
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 integrity violation."""
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> dict:
+        """JSON-shaped view of the report (the ``--json`` CLI output)."""
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "ops": self.ops,
+            "shards": self.shards,
+            "ok": self.ok,
+            "outcomes": dict(self.outcomes),
+            "violations": list(self.violations),
+            "fault_counts": dict(self.fault_counts),
+            "fault_fingerprint": self.fault_fingerprint,
+            "state_digest": self.state_digest,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "failovers": self.failovers,
+            "crash_restarts": self.crash_restarts,
+            "tamper_detected": self.tamper_detected,
+        }
+
+
+def _workload_key(index: int) -> bytes:
+    return b"key-%03d" % index
+
+
+def _workload_value(op_index: int, size: int) -> bytes:
+    return (b"v%06d-" % op_index).ljust(size, b"x")
+
+
+class _ChaosRun:
+    """One chaos run's mutable state (split out of run_chaos for clarity)."""
+
+    def __init__(
+        self,
+        seed: int,
+        schedule: FaultSchedule,
+        ops: int,
+        shards: Optional[int],
+        keyspace: int,
+        value_size: int,
+        max_retries: int,
+        obs: Optional[ObsContext],
+    ):
+        self.ops = ops
+        self.keyspace = keyspace
+        self.value_size = value_size
+        self.obs = obs if obs is not None else ObsContext.create()
+        self.oprng = random.Random((seed << 1) ^ 0x5EED)
+        self.engine = FaultEngine(schedule, seed, obs=self.obs)
+        self.report = ChaosReport(
+            seed=seed, schedule=str(schedule), ops=ops, shards=shards
+        )
+        self.shadow: Dict[bytes, bytes] = {}
+        self.uncertain: set = set()
+        self.down: Dict[str, int] = {}  # shard name -> restore-at op index
+
+        if shards is None:
+            self.cluster = None
+            self.server = PrecursorServer(obs=self.obs)
+            self.manager = CheckpointManager()
+            self.target = PrecursorClient(
+                self.server,
+                keygen=KeyGenerator(seed),
+                max_retries=max_retries,
+                retry_backoff_s=0.0,
+            )
+            fabrics = [self.server.fabric]
+            sessions = [self.target]
+        else:
+            from repro.shard.cluster import ShardedCluster
+            from repro.shard.router import ShardedClient
+
+            self.server = None
+            self.cluster = ShardedCluster(
+                shards=shards, seed=seed, obs=self.obs
+            )
+            self.manager = self.cluster.checkpoints
+            self.target = ShardedClient(
+                self.cluster,
+                keygen=KeyGenerator(seed),
+                max_retries=max_retries,
+                retry_backoff_s=0.0,
+            )
+            fabrics = [
+                self.cluster.server(name).fabric for name in self.cluster.shards
+            ]
+            sessions = list(self.target.sessions.values())
+        self.engine.install(fabrics=fabrics, clients=sessions)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _outcome(self, kind: str) -> None:
+        outcomes = self.report.outcomes
+        outcomes[kind] = outcomes.get(kind, 0) + 1
+
+    def _violation(self, text: str) -> None:
+        self.report.violations.append(text)
+
+    def _servers(self) -> List[PrecursorServer]:
+        if self.cluster is None:
+            return [self.server]
+        return [self.cluster.server(name) for name in self.cluster._servers]
+
+    @property
+    def _any_down(self) -> bool:
+        return bool(self.down)
+
+    # -- machine-level faults ----------------------------------------------
+
+    def _machine_faults(self, op_index: int) -> None:
+        # Restore shards whose outage span elapsed.
+        for name in [n for n, due in self.down.items() if op_index >= due]:
+            self.cluster.restore_shard(name)
+            self.report.crash_restarts += 1
+            del self.down[name]
+
+        for kind in self.engine.schedule.harness_kinds():
+            if kind == FaultKind.ENCLAVE_CRASH and self.engine.draw(kind):
+                if self.cluster is None:
+                    crash_restart(self.server, self.manager, self.obs)
+                else:
+                    live = [n for n in self.cluster.shards if n not in self.down]
+                    victim = live[self.engine.rng.randrange(len(live))]
+                    self.cluster.crash_shard(victim)
+                    self.cluster.restore_shard(victim)
+                self.report.crash_restarts += 1
+            elif kind == FaultKind.SHARD_DEATH:
+                if (
+                    self.cluster is None
+                    or self.down
+                    or len(self.cluster.shards) < 2
+                ):
+                    continue  # no rng draw: kind inapplicable right now
+                if self.engine.draw(kind):
+                    live = list(self.cluster.shards)
+                    victim = live[self.engine.rng.randrange(len(live))]
+                    self.cluster.crash_shard(victim)
+                    self.down[victim] = op_index + _OUTAGE_SPAN
+            elif kind == FaultKind.CORRUPT_PAYLOAD and self.engine.draw(kind):
+                self.engine.tamper_stored(self._servers())
+
+    # -- fault-free resolution ---------------------------------------------
+
+    def _resolve_shadow(self, key: bytes) -> None:
+        """After a failed mutation, learn the store's actual state."""
+        self.engine.disarm()
+        try:
+            self.shadow[key] = self.target.get(key)
+            self.uncertain.discard(key)
+        except KeyNotFoundError:
+            self.shadow.pop(key, None)
+            self.uncertain.discard(key)
+        except PrecursorError:
+            # Unresolvable right now (e.g. the owning shard is down);
+            # exclude the key from violation checking until readback.
+            self.uncertain.add(key)
+        finally:
+            self.engine.arm()
+
+    def _repair_tampered(self, key: bytes) -> None:
+        """Put the shadow's value back over a detected at-rest tamper."""
+        self.engine.disarm()
+        try:
+            value = self.shadow.get(key)
+            if value is not None:
+                self.target.put(key, value)
+            else:
+                self.target.delete(key)
+        except PrecursorError:
+            self.uncertain.add(key)
+        finally:
+            self.engine.arm()
+
+    # -- one workload operation --------------------------------------------
+
+    def _one_op(self, op_index: int) -> None:
+        roll = self.oprng.random()
+        op = "put" if roll < 0.5 else ("get" if roll < 0.85 else "delete")
+        key = _workload_key(self.oprng.randrange(self.keyspace))
+        value = _workload_value(op_index, self.value_size)
+        try:
+            if op == "put":
+                self.target.put(key, value)
+                self.shadow[key] = value
+                self.uncertain.discard(key)
+                self._outcome("ok")
+            elif op == "get":
+                actual = self.target.get(key)
+                if key in self.uncertain:
+                    self.shadow[key] = actual
+                    self.uncertain.discard(key)
+                    self._outcome("resolved")
+                elif key not in self.shadow:
+                    self._violation(
+                        f"op {op_index}: get {key!r} returned a value the "
+                        "shadow never stored (resurrection)"
+                    )
+                elif actual != self.shadow[key]:
+                    self._violation(
+                        f"op {op_index}: get {key!r} returned stale/corrupt "
+                        "bytes that passed verification (silent corruption)"
+                    )
+                else:
+                    self._outcome("ok")
+            else:
+                self.target.delete(key)
+                if key in self.shadow or key in self.uncertain:
+                    self.shadow.pop(key, None)
+                    self.uncertain.discard(key)
+                    self._outcome("ok")
+                else:
+                    # Documented ambiguity: a retried DELETE whose first
+                    # attempt answered NOT_FOUND but lost the ack reports
+                    # success (the key is gone either way).
+                    self._outcome("delete_ambiguous")
+        except KeyNotFoundError:
+            if key in self.uncertain:
+                self.shadow.pop(key, None)
+                self.uncertain.discard(key)
+                self._outcome("resolved")
+            elif key in self.shadow:
+                if self._any_down:
+                    # The owning shard is dead; its keys are unavailable
+                    # (not lost) until restore_shard brings them back.
+                    self._outcome("unavailable")
+                else:
+                    self._violation(
+                        f"op {op_index}: {op} {key!r} answered NOT_FOUND "
+                        "for an acknowledged write (lost write)"
+                    )
+            else:
+                self._outcome("miss")
+        except IntegrityError:
+            # Tampering detected by the client's MAC check -- the designed
+            # behaviour.  Repair so later reads see the shadow's value.
+            self.report.tamper_detected += 1
+            self._outcome("tamper_detected")
+            self._repair_tampered(key)
+        except ShardUnavailableError:
+            self._outcome("unavailable" if self._any_down else "gave_up")
+            if op != "get":
+                self.uncertain.add(key)
+        except PrecursorError:
+            # Typed failure after the retry budget -- acceptable, but the
+            # store's state for a mutation is now unknown: resolve it.
+            self._outcome("gave_up")
+            if op != "get":
+                self._resolve_shadow(key)
+
+    # -- final verification ------------------------------------------------
+
+    def _final_readback(self) -> None:
+        for name in list(self.down):
+            self.cluster.restore_shard(name)
+            self.report.crash_restarts += 1
+            del self.down[name]
+        self.engine.disarm()
+        self.engine.flush_delayed()
+        digest = hashlib.sha256()
+        for index in range(self.keyspace):
+            key = _workload_key(index)
+            expected = self.shadow.get(key)
+            try:
+                actual = self.target.get(key)
+            except KeyNotFoundError:
+                actual = None
+            except IntegrityError:
+                # At-rest tamper injected after the key's last read: the
+                # detection *is* correct behaviour.  Repair once and
+                # re-read; a second failure would be a real violation.
+                self.report.tamper_detected += 1
+                self._repair_tampered(key)
+                try:
+                    actual = self.target.get(key)
+                except KeyNotFoundError:
+                    actual = None
+            if key in self.uncertain:
+                # State was unresolvable mid-run; adopt the store's word.
+                if actual is None:
+                    self.shadow.pop(key, None)
+                else:
+                    self.shadow[key] = actual
+                expected = actual
+                self._outcome("resolved")
+            if actual != expected:
+                self._violation(
+                    f"final readback: {key!r} is "
+                    f"{actual!r}, shadow says {expected!r}"
+                )
+            digest.update(key + b"=" + (actual or b"<absent>") + b";")
+        self.report.state_digest = digest.hexdigest()
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        for op_index in range(self.ops):
+            self._machine_faults(op_index)
+            self._one_op(op_index)
+        self._final_readback()
+        report = self.report
+        report.fault_counts = dict(self.engine.counts)
+        report.fault_log = list(self.engine.log)
+        report.fault_fingerprint = self.engine.fingerprint()
+        report.retries = self.target.retries
+        report.reconnects = self.target.reconnects
+        report.failovers = getattr(self.target, "failovers", 0)
+        self.engine.uninstall()
+        return report
+
+
+def run_chaos(
+    seed: int,
+    schedule: str,
+    ops: int = 200,
+    shards: Optional[int] = None,
+    keyspace: int = 24,
+    value_size: int = 32,
+    max_retries: int = 4,
+    obs: Optional[ObsContext] = None,
+) -> ChaosReport:
+    """Run one seeded chaos workload; see the module docstring.
+
+    ``shards=None`` runs a single server; an integer runs a sharded
+    cluster of that size (enabling the ``shard_death`` fault kind).
+    Raises :class:`~repro.errors.ConfigurationError` on a bad schedule.
+    """
+    parsed = FaultSchedule.parse(schedule)
+    run = _ChaosRun(
+        seed=seed,
+        schedule=parsed,
+        ops=ops,
+        shards=shards,
+        keyspace=keyspace,
+        value_size=value_size,
+        max_retries=max_retries,
+        obs=obs,
+    )
+    return run.run()

@@ -1,0 +1,52 @@
+"""Recovery actions: the repair half of every injected fault.
+
+Each helper performs one complete recovery state machine from
+``docs/FAULTS.md`` and counts it under ``recoveries_total``:
+
+- client reconnect (QP + re-attestation) lives on the client itself
+  (:meth:`repro.core.client.PrecursorClient.reconnect`);
+- shard failover lives on the router
+  (:meth:`repro.shard.router.ShardedClient._failover`);
+- the crash-restart of a single server -- checkpoint, crash, restart,
+  restore -- is :func:`crash_restart` below, mirroring what
+  :meth:`repro.shard.cluster.ShardedCluster.crash_shard` /
+  :meth:`~repro.shard.cluster.ShardedCluster.restore_shard` do for a
+  cluster member.
+"""
+
+from __future__ import annotations
+
+from repro.core.persistence import CheckpointManager
+from repro.core.server import PrecursorServer
+
+__all__ = ["crash_restart"]
+
+
+def crash_restart(
+    server: PrecursorServer, manager: CheckpointManager, obs=None
+) -> int:
+    """Crash ``server`` and bring it back from sealed persistence.
+
+    The checkpoint is taken at the crash instant -- the synchronous
+    sealed-persistence model under which no acknowledged write is lost.
+    The replacement enclave (same measurement) unseals it; the rollback
+    guard has verified freshness before a single byte is trusted.  Every
+    attached client's next operation fails fast on its errored QP and
+    recovers via reconnect + oid resync.
+
+    Returns the number of restored entries.
+    """
+    checkpoint = manager.checkpoint(server)
+    server.crash()
+    server.restart()
+    # Startup ecalls must precede the restore: a later first ``start()``
+    # would re-run ``init_hashtable`` and wipe the restored table.
+    server.start()
+    restored = manager.restore(server, checkpoint)
+    context = obs if obs is not None else server.obs
+    context.registry.counter(
+        "recoveries_total",
+        "recovery actions taken",
+        {"kind": "crash_restart"},
+    ).inc()
+    return restored

@@ -1,0 +1,151 @@
+"""Fault schedules: *what* can go wrong, and how often.
+
+A schedule is a declarative list of ``kind:rate`` pairs -- e.g.
+``"drop:0.05,corrupt_control:0.02,enclave_crash:0.01"`` -- compiled into
+:class:`FaultSpec` entries.  The schedule carries no randomness of its
+own: the seeded :class:`~repro.faults.engine.FaultEngine` draws against
+the rates, so one ``(seed, schedule)`` pair always produces the same
+fault sequence (``docs/FAULTS.md``).
+
+Kinds fall into three layers, matching where the fault is injected:
+
+- **wire** faults act on individual RDMA writes through the fabric's
+  fault hook (:meth:`repro.rdma.fabric.Fabric.install_fault_hook`);
+- **client** faults act at the submit seam (a duplicated request frame);
+- **harness** faults are whole-machine or at-rest events the chaos
+  harness executes between operations (enclave crash, shard death,
+  tampering with stored ciphertext).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultKind", "FaultSpec", "FaultSchedule"]
+
+
+class FaultKind:
+    """Every fault the engine knows how to inject."""
+
+    #: Silently lose one RDMA write (request, reply, or credit update).
+    DROP = "drop"
+    #: Post one request frame twice (retransmission without a loss).
+    DUPLICATE = "duplicate"
+    #: Hold one RDMA write back for a few operations, then deliver late.
+    DELAY = "delay"
+    #: Flip one byte of a stored ciphertext/MAC blob (at-rest tamper).
+    CORRUPT_PAYLOAD = "corrupt_payload"
+    #: Flip one byte of an in-flight frame (sealed control or payload).
+    CORRUPT_CONTROL = "corrupt_control"
+    #: Complete one write in error and drive the QP to ERR (link flap).
+    QP_ERROR = "qp_error"
+    #: Destroy the enclave; service resumes only after crash-restart.
+    ENCLAVE_CRASH = "enclave_crash"
+    #: Kill a whole shard (sharded runs only); routers must fail over.
+    SHARD_DEATH = "shard_death"
+
+    #: Kinds judged per RDMA write by the fabric hook.
+    WIRE = (DROP, DELAY, CORRUPT_CONTROL, QP_ERROR)
+    #: Kinds judged per submitted request frame by the client seam.
+    CLIENT = (DUPLICATE,)
+    #: Kinds the chaos harness executes between operations.
+    HARNESS = (CORRUPT_PAYLOAD, ENCLAVE_CRASH, SHARD_DEATH)
+
+    ALL = WIRE + CLIENT + HARNESS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One schedule entry: inject ``kind`` with probability ``rate``."""
+
+    kind: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(FaultKind.ALL)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"fault rate must be in [0, 1], got {self.rate} "
+                f"for {self.kind!r}"
+            )
+
+
+class FaultSchedule:
+    """An ordered, validated set of :class:`FaultSpec` entries.
+
+    Order matters: the engine consults specs in schedule order and the
+    first winning draw decides the fault, so earlier entries take
+    precedence when several could fire on one event.
+    """
+
+    def __init__(self, specs: List[FaultSpec]):
+        kinds = [spec.kind for spec in specs]
+        if len(kinds) != len(set(kinds)):
+            raise ConfigurationError(f"duplicate fault kinds in {kinds}")
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Compile ``"kind:rate,kind:rate,..."`` into a schedule.
+
+        Whitespace around entries is ignored; an empty string is the
+        fault-free schedule.  Malformed entries raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        specs: List[FaultSpec] = []
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            kind, sep, rate_text = chunk.partition(":")
+            if not sep:
+                raise ConfigurationError(
+                    f"bad schedule entry {chunk!r}: expected 'kind:rate'"
+                )
+            try:
+                rate = float(rate_text)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault rate {rate_text!r} for {kind.strip()!r}"
+                ) from exc
+            specs.append(FaultSpec(kind=kind.strip(), rate=rate))
+        return cls(specs)
+
+    def rate(self, kind: str) -> float:
+        """The scheduled rate for ``kind`` (0.0 when absent)."""
+        if kind not in FaultKind.ALL:
+            raise ConfigurationError(f"unknown fault kind {kind!r}")
+        for spec in self.specs:
+            if spec.kind == kind:
+                return spec.rate
+        return 0.0
+
+    def wire_specs(self) -> Tuple[FaultSpec, ...]:
+        """Entries the fabric hook judges, in precedence order."""
+        return tuple(s for s in self.specs if s.kind in FaultKind.WIRE)
+
+    def client_specs(self) -> Tuple[FaultSpec, ...]:
+        """Entries the client submit seam judges."""
+        return tuple(s for s in self.specs if s.kind in FaultKind.CLIENT)
+
+    def harness_kinds(self) -> Tuple[str, ...]:
+        """Scheduled harness-level kinds, in precedence order."""
+        return tuple(
+            s.kind for s in self.specs if s.kind in FaultKind.HARNESS
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __str__(self) -> str:
+        return ",".join(f"{s.kind}:{s.rate:g}" for s in self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({str(self)!r})"

@@ -18,14 +18,35 @@ instead of moving real bytes.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import AccessError, ConfigurationError
 from repro.rdma.memory import ProtectionDomain
 from repro.rdma.qp import QpState, QueuePair, WorkCompletion
 from repro.rdma.verbs import Opcode, WorkRequest
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "FaultAction"]
+
+
+class FaultAction:
+    """What a fault hook may do to one posted work request.
+
+    The hook (see :meth:`Fabric.install_fault_hook`) returns one of these
+    strings -- or ``None`` for "no fault".  The fabric implements the
+    mechanics; the *policy* (which request, which kind, under which seed)
+    lives in :class:`repro.faults.engine.FaultEngine`.
+    """
+
+    #: Silently lose the write: the post "succeeds" but no bytes land.
+    DROP = "drop"
+    #: Hold the write back; it lands after ``delay_ops`` later posts.
+    DELAY = "delay"
+    #: Flip one byte of the payload before it lands (in-flight tamper).
+    CORRUPT = "corrupt"
+    #: Complete in error and drive the QP to ERR (link flap / NIC fault).
+    QP_ERROR = "qp_error"
+
+    ALL = (DROP, DELAY, CORRUPT, QP_ERROR)
 
 
 class Fabric:
@@ -39,6 +60,14 @@ class Fabric:
         self.bytes_moved = 0
         self._faults_pending = 0
         self._obs = None
+        # Deterministic fault-injection seam (repro.faults): an optional
+        # hook consulted per post, plus writes held back by DELAY faults
+        # as (countdown, qp, wr) entries.
+        self._fault_hook: Optional[
+            Callable[[QueuePair, WorkRequest], Optional[str]]
+        ] = None
+        self._delayed: List[Tuple[int, QueuePair, WorkRequest]] = []
+        self.delay_ops = 2
 
     def bind_obs(self, registry) -> None:
         """Export verb counts, bytes moved, and CQ depth into ``registry``.
@@ -77,6 +106,56 @@ class Fabric:
         if count < 0:
             raise ConfigurationError(f"negative fault count: {count}")
         self._faults_pending += count
+
+    def install_fault_hook(
+        self, hook: Optional[Callable[[QueuePair, WorkRequest], Optional[str]]]
+    ) -> None:
+        """Install (or clear, with ``None``) the per-post fault hook.
+
+        The hook is called once per :meth:`post_send` with the QP and work
+        request and returns a :class:`FaultAction` string or ``None``.
+        Exactly one hook is active at a time; installing over an existing
+        one replaces it (the fault engine owns composition).
+        """
+        self._fault_hook = hook
+
+    def flush_delayed(self) -> int:
+        """Deliver every write still held back by DELAY faults.
+
+        Returns the number delivered.  Late deliveries run fault-free (a
+        frame is delayed once, not repeatedly re-judged).
+        """
+        delayed, self._delayed = self._delayed, []
+        for _countdown, qp, wr in delayed:
+            self._deliver_late(qp, wr)
+        return len(delayed)
+
+    def _deliver_late(self, qp: QueuePair, wr: WorkRequest) -> None:
+        # A delayed frame lands only if its connection is still usable; a
+        # write buffered before a QP error dies with the connection.
+        if qp.state is not QpState.RTS:
+            return
+        if qp.remote is None or qp.remote.state is not QpState.RTS:
+            return
+        try:
+            self._execute(qp, wr)
+        except AccessError:
+            return
+        self.bytes_moved += wr.byte_len
+
+    def _tick_delayed(self) -> None:
+        if not self._delayed:
+            return
+        due = []
+        still = []
+        for countdown, qp, wr in self._delayed:
+            if countdown <= 1:
+                due.append((qp, wr))
+            else:
+                still.append((countdown - 1, qp, wr))
+        self._delayed = still
+        for qp, wr in due:
+            self._deliver_late(qp, wr)
 
     # -- topology ------------------------------------------------------------
 
@@ -124,20 +203,32 @@ class Fabric:
         if qp.remote is None or qp.remote.state is not QpState.RTS:
             raise AccessError(f"QP {qp.qp_num} has no connected remote")
         qp.sends_posted += 1
+        self._tick_delayed()
+        action, detail = self._judge(qp, wr)
         status = "success"
+        executed = False
         result: bytes = b""
-        if self._faults_pending > 0:
-            self._faults_pending -= 1
+        if action == FaultAction.QP_ERROR:
             status = "injected transport fault"
             qp.error_out()
+        elif action == FaultAction.DROP:
+            pass  # silent loss: the post "succeeds", no bytes land
+        elif action == FaultAction.DELAY:
+            self._delayed.append((detail or self.delay_ops, qp, wr))
         else:
+            if action == FaultAction.CORRUPT and wr.data:
+                flip_at = (detail or 0) % len(wr.data)
+                data = bytearray(wr.data)
+                data[flip_at] ^= 0x01
+                wr.data = bytes(data)
             try:
                 result = self._execute(qp, wr)
+                executed = True
             except AccessError as exc:
                 status = str(exc)
                 qp.error_out()
         self.ops_executed += 1
-        if status == "success":
+        if executed:
             self.bytes_moved += wr.byte_len
         if qp.want_signal(wr) or status != "success":
             qp.send_cq.push(
@@ -153,6 +244,33 @@ class Fabric:
             raise AccessError(status)
         if wr.opcode is Opcode.RDMA_READ:
             wr.data = result
+
+    def _judge(
+        self, qp: QueuePair, wr: WorkRequest
+    ) -> Tuple[Optional[str], Optional[int]]:
+        """Decide the fault (if any) for one post.
+
+        Legacy ``inject_faults`` counts take precedence (they model the
+        always-available "link flap" shape); otherwise the installed hook
+        is consulted.  Hooks may return an action string or an
+        ``(action, detail)`` pair -- ``detail`` is the byte offset for
+        CORRUPT and the op countdown for DELAY.
+        """
+        if self._faults_pending > 0:
+            self._faults_pending -= 1
+            return FaultAction.QP_ERROR, None
+        if self._fault_hook is None:
+            return None, None
+        verdict = self._fault_hook(qp, wr)
+        if verdict is None:
+            return None, None
+        if isinstance(verdict, tuple):
+            action, detail = verdict
+        else:
+            action, detail = verdict, None
+        if action not in FaultAction.ALL:
+            raise ConfigurationError(f"unknown fault action {action!r}")
+        return action, detail
 
     def _execute(self, qp: QueuePair, wr: WorkRequest) -> bytes:
         remote_host = self._qp_host[qp.remote.qp_num]

@@ -97,6 +97,18 @@ class RNic:
         """Line rate in MB/s (the Fig. 1 'iperf bandwidth' reference)."""
         return self.bandwidth_gbps * 1e3 / 8
 
+    def retransmit_ns(self, nbytes: int, inline: bool = False) -> int:
+        """Cost of re-sending a message after a detected loss or QP error.
+
+        RC transport recovers from a fault by re-arming the QP and
+        re-posting: the retry pays the full transfer again *plus* one
+        base-latency worth of error detection/ack turnaround (the
+        timeout/NAK path is far slower than the data path, which is why
+        tail latency under faults degrades much faster than the median --
+        see ``repro.bench.faulttail``).
+        """
+        return self.transfer_ns(nbytes, inline=inline) + self.base_latency_ns
+
 
 class QpCacheModel:
     """Steady-state model of the RNIC's QP/connection-state cache.

@@ -103,6 +103,7 @@ class Enclave:
         self._ecalls: Dict[str, Callable] = {}
         self._ocalls: Dict[str, Callable] = {}
         self._inside = False
+        self._destroyed = False
         #: MRENCLAVE analogue: hash over the enclave's identity and size.
         self.measurement = hashlib.sha256(
             f"enclave:{name}:{code_size_bytes}".encode()
@@ -168,6 +169,8 @@ class Enclave:
         Counts one transition.  Nested ecalls are rejected, as on real
         hardware without special configuration.
         """
+        if self._destroyed:
+            raise EnclaveError(f"enclave {self.name!r} was destroyed")
         if self._inside:
             raise EnclaveError("nested ecall")
         fn = self._ecalls.get(name)
@@ -196,6 +199,22 @@ class Enclave:
             return fn(*args, **kwargs)
         finally:
             self._inside = True
+
+    def destroy(self) -> None:
+        """Tear the enclave down (crash/EREMOVE model).
+
+        All trusted state is conceptually lost; every later ecall raises
+        :class:`~repro.errors.EnclaveError`.  Only data previously sealed
+        to this enclave's *measurement* survives -- a replacement enclave
+        built from the same binary can unseal it (the crash-restart path
+        of :meth:`repro.core.server.PrecursorServer.restart`).
+        """
+        self._destroyed = True
+
+    @property
+    def destroyed(self) -> bool:
+        """True once :meth:`destroy` was called."""
+        return self._destroyed
 
     @property
     def inside(self) -> bool:

@@ -20,8 +20,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.testbed import TestbedSpec, sharded_testbed
+from repro.core.persistence import CheckpointManager, ServerCheckpoint
 from repro.core.server import PrecursorServer, ServerConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardUnavailableError
 from repro.obs import ObsContext
 from repro.rdma.fabric import Fabric
 from repro.shard.migrate import MigrationEngine, MigrationReport
@@ -91,6 +92,11 @@ class ShardedCluster:
             self._spawn_server(name)
         self.shard_map = ShardMap(epoch=1, ring=HashRing(names, vnodes, seed))
         self._engine = MigrationEngine(self)
+        #: Sealed crash persistence, shared cluster-wide: every shard runs
+        #: the same measurement, so one manager (one sealing key + counter
+        #: guard) serves them all.
+        self.checkpoints = CheckpointManager()
+        self._crash_checkpoints: Dict[str, ServerCheckpoint] = {}
         self._obs_epoch = self.obs.registry.gauge(
             "shard_map_epoch", "current shard-map epoch"
         )
@@ -157,9 +163,11 @@ class ShardedCluster:
         }
 
     def process_pending(self) -> int:
-        """Pump every shard's polling loop once (explicit-pump mode)."""
+        """Pump every live shard's polling loop once (explicit-pump mode)."""
         return sum(
-            self._servers[name].process_pending() for name in self.shards
+            self._servers[name].process_pending()
+            for name in self.shards
+            if not self._servers[name].crashed
         )
 
     # -- membership changes ------------------------------------------------
@@ -180,8 +188,11 @@ class ShardedCluster:
         if name in self._servers:
             raise ConfigurationError(f"shard {name!r} already exists")
         self._spawn_server(name)
-        self.testbed = sharded_testbed(len(self.shards) + 1)
-        return self._engine.rebalance(self.shard_map.ring.with_shard(name))
+        report = self._engine.rebalance(self.shard_map.ring.with_shard(name))
+        # Only a *successful* join changes the testbed shape; a rebalance
+        # aborted by a shard failure leaves the old spec authoritative.
+        self.testbed = sharded_testbed(len(self.shards))
+        return report
 
     def remove_shard(self, name: str) -> MigrationReport:
         """Drain and retire shard ``name`` (its keys spread over the rest)."""
@@ -195,3 +206,72 @@ class ShardedCluster:
             )
         self.testbed = sharded_testbed(len(self.shards))
         return report
+
+    # -- failures and recovery ----------------------------------------------
+
+    def crash_shard(self, name: str) -> PrecursorServer:
+        """Fail shard ``name``: checkpoint its state, then crash it.
+
+        The checkpoint is taken at the crash instant -- the synchronous
+        sealed-persistence model of :mod:`repro.core.persistence`, under
+        which no acknowledged write is ever lost.  Clients talking to the
+        shard see errored QPs and :class:`ShardUnavailableError` until
+        :meth:`restore_shard`.
+        """
+        server = self.server(name)
+        if server.crashed:
+            raise ConfigurationError(f"shard {name!r} is already down")
+        self._crash_checkpoints[name] = self.checkpoints.checkpoint(server)
+        server.crash()
+        return server
+
+    def handle_shard_failure(self, name: str) -> bool:
+        """Route around a dead shard: drop it from the ring, bump the epoch.
+
+        No migration runs -- the dead shard cannot export.  Its keys stay
+        unavailable (routed requests answer NOT_FOUND on the new owners)
+        until :meth:`restore_shard` brings them back.  Returns False when
+        the shard already left the ring (idempotent under races between
+        routers).  Raises :class:`ShardUnavailableError` when the failed
+        shard was the last member: there is nowhere left to route.
+        """
+        if name not in self.shard_map.ring:
+            return False
+        if len(self.shards) == 1:
+            raise ShardUnavailableError(
+                f"shard {name!r} was the cluster's last member"
+            )
+        self._install_map(
+            self.shard_map.ring.without_shard(name), self.shard_map.epoch + 1
+        )
+        return True
+
+    def restore_shard(self, name: str) -> int:
+        """Crash-restart shard ``name`` and fold it back into the ring.
+
+        Restarts the server (fresh enclave, same measurement), restores
+        the sealed checkpoint taken at crash time -- table entries,
+        payload arenas, replay expectations -- and, if a failover removed
+        the shard from the ring meanwhile, rebalances it back in (keys
+        written to the survivors during the outage migrate over, newer
+        versions overwriting the restored shard's checkpointed copies).
+        Returns the number of restored entries.
+        """
+        server = self.server(name)
+        server.restart()
+        # Startup ecalls must run before the restore: a later first
+        # ``start()`` would re-issue ``init_hashtable`` and drop the
+        # restored table.
+        server.start()
+        checkpoint = self._crash_checkpoints.pop(name, None)
+        restored = 0
+        if checkpoint is not None:
+            restored = self.checkpoints.restore(server, checkpoint)
+        if name not in self.shard_map.ring:
+            self._engine.rebalance(self.shard_map.ring.with_shard(name))
+        self.obs.registry.counter(
+            "recoveries_total",
+            "recovery actions taken",
+            {"kind": "crash_restart"},
+        ).inc()
+        return restored

@@ -83,6 +83,13 @@ class MigrationEngine:
                 if target != source:
                     moves.append((key, source, target))
         report = MigrationReport(epoch=old_map.epoch + 1)
+        # Copy phase: every misplaced key is exported and installed on its
+        # new owner while staying live on the old one.  A shard failure
+        # mid-copy (ShardUnavailableError) aborts the rebalance with the
+        # old map intact and nothing evicted -- the extra copies on the
+        # targets are overwritten by the next successful rebalance
+        # (``import_entry`` replaces existing entries).
+        installed: List[Tuple[str, bytes]] = []
         for key, source, target in moves:
             src_server = cluster.server(source)
             dst_server = cluster.server(target)
@@ -94,12 +101,16 @@ class MigrationEngine:
                 )
             sealed, blob = src_server.export_entry(key)
             dst_server.import_entry(sealed, blob)
-            src_server.evict_entry(key)
+            installed.append((source, key))
             pair = (source, target)
             report.moved[pair] = report.moved.get(pair, 0) + 1
             report.payload_bytes += len(blob)
             report.sealed_bytes += len(sealed)
             self._obs_moved.inc()
             self._obs_bytes.inc(len(blob))
+        # Ownership flips atomically for the whole batch, and only then do
+        # the sources drop their (now shadowed) copies.
         cluster._install_map(new_ring, report.epoch)
+        for source, key in installed:
+            cluster.server(source).evict_entry(key)
         return report

@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.client import PrecursorClient, allocate_client_id
 from repro.crypto.keys import KeyGenerator
-from repro.errors import KeyNotFoundError
+from repro.errors import (
+    AccessError,
+    KeyNotFoundError,
+    OperationTimeoutError,
+    ShardUnavailableError,
+)
 from repro.obs import Trace
 
 __all__ = ["ShardedClient"]
@@ -54,6 +59,9 @@ class ShardedClient:
         auto_pump: bool = True,
         expected_measurement: Optional[bytes] = None,
         trace_ops: bool = True,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0002,
+        retry_backoff_cap_s: float = 0.01,
     ):
         self.cluster = cluster
         self.obs = cluster.obs
@@ -64,6 +72,9 @@ class ShardedClient:
         self._auto_pump = auto_pump
         self._expected_measurement = expected_measurement
         self._trace_ops = trace_ops
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._retry_backoff_cap_s = retry_backoff_cap_s
         self._map = cluster.shard_map
         self._clients: Dict[str, PrecursorClient] = {}
         for name in cluster.shards:
@@ -72,11 +83,17 @@ class ShardedClient:
         #: Operations routed through this client, and stale-map events.
         self.operations = 0
         self.stale_retries = 0
+        self.failovers = 0
         registry = self.obs.registry
         self._obs_routed = {}
         self._obs_stale = registry.counter(
             "router_stale_retries_total",
             "operations re-routed after a shard-map epoch bump",
+        )
+        self._obs_failover = registry.counter(
+            "recoveries_total",
+            "recovery actions taken",
+            {"kind": "failover"},
         )
 
     # -- connections -------------------------------------------------------
@@ -90,6 +107,9 @@ class ShardedClient:
             expected_measurement=self._expected_measurement,
             obs=self.obs,
             trace_ops=False,  # the router traces whole routed operations
+            max_retries=self._max_retries,
+            retry_backoff_s=self._retry_backoff_s,
+            retry_backoff_cap_s=self._retry_backoff_cap_s,
         )
         self._clients[shard] = client
         return client
@@ -111,6 +131,16 @@ class ShardedClient:
     def integrity_failures(self) -> int:
         """MAC verification failures across every shard session."""
         return sum(c.integrity_failures for c in self._clients.values())
+
+    @property
+    def retries(self) -> int:
+        """Operation retries across every shard session."""
+        return sum(c.retries for c in self._clients.values())
+
+    @property
+    def reconnects(self) -> int:
+        """Reconnects (QP + re-attestation) across every shard session."""
+        return sum(c.reconnects for c in self._clients.values())
 
     # -- shard map handling ------------------------------------------------
 
@@ -148,6 +178,37 @@ class ShardedClient:
         counter.inc()
         return self._client(shard), shard
 
+    # -- failover ----------------------------------------------------------
+
+    def _failover(self, shard: str) -> None:
+        """Route around a dead shard: drop it from the ring, refresh."""
+        self.cluster.handle_shard_failure(shard)
+        self.refresh_map()
+        self.failovers += 1
+        self._obs_failover.inc()
+
+    def _failover_retry(self, key: bytes, fenced: bool, fn):
+        """Run ``fn(client)`` against ``key``'s owner, surviving its death.
+
+        When the owning shard's machine is down (its server reports
+        ``crashed``), the router marks it failed cluster-wide, refreshes
+        the ring under the bumped epoch, and retries once against the new
+        owner.  The dead shard's session object is *kept*: on restore the
+        same client reconnects and resumes its oid sequence.  Failures
+        that are not a machine death propagate unchanged.
+        """
+        with self.obs.tracer.stage("router.route"):
+            client, shard = self._route(key, fenced=fenced)
+        try:
+            return fn(client)
+        except (ShardUnavailableError, AccessError, OperationTimeoutError):
+            if not self.cluster.server(shard).crashed:
+                raise
+            self._failover(shard)
+            with self.obs.tracer.stage("router.route"):
+                client, _shard = self._route(key, fenced=fenced)
+            return fn(client)
+
     # -- tracing -----------------------------------------------------------
 
     def _start_trace(self, op: str) -> Optional[Trace]:
@@ -164,9 +225,7 @@ class ShardedClient:
         """Store ``value`` under ``key`` on its owning shard (epoch-fenced)."""
         trace = self._start_trace("put")
         try:
-            with self.obs.tracer.stage("router.route"):
-                client, _shard = self._route(key, fenced=True)
-            client.put(key, value)
+            self._failover_retry(key, True, lambda c: c.put(key, value))
             self.operations += 1
         except BaseException:
             if trace is not None:
@@ -179,19 +238,15 @@ class ShardedClient:
         """Fetch and verify ``key``, retrying once after an epoch bump."""
         trace = self._start_trace("get")
         try:
-            with self.obs.tracer.stage("router.route"):
-                client, _shard = self._route(key, fenced=False)
             try:
-                value = client.get(key)
+                value = self._failover_retry(key, False, lambda c: c.get(key))
             except KeyNotFoundError:
                 # Either a true miss or a stale route that raced a
                 # migration; only an epoch bump warrants a retry.
                 if not self.refresh_map():
                     raise
                 self._note_stale()
-                with self.obs.tracer.stage("router.route"):
-                    client, _shard = self._route(key, fenced=False)
-                value = client.get(key)
+                value = self._failover_retry(key, False, lambda c: c.get(key))
             self.operations += 1
         except BaseException:
             if trace is not None:
@@ -205,17 +260,13 @@ class ShardedClient:
         """Delete ``key``, retrying once after an epoch bump."""
         trace = self._start_trace("delete")
         try:
-            with self.obs.tracer.stage("router.route"):
-                client, _shard = self._route(key, fenced=False)
             try:
-                client.delete(key)
+                self._failover_retry(key, False, lambda c: c.delete(key))
             except KeyNotFoundError:
                 if not self.refresh_map():
                     raise
                 self._note_stale()
-                with self.obs.tracer.stage("router.route"):
-                    client, _shard = self._route(key, fenced=False)
-                client.delete(key)
+                self._failover_retry(key, False, lambda c: c.delete(key))
             self.operations += 1
         except BaseException:
             if trace is not None:

@@ -60,6 +60,51 @@ class TestFabricFaultInjection:
             server.fabric.inject_faults(-1)
 
 
+class TestStrandedQpRecovery:
+    """A QP left in ERR must not strand the session forever."""
+
+    def test_qp_stays_stranded_without_reconnect(self):
+        # The failure mode this class pins: after a fault the QP is ERR
+        # and *every* subsequent op fails until somebody recovers it.
+        server = PrecursorServer()
+        client = PrecursorClient(server, client_id=1)
+        server.fabric.inject_faults(1)
+        with pytest.raises((AccessError, PrecursorError)):
+            client.put(b"k", b"v")
+        assert client._qp.state is QpState.ERR
+        with pytest.raises((AccessError, PrecursorError)):
+            client.put(b"k2", b"v2")  # still dead: no self-healing
+
+    def test_reconnect_restores_service(self):
+        server = PrecursorServer()
+        client = PrecursorClient(server, client_id=1)
+        client.put(b"before", b"ok")
+        server.fabric.inject_faults(1)
+        with pytest.raises((AccessError, PrecursorError)):
+            client.put(b"during", b"lost")
+        assert client._qp.state is QpState.ERR
+        client.reconnect()
+        assert client._qp.state is QpState.RTS
+        client.put(b"after", b"recovered")
+        assert client.get(b"after") == b"recovered"
+        assert client.get(b"before") == b"ok"
+        assert client.reconnects == 1
+
+    def test_retry_budget_recovers_transparently(self):
+        # With a retry budget the stranded-QP window is invisible to the
+        # caller: the op that hit the fault reconnects and completes.
+        server = PrecursorServer()
+        client = PrecursorClient(
+            server, client_id=1, max_retries=2, retry_backoff_s=0.0
+        )
+        client.put(b"before", b"ok")
+        server.fabric.inject_faults(1)
+        client.put(b"during", b"kept")  # must NOT raise
+        assert client._qp.state is QpState.RTS
+        assert client.retries >= 1
+        assert client.get(b"during") == b"kept"
+
+
 class TestDriverLatencyRecording:
     def test_driver_records_per_op_latency(self):
         from repro.core import make_pair

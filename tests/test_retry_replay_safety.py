@@ -1,0 +1,279 @@
+"""Replay safety of the retry engine: at-most-once, provably.
+
+A retried PUT re-seals the *same* oid and re-ships the *same* ciphertext,
+so the server either applies it once or recognises the duplicate via the
+replay filter and re-sends the cached ack.  These tests pin that
+machinery directly (duplicate frames, lost acks, oid resync, the
+``_APPLIED`` sentinel) and property-test it under seeded random fault
+schedules.
+"""
+
+import pytest
+
+from repro.core import PrecursorClient, PrecursorServer
+from repro.core.persistence import CheckpointManager
+from repro.errors import (
+    OperationTimeoutError,
+    PrecursorError,
+    ReplayError,
+)
+from repro.faults import FaultEngine, FaultSchedule, run_chaos
+from repro.faults.recovery import crash_restart
+
+
+def _pair(max_retries=3, **kwargs):
+    server = PrecursorServer()
+    client = PrecursorClient(
+        server,
+        max_retries=max_retries,
+        retry_backoff_s=0.0,
+        trace_ops=False,
+        **kwargs,
+    )
+    return server, client
+
+
+class TestDuplicateNeverDoubleApplies:
+    def test_always_duplicated_puts_apply_once(self):
+        server, client = _pair()
+        client.submit_fault_hook = lambda frame: True  # duplicate all
+        for i in range(10):
+            client.put(b"key-%d" % i, b"value-%d" % i)
+        client.submit_fault_hook = None
+        # The duplicates hit the replay filter, not the table.
+        assert server.stats.puts == 10
+        assert server.stats.replay_rejections > 0
+        for i in range(10):
+            assert client.get(b"key-%d" % i) == b"value-%d" % i
+
+    def test_duplicate_of_overwrite_keeps_newest_value(self):
+        server, client = _pair()
+        client.put(b"k", b"v1")
+        client.submit_fault_hook = lambda frame: True
+        client.put(b"k", b"v2")
+        client.submit_fault_hook = None
+        assert client.get(b"k") == b"v2"
+        assert server.stats.puts == 2
+
+    def test_duplicate_delete_stays_deleted_not_errored(self):
+        server, client = _pair()
+        client.put(b"k", b"v")
+        client.submit_fault_hook = lambda frame: True
+        client.delete(b"k")
+        client.submit_fault_hook = None
+        from repro.errors import KeyNotFoundError
+
+        with pytest.raises(KeyNotFoundError):
+            client.get(b"k")
+        assert server.stats.deletes == 1
+
+    def test_duplicate_reply_is_cached_ack_not_reapply(self):
+        server, client = _pair()
+        client.submit_fault_hook = lambda frame: True
+        client.put(b"k", b"v")
+        client.put(b"k2", b"v2")  # pumping this processes the duplicate
+        client.submit_fault_hook = None
+        assert server.stats.duplicate_replies > 0
+        assert server.stats.puts == 2
+
+
+class TestLostAckRecovery:
+    """The reply is lost; the retry must harvest the cached ack."""
+
+    def _drop_first_reply(self, server, client):
+        """Arm a one-shot fabric fault that eats the next server->client
+        write (the reply), leaving the request untouched."""
+        from repro.rdma.fabric import FaultAction
+
+        state = {"armed": True}
+
+        def hook(qp, wr):
+            # Replies travel on the server-side QP of the pair; the
+            # client's own writes (requests, credits) pass untouched.
+            if state["armed"] and qp is not client._qp:
+                state["armed"] = False
+                return FaultAction.DROP
+            return None
+
+        server.fabric.install_fault_hook(hook)
+        return state
+
+    def test_put_with_lost_ack_succeeds_via_cached_reply(self):
+        server, client = _pair(max_retries=3)
+        self._drop_first_reply(server, client)
+        client.put(b"k", b"v")  # attempt 0 applies; ack lost; retry acks
+        server.fabric.install_fault_hook(None)
+        assert client.retries >= 1
+        assert server.stats.puts == 1
+        assert server.stats.duplicate_replies == 1
+        assert client.get(b"k") == b"v"
+
+    def test_delete_with_lost_ack_succeeds_once(self):
+        server, client = _pair(max_retries=3)
+        client.put(b"k", b"v")
+        self._drop_first_reply(server, client)
+        client.delete(b"k")
+        server.fabric.install_fault_hook(None)
+        assert server.stats.deletes == 1
+        assert server.stats.duplicate_replies == 1
+
+    def test_cache_survives_reconnect(self):
+        # The duplicate-reply cache is per-client state the server must
+        # carry across reconnect_client, or a lost-ack retry after a QP
+        # reset would see REPLAY with no cached reply.
+        server, client = _pair(max_retries=3)
+        self._drop_first_reply(server, client)
+        client.put(b"k", b"v")
+        server.fabric.install_fault_hook(None)
+        assert client.reconnects >= 1  # retry went through a reconnect
+        assert server.stats.duplicate_replies == 1
+
+
+class TestAppliedSentinel:
+    """REPLAY on a retry with no cached ack == applied, ack unrecoverable."""
+
+    def _lose_reply_and_cache(self, server, client, op):
+        """Simulate: attempt 0 applied, but both the reply and the
+        server's cached ack are gone (e.g. crash after apply)."""
+        original = client._collect_reply
+        state = {"first": True}
+
+        def collect(expected_oid):
+            if state["first"]:
+                state["first"] = False
+                channel = server._channel(client.client_id)
+                channel.last_oid = None
+                channel.last_digest = None
+                channel.last_reply_control = None
+                channel.last_reply_payload = None
+                raise OperationTimeoutError("simulated lost reply")
+            return original(expected_oid)
+
+        client._collect_reply = collect
+
+    def test_put_reports_success_when_applied_but_ack_gone(self):
+        server, client = _pair(max_retries=3)
+        self._lose_reply_and_cache(server, client, "put")
+        client.put(b"k", b"v")  # must NOT raise: the put took effect
+        client._collect_reply = client.__class__._collect_reply.__get__(client)
+        assert client.get(b"k") == b"v"
+        assert server.stats.puts == 1  # never double-applied
+
+    def test_delete_reports_success_when_applied_but_ack_gone(self):
+        server, client = _pair(max_retries=3)
+        client.put(b"k", b"v")
+        self._lose_reply_and_cache(server, client, "delete")
+        client.delete(b"k")
+        client._collect_reply = client.__class__._collect_reply.__get__(client)
+        from repro.errors import KeyNotFoundError
+
+        with pytest.raises(KeyNotFoundError):
+            client.get(b"k")
+
+    def test_get_reissues_under_fresh_oid(self):
+        server, client = _pair(max_retries=3)
+        client.put(b"k", b"v")
+        self._lose_reply_and_cache(server, client, "get")
+        assert client.get(b"k") == b"v"  # re-issued, idempotent
+        client._collect_reply = client.__class__._collect_reply.__get__(client)
+
+    def test_first_attempt_replay_still_raises(self):
+        # REPLAY on attempt 0 is a real protocol violation (stale client),
+        # not a lost ack -- it must surface, not masquerade as success.
+        server, client = _pair(max_retries=3)
+        client.put(b"k", b"v")
+        client._oid -= 1  # force the next oid to collide
+        with pytest.raises(ReplayError):
+            client.get(b"k")
+
+
+class TestOidResync:
+    def test_failed_op_does_not_wedge_the_session(self):
+        # An op that exhausts its budget leaves an orphaned oid; the
+        # resync must step the counter back so later ops line up again.
+        server, client = _pair(max_retries=0)
+        client.put(b"k", b"v1")
+        server.fabric.inject_faults(1)
+        with pytest.raises(PrecursorError):
+            client.put(b"k", b"v2")
+        client.reconnect()
+        client.put(b"k", b"v3")  # must not be rejected as a replay
+        assert client.get(b"k") == b"v3"
+
+    def test_reconnect_returns_replay_expectation(self):
+        server, client = _pair()
+        client.put(b"a", b"1")
+        client.put(b"b", b"2")
+        expected = client.reconnect()
+        assert expected == server.replay_expected(client.client_id)
+        assert expected == client._oid + 1
+
+    def test_resync_after_crash_restart(self):
+        # The replay expectations are part of the sealed checkpoint: after
+        # a crash-restart the filter resumes exactly where it left off and
+        # the reconnected client keeps operating under its old oids.
+        server, client = _pair(max_retries=3)
+        manager = CheckpointManager()
+        for i in range(4):
+            client.put(b"key-%d" % i, b"val-%d" % i)
+        crash_restart(server, manager)
+        # The client's QP died with the server; its next op retries
+        # through a reconnect transparently.
+        client.put(b"after", b"crash")
+        assert client.get(b"after") == b"crash"
+        for i in range(4):
+            assert client.get(b"key-%d" % i) == b"val-%d" % i
+
+    def test_retry_reuses_same_oid(self):
+        # The replay-safety core: a retried PUT re-seals the same oid.
+        server, client = _pair(max_retries=3)
+        client.put(b"warm", b"up")
+        oid_before = client._oid
+        server.fabric.inject_faults(1)
+        client.put(b"k", b"v")
+        assert client._oid == oid_before + 1  # one op, one oid
+        assert server.stats.puts == 2
+
+
+class TestPropertyRandomSchedules:
+    """Seeded random schedules: the shadow model never diverges."""
+
+    @pytest.mark.parametrize("seed", list(range(8)))
+    def test_drop_duplicate_storm_preserves_exactly_once(self, seed):
+        report = run_chaos(
+            seed=seed, schedule="drop:0.15,duplicate:0.15", ops=60
+        )
+        assert report.ok, report.violations
+
+    @pytest.mark.parametrize("seed", [2, 5, 8])
+    def test_delay_reordering_preserves_exactly_once(self, seed):
+        report = run_chaos(
+            seed=seed, schedule="delay:0.2,duplicate:0.1", ops=60
+        )
+        assert report.ok, report.violations
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_crash_plus_wire_faults(self, seed):
+        report = run_chaos(
+            seed=seed,
+            schedule="drop:0.1,enclave_crash:0.02,duplicate:0.1",
+            ops=60,
+        )
+        assert report.ok, report.violations
+
+    def test_replay_rejections_happen_under_duplicates(self):
+        # The property suite must actually exercise the filter: under a
+        # heavy duplicate schedule the server is guaranteed to see and
+        # reject re-sent oids.
+        server, client = _pair()
+        schedule = FaultSchedule.parse("duplicate:0.5")
+        engine = FaultEngine(schedule, seed=11)
+        engine.install(fabrics=[server.fabric], clients=[client])
+        for i in range(30):
+            client.put(b"key-%02d" % i, b"v%02d" % i)
+        engine.uninstall()
+        assert engine.counts.get("duplicate", 0) > 0
+        assert server.stats.replay_rejections > 0
+        assert server.stats.puts == 30
+        for i in range(30):
+            assert client.get(b"key-%02d" % i) == b"v%02d" % i
