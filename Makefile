@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -32,6 +32,12 @@ chaos-smoke:
 		--schedule "drop:0.08,duplicate:0.05,delay:0.05,corrupt_payload:0.02,enclave_crash:0.01"
 	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 42 --ops 100 --shards 3 \
 		--schedule "drop:0.05,shard_death:0.03,corrupt_payload:0.01"
+
+# Wall-clock crypto benchmark, reduced: cross-engine parity must hold and
+# the fast engine must beat 5x reference on the 4 KiB payload/transport
+# checkpoints (docs/PERFORMANCE.md).  Exits 1 on either failure.
+cryptobench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli cryptobench --quick --floor 5
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

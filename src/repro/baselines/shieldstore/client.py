@@ -15,7 +15,7 @@ from typing import Callable, Optional
 
 from repro.baselines.shieldstore.server import ShieldStoreServer
 from repro.core.protocol import OpCode, Status
-from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.crypto.gcm import GcmFailure
 from repro.crypto.keys import KeyGenerator, SessionKey
 from repro.errors import (
     AuthenticationError,
@@ -43,6 +43,9 @@ class ShieldStoreClient:
         self.keygen = keygen if keygen is not None else KeyGenerator()
         session_key = self.keygen.session_key()
         self.session = SessionKey(key=session_key, client_id=self.client_id)
+        # One cached cipher per session instead of a fresh AesGcm (full
+        # key schedule + GHASH setup) on every seal and every open.
+        self._cipher = self.session.cipher(getattr(self.keygen, "engine", None))
         self._endpoint = server.connect_client(self.client_id, session_key)
         self._pump: Optional[Callable[[], int]] = (
             server.process_pending if auto_pump else None
@@ -54,7 +57,7 @@ class ShieldStoreClient:
             raise ProtocolError("keys must be non-empty bytes")
         blob = bytes([int(opcode)]) + struct.pack(">H", len(key)) + key + value
         iv = self.session.next_iv()
-        sealed = AesGcm(self.session.key).seal(
+        sealed = self._cipher.seal(
             iv, blob, aad=struct.pack(">I", self.client_id)
         )
         self._endpoint.send(iv + sealed)
@@ -68,7 +71,7 @@ class ShieldStoreClient:
             )
         reply_iv, reply_sealed = reply[:12], reply[12:]
         try:
-            return AesGcm(self.session.key).open(
+            return self._cipher.open(
                 reply_iv,
                 reply_sealed,
                 aad=b"resp" + struct.pack(">I", self.client_id),

@@ -26,7 +26,8 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.baselines.shieldstore.buckets import BucketStore, EncryptedEntry
 from repro.core.protocol import OpCode, Status
-from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.crypto.engine import resolve_engine
+from repro.crypto.gcm import GcmFailure
 from repro.crypto.keys import KeyGenerator, SessionKey
 from repro.errors import (
     AuthenticationError,
@@ -113,8 +114,11 @@ class ShieldStoreServer:
         self.enclave.allocator.allocate(cfg.static_table_bytes, "static_table")
         self.enclave.allocator.allocate(cfg.merkle_nodes_bytes, "merkle_nodes")
 
-        # Trusted state.
-        self._master = AesGcm(self.keygen.session_key())
+        # Trusted state.  The engine caches ciphers per key, so the master
+        # cipher and every per-session cipher expand their key schedules
+        # once instead of once per message.
+        self._engine = resolve_engine(getattr(self.keygen, "engine", None))
+        self._master = self._engine.gcm(self.keygen.session_key())
         self._tree = MerkleTree(cfg.num_buckets)
         self._sessions: Dict[int, SessionKey] = {}
         self._mac_cache_allocated = False
@@ -269,7 +273,7 @@ class ShieldStoreServer:
             return
         iv, sealed = message[:12], message[12:]
         try:
-            blob = AesGcm(session.key).open(
+            blob = self._engine.gcm(session.key).open(
                 iv, sealed, aad=struct.pack(">I", client_id)
             )
         except GcmFailure:
@@ -310,7 +314,7 @@ class ShieldStoreServer:
 
         reply = bytes([int(status)]) + reply_value
         reply_iv = session.next_iv()
-        sealed_reply = AesGcm(session.key).seal(
+        sealed_reply = self._engine.gcm(session.key).seal(
             reply_iv, reply, aad=b"resp" + struct.pack(">I", client_id)
         )
         endpoint.send(reply_iv + sealed_reply)

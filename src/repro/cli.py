@@ -22,6 +22,12 @@ Sharded-cluster command (see docs/SHARDING.md)::
     python -m repro.cli shard --shards 4 --workload a --json
     python -m repro.cli scaleout --quick     # simulated 1-8 shard curves
 
+Crypto-benchmark command (see docs/PERFORMANCE.md)::
+
+    python -m repro.cli cryptobench          # full run -> BENCH_crypto.json
+    python -m repro.cli cryptobench --quick --floor 5   # CI smoke
+    python -m repro.cli cryptobench --json
+
 Fault-injection commands (see docs/FAULTS.md)::
 
     python -m repro.cli chaos --seed 7       # seeded chaos + verification
@@ -326,6 +332,46 @@ def run_chaos_cmd(
     return text, report.exit_code
 
 
+def run_cryptobench_cmd(
+    quick: bool = False,
+    floor: float = 5.0,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Wall-clock crypto benchmark; returns ``(text, exit_code)``.
+
+    Measurements land in ``BENCH_crypto.json`` (full run, repo root) or
+    ``bench_reports/BENCH_crypto_quick.json`` (quick run) -- the quick
+    path is separate so CI smoke runs never clobber the committed full
+    trajectory.  ``--out DIR`` redirects either file into ``DIR``.
+    Exit code 0 when cross-engine parity held and every speedup floor
+    was met; 1 otherwise.
+    """
+    import json
+
+    from repro.bench.cryptobench import run_cryptobench, write_json
+    from repro.errors import ConfigurationError
+
+    if floor < 0:
+        raise ConfigurationError(
+            f"--floor must be non-negative, got {floor}"
+        )
+    result = run_cryptobench(quick=quick, floor=floor)
+    name = "BENCH_crypto_quick.json" if quick else "BENCH_crypto.json"
+    if out_dir is not None:
+        path = out_dir / name
+    elif quick:
+        path = pathlib.Path("bench_reports") / name
+    else:
+        path = pathlib.Path(name)
+    write_json(result, path)
+    if as_json:
+        text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = result.report() + f"\n[measurements saved to {path}]"
+    return text, result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -339,12 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=sorted(_RUNNERS)
         + ["all", "list", "scorecard", "trace", "metrics", "shard",
-           "chaos"],
+           "chaos", "cryptobench"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
         "'shard' for a functional sharded-cluster run, 'chaos' for a "
-        "seeded fault-injection run with shadow verification)",
+        "seeded fault-injection run with shadow verification, "
+        "'cryptobench' for the wall-clock reference-vs-fast crypto "
+        "benchmark)",
     )
     parser.add_argument(
         "--quick",
@@ -414,6 +462,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic seed for ring placement + workload "
         "(default: 11)",
     )
+    bench = parser.add_argument_group("crypto benchmark ('cryptobench' only)")
+    bench.add_argument(
+        "--floor",
+        type=float,
+        default=5.0,
+        metavar="X",
+        help="minimum accepted fast/reference speedup on the 4 KiB "
+        "payload and transport checkpoints (default: 5.0; exit code 1 "
+        "below it)",
+    )
     chaos = parser.add_argument_group("fault injection ('chaos' only)")
     chaos.add_argument(
         "--schedule",
@@ -439,6 +497,8 @@ def main(argv=None) -> int:
               "epoch retry")
         print("chaos      seeded fault-injection run with shadow-model "
               "verification")
+        print("cryptobench  wall-clock reference-vs-fast crypto engine "
+              "benchmark")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -492,6 +552,21 @@ def main(argv=None) -> int:
                 schedule=args.schedule,
                 ops=args.ops if args.ops is not None else 200,
                 shards=args.shards,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "cryptobench":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_cryptobench_cmd(
+                quick=args.quick,
+                floor=args.floor,
                 as_json=args.json,
                 out_dir=args.out,
             )

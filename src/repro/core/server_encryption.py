@@ -28,7 +28,7 @@ from typing import Optional
 from repro.core.client import PrecursorClient
 from repro.core.protocol import OpCode, Request, Status
 from repro.core.server import PrecursorServer, ServerConfig, _ClientChannel
-from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.crypto.gcm import GcmFailure
 from repro.crypto.keys import KeyGenerator
 from repro.crypto.provider import SealedMessage
 from repro.errors import (
@@ -163,7 +163,11 @@ class PrecursorServerEncryption(PrecursorServer):
         keygen: KeyGenerator = None,
     ):
         super().__init__(fabric=fabric, config=config, keygen=keygen)
-        self._master = AesGcm(self.provider.keygen.session_key())
+        # The engine caches the cipher per key: one key-schedule + GHASH
+        # table expansion for the lifetime of the master key.
+        self._master = self.provider.engine.gcm(
+            self.provider.keygen.session_key()
+        )
         self._storage_iv_counter = 0
         #: Bytes the enclave decrypted + re-encrypted (the cost Precursor
         #: eliminates; tests compare this against the client-encryption

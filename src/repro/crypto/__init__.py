@@ -14,11 +14,28 @@ functional layer enforces real confidentiality/integrity, and adds a
 cycle-accurate :mod:`cost model <repro.crypto.costmodel>` that the
 simulator charges instead of running the (slow) Python primitives on the
 hot path.
+
+Two interchangeable engines run the primitives (:mod:`repro.crypto.engine`):
+``reference`` -- the readable spec implementations above -- and ``fast`` --
+optimised kernels (:mod:`repro.crypto.fastcrypto`) with pair-table AES,
+lane-parallel Salsa20 and table-driven GHASH.  Both produce byte-identical
+output; select via ``$REPRO_CRYPTO_ENGINE``, :func:`set_default_engine`
+or the ``engine=`` argument threaded through providers and key generators.
 """
 
 from repro.crypto.aes import AES128
 from repro.crypto.cmac import aes_cmac
 from repro.crypto.costmodel import CryptoCostModel
+from repro.crypto.engine import (
+    CryptoEngine,
+    available_engines,
+    default_engine,
+    get_engine,
+    parity_check,
+    resolve_engine,
+    set_default_engine,
+    use_engine,
+)
 from repro.crypto.gcm import AesGcm, GcmFailure
 from repro.crypto.keys import KeyGenerator, SessionKey
 from repro.crypto.provider import CryptoProvider, SealedMessage
@@ -33,4 +50,12 @@ __all__ = [
     "CryptoProvider",
     "SealedMessage",
     "CryptoCostModel",
+    "CryptoEngine",
+    "available_engines",
+    "default_engine",
+    "get_engine",
+    "parity_check",
+    "resolve_engine",
+    "set_default_engine",
+    "use_engine",
 ]

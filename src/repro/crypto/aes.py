@@ -84,7 +84,13 @@ class AES128:
                 temp = bytes(
                     (temp[0] ^ _RCON[i // 4 - 1],) + tuple(temp[1:])
                 )
-            words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+            # Word-wide XOR: one 32-bit int op instead of four byte ops.
+            words.append(
+                (
+                    int.from_bytes(words[i - 4], "big")
+                    ^ int.from_bytes(temp, "big")
+                ).to_bytes(4, "big")
+            )
         return [
             b"".join(words[4 * r : 4 * r + 4])
             for r in range(AES128.ROUNDS + 1)

@@ -1,0 +1,290 @@
+"""Pluggable crypto engines: ``reference`` (spec-mirroring) vs ``fast``.
+
+Every cryptographic operation on Precursor's functional hot path --
+Salsa20 payload encryption, AES-CMAC over ciphertext, AES-GCM transport
+sealing -- goes through a :class:`CryptoEngine`.  Two engines ship:
+
+- ``reference`` wraps the from-scratch, specification-mirroring modules
+  (:mod:`~repro.crypto.salsa20`, :mod:`~repro.crypto.cmac`,
+  :mod:`~repro.crypto.gcm`).  It is the ground truth the test vectors
+  run against and stays deliberately readable.
+- ``fast`` wraps the optimised kernels of
+  :mod:`~repro.crypto.fastcrypto` (unrolled Salsa20 core, T-table AES,
+  table-driven GHASH, cached CMAC subkeys).  Its outputs are
+  byte-identical to the reference engine's -- :func:`parity_check`
+  and the ``tests/test_crypto_engine.py`` matrix enforce this, so the
+  two engines interoperate freely (seal with one, open with the other).
+
+Both engines keep a bounded per-key cache of GCM cipher objects, which
+fixes the historic per-message key-schedule rebuild: sealing N messages
+under one session key now expands the AES key schedule (and, on the
+fast engine, the GHASH table) exactly once.
+
+Selection: :func:`default_engine` resolves, in order, an explicit
+:func:`set_default_engine` call, the ``REPRO_CRYPTO_ENGINE`` environment
+variable, and finally ``fast``.  :func:`use_engine` scopes an override
+(the benchmark harness uses it to time both engines end to end).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.crypto import cmac as _cmac_module
+from repro.crypto.fastcrypto import FastAesGcm, FastCmac, FastSalsa20
+from repro.crypto.gcm import AesGcm
+from repro.crypto.salsa20 import Salsa20
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CryptoEngine",
+    "ReferenceEngine",
+    "FastEngine",
+    "available_engines",
+    "get_engine",
+    "default_engine",
+    "set_default_engine",
+    "use_engine",
+    "resolve_engine",
+    "parity_check",
+]
+
+_ENV_VAR = "REPRO_CRYPTO_ENGINE"
+
+
+class _KeyedCache:
+    """A tiny bounded per-key object cache (sessions come and go)."""
+
+    def __init__(self, factory, maxsize: int = 512):
+        self._factory = factory
+        self._maxsize = maxsize
+        self._entries: Dict[bytes, object] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: bytes):
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        entry = self._factory(key)
+        with self._lock:
+            if len(self._entries) >= self._maxsize:
+                self._entries.clear()
+            self._entries[key] = entry
+        return entry
+
+
+class CryptoEngine:
+    """Interface every engine implements; see the module docstring.
+
+    Engines are stateless apart from bounded per-key caches, so one
+    shared instance per engine name serves the whole process.
+    """
+
+    #: Registry name ("reference" / "fast").
+    name = "abstract"
+
+    def salsa20_encrypt(
+        self, key: bytes, nonce: bytes, data: bytes, counter: int = 0
+    ) -> bytes:
+        """Salsa20 XOR-keystream encryption (decryption is identical)."""
+        raise NotImplementedError
+
+    def aes_cmac(self, key: bytes, message: bytes) -> bytes:
+        """AES-128-CMAC of ``message`` (32-byte keys are XOR-folded)."""
+        raise NotImplementedError
+
+    def cmac_verify(self, key: bytes, message: bytes, mac: bytes) -> bool:
+        """Constant-time AES-CMAC verification."""
+        expected = self.aes_cmac(key, message)
+        if len(mac) != len(expected):
+            return False
+        diff = 0
+        for a, b in zip(expected, mac):
+            diff |= a ^ b
+        return diff == 0
+
+    def gcm(self, key: bytes):
+        """A cached AES-128-GCM cipher for ``key`` (``seal``/``open``)."""
+        raise NotImplementedError
+
+
+class ReferenceEngine(CryptoEngine):
+    """The spec-mirroring primitives, with per-key GCM cipher caching."""
+
+    name = "reference"
+
+    def __init__(self):
+        self._gcm_cache = _KeyedCache(AesGcm)
+
+    def salsa20_encrypt(
+        self, key: bytes, nonce: bytes, data: bytes, counter: int = 0
+    ) -> bytes:
+        """Salsa20 via the specification implementation."""
+        return Salsa20(key, nonce).encrypt(data, counter)
+
+    def aes_cmac(self, key: bytes, message: bytes) -> bytes:
+        """RFC 4493 CMAC via the specification implementation."""
+        return _cmac_module.aes_cmac(key, message)
+
+    def gcm(self, key: bytes) -> AesGcm:
+        """Cached :class:`~repro.crypto.gcm.AesGcm` for ``key``."""
+        return self._gcm_cache.get(bytes(key))
+
+
+class FastEngine(CryptoEngine):
+    """The optimised kernels of :mod:`repro.crypto.fastcrypto`."""
+
+    name = "fast"
+
+    def __init__(self):
+        self._gcm_cache = _KeyedCache(FastAesGcm)
+        self._cmac_cache = _KeyedCache(FastCmac)
+
+    def salsa20_encrypt(
+        self, key: bytes, nonce: bytes, data: bytes, counter: int = 0
+    ) -> bytes:
+        """Salsa20 via the unrolled multi-block core."""
+        return FastSalsa20(key, nonce).encrypt(data, counter)
+
+    def aes_cmac(self, key: bytes, message: bytes) -> bytes:
+        """CMAC with cached key schedule and subkeys."""
+        return self._cmac_cache.get(bytes(key)).mac(message)
+
+    def gcm(self, key: bytes) -> FastAesGcm:
+        """Cached :class:`~repro.crypto.fastcrypto.FastAesGcm` for ``key``."""
+        return self._gcm_cache.get(bytes(key))
+
+
+_ENGINES = {
+    ReferenceEngine.name: ReferenceEngine,
+    FastEngine.name: FastEngine,
+}
+_INSTANCES: Dict[str, CryptoEngine] = {}
+_DEFAULT_OVERRIDE: Optional[str] = None
+
+
+def available_engines() -> List[str]:
+    """Registered engine names, sorted."""
+    return sorted(_ENGINES)
+
+
+def get_engine(name: str) -> CryptoEngine:
+    """The shared engine instance for ``name``; raises on unknown names."""
+    try:
+        factory = _ENGINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown crypto engine {name!r} "
+            f"(available: {', '.join(available_engines())})"
+        ) from None
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _INSTANCES[name] = factory()
+    return instance
+
+
+def default_engine() -> CryptoEngine:
+    """The process-wide engine: override > ``$REPRO_CRYPTO_ENGINE`` > fast."""
+    if _DEFAULT_OVERRIDE is not None:
+        return get_engine(_DEFAULT_OVERRIDE)
+    return get_engine(os.environ.get(_ENV_VAR) or FastEngine.name)
+
+
+def set_default_engine(name: Optional[str]) -> None:
+    """Pin the default engine (``None`` restores env-var resolution)."""
+    global _DEFAULT_OVERRIDE
+    if name is not None:
+        get_engine(name)  # validate eagerly
+    _DEFAULT_OVERRIDE = name
+
+
+@contextmanager
+def use_engine(name: str) -> Iterator[CryptoEngine]:
+    """Scope the default engine to ``name`` for a ``with`` block."""
+    global _DEFAULT_OVERRIDE
+    previous = _DEFAULT_OVERRIDE
+    set_default_engine(name)
+    try:
+        yield get_engine(name)
+    finally:
+        _DEFAULT_OVERRIDE = previous
+
+
+def resolve_engine(
+    engine: Union[None, str, CryptoEngine]
+) -> CryptoEngine:
+    """Normalise an engine argument: instance, name, or None (default)."""
+    if engine is None:
+        return default_engine()
+    if isinstance(engine, CryptoEngine):
+        return engine
+    return get_engine(engine)
+
+
+def parity_check(seed: int = 2021, rounds: int = 8) -> List[str]:
+    """Cross-engine parity self-check; returns failure descriptions.
+
+    Encrypts with each engine and decrypts/verifies with the other over
+    deterministic pseudo-random payload and transport messages, plus the
+    canonical empty/short/block-aligned edge sizes.  An empty list means
+    the fast path cannot have silently diverged from the reference.
+    """
+    import hashlib
+
+    ref = get_engine("reference")
+    fast = get_engine("fast")
+    failures: List[str] = []
+
+    def rand(tag: bytes, size: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < size:
+            out.extend(
+                hashlib.sha256(
+                    tag + seed.to_bytes(8, "big") + counter.to_bytes(8, "big")
+                ).digest()
+            )
+            counter += 1
+        return bytes(out[:size])
+
+    sizes = [0, 1, 15, 16, 17, 63, 64, 65, 256, 1024]
+    for r in range(rounds):
+        sizes.append(37 * (r + 1) + r)
+    for size in sizes:
+        tag = b"payload-%d" % size
+        key32 = rand(tag + b"k", 32)
+        nonce = rand(tag + b"n", 8)
+        data = rand(tag + b"d", size)
+        ct_ref = ref.salsa20_encrypt(key32, nonce, data)
+        ct_fast = fast.salsa20_encrypt(key32, nonce, data)
+        if ct_ref != ct_fast:
+            failures.append(f"salsa20 ciphertext differs at {size} B")
+        if fast.salsa20_encrypt(key32, nonce, ct_ref) != data:
+            failures.append(f"fast failed to decrypt reference at {size} B")
+        mac_ref = ref.aes_cmac(key32, ct_ref)
+        mac_fast = fast.aes_cmac(key32, ct_fast)
+        if mac_ref != mac_fast:
+            failures.append(f"cmac differs at {size} B")
+        if not fast.cmac_verify(key32, ct_ref, mac_ref):
+            failures.append(f"fast rejects reference cmac at {size} B")
+        if not ref.cmac_verify(key32, ct_fast, mac_fast):
+            failures.append(f"reference rejects fast cmac at {size} B")
+
+        key16 = rand(tag + b"s", 16)
+        iv = rand(tag + b"i", 12)
+        aad = rand(tag + b"a", size % 48)
+        sealed_ref = ref.gcm(key16).seal(iv, data, aad)
+        sealed_fast = fast.gcm(key16).seal(iv, data, aad)
+        if sealed_ref != sealed_fast:
+            failures.append(f"gcm sealed bytes differ at {size} B")
+        try:
+            if fast.gcm(key16).open(iv, sealed_ref, aad) != data:
+                failures.append(f"fast gcm misdecrypts reference at {size} B")
+            if ref.gcm(key16).open(iv, sealed_fast, aad) != data:
+                failures.append(f"reference gcm misdecrypts fast at {size} B")
+        except Exception as exc:  # pragma: no cover - parity failure detail
+            failures.append(f"cross-engine gcm open raised at {size} B: {exc}")
+    return failures

@@ -8,6 +8,12 @@
   encryption of control data under the session key
   (``auth-encrypt``/``auth-decrypt`` in the paper's notation, §3.4).
 
+Both paths run on a pluggable :class:`~repro.crypto.engine.CryptoEngine`
+(``reference`` or ``fast``; see :mod:`repro.crypto.engine`).  The engine
+keeps a bounded per-key cache of GCM cipher objects, so sealing N
+messages under one session key expands the AES key schedule once
+instead of once per message.
+
 Everything here runs real cryptography; the simulator never calls these on
 its hot path (it charges the :class:`~repro.crypto.costmodel.CryptoCostModel`
 instead), so correctness and performance modelling stay decoupled.
@@ -17,10 +23,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.cmac import aes_cmac, cmac_verify
-from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.crypto.engine import resolve_engine
+from repro.crypto.gcm import GcmFailure
 from repro.crypto.keys import KeyGenerator, SessionKey
-from repro.crypto.salsa20 import Salsa20
 from repro.errors import AuthenticationError, IntegrityError
 
 __all__ = ["CryptoProvider", "SealedMessage", "EncryptedPayload"]
@@ -56,10 +61,20 @@ class EncryptedPayload:
 
 
 class CryptoProvider:
-    """Stateless facade over the payload and transport crypto paths."""
+    """Stateless facade over the payload and transport crypto paths.
 
-    def __init__(self, keygen: KeyGenerator = None):
+    ``engine`` selects the crypto engine by name or instance; ``None``
+    falls back to the key generator's engine and then the process-wide
+    default (``$REPRO_CRYPTO_ENGINE`` or ``fast``).  The choice is
+    resolved once at construction so a provider's behaviour never shifts
+    mid-session.
+    """
+
+    def __init__(self, keygen: KeyGenerator = None, engine=None):
         self.keygen = keygen if keygen is not None else KeyGenerator()
+        if engine is None:
+            engine = getattr(self.keygen, "engine", None)
+        self.engine = resolve_engine(engine)
 
     # -- payload path (one-time keys) -------------------------------------
 
@@ -69,9 +84,9 @@ class CryptoProvider:
         Mirrors Algorithm 1, lines 2-4: ``*v = E(K_op, v)``,
         ``mac = MAC(K_op, *v)``.
         """
-        cipher = Salsa20(k_operation, _ONE_TIME_NONCE)
-        ciphertext = cipher.encrypt(value)
-        mac = aes_cmac(k_operation, ciphertext)
+        engine = self.engine
+        ciphertext = engine.salsa20_encrypt(k_operation, _ONE_TIME_NONCE, value)
+        mac = engine.aes_cmac(k_operation, ciphertext)
         return EncryptedPayload(ciphertext=ciphertext, mac=mac)
 
     def payload_decrypt(self, k_operation: bytes, payload: EncryptedPayload) -> bytes:
@@ -81,16 +96,20 @@ class CryptoProvider:
         over the fetched ciphertext with the one-time key obtained from the
         (trusted) control data and compare (paper §3.7, "Query data").
         """
-        if not cmac_verify(k_operation, payload.ciphertext, payload.mac):
+        engine = self.engine
+        if not engine.cmac_verify(k_operation, payload.ciphertext, payload.mac):
             raise IntegrityError(
                 "payload MAC mismatch: untrusted server memory was modified"
             )
-        cipher = Salsa20(k_operation, _ONE_TIME_NONCE)
-        return cipher.decrypt(payload.ciphertext)
+        return engine.salsa20_encrypt(
+            k_operation, _ONE_TIME_NONCE, payload.ciphertext
+        )
 
     def payload_mac_valid(self, k_operation: bytes, payload: EncryptedPayload) -> bool:
         """Non-raising MAC check (used by the server-encryption variant)."""
-        return cmac_verify(k_operation, payload.ciphertext, payload.mac)
+        return self.engine.cmac_verify(
+            k_operation, payload.ciphertext, payload.mac
+        )
 
     # -- transport path (session keys) -------------------------------------
 
@@ -99,7 +118,7 @@ class CryptoProvider:
     ) -> SealedMessage:
         """``auth-encrypt(K_session, plaintext)`` with a fresh per-session IV."""
         iv = session.next_iv()
-        sealed = AesGcm(session.key).seal(iv, plaintext, aad)
+        sealed = self.engine.gcm(session.key).seal(iv, plaintext, aad)
         return SealedMessage(iv=iv, sealed=sealed)
 
     def transport_open(
@@ -112,6 +131,8 @@ class CryptoProvider:
         was modified in flight.
         """
         try:
-            return AesGcm(session_key).open(message.iv, message.sealed, aad)
+            return self.engine.gcm(session_key).open(
+                message.iv, message.sealed, aad
+            )
         except GcmFailure as exc:
             raise AuthenticationError(str(exc)) from exc

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.crypto.gcm import AesGcm, GcmFailure
+from repro.crypto.engine import resolve_engine
+from repro.crypto.gcm import GcmFailure
 from repro.errors import IntegrityError
 from repro.sgx.enclave import Enclave
 
@@ -37,9 +38,14 @@ class SealingKey:
         self.key = material[:16]
         self.measurement = enclave.measurement
 
-    def cipher(self) -> AesGcm:
-        """AES-GCM instance under this sealing key."""
-        return AesGcm(self.key)
+    def cipher(self, engine=None):
+        """The (engine-cached) AES-GCM cipher under this sealing key.
+
+        The engine caches ciphers per key, so repeated seal/unseal of
+        checkpoints under one enclave identity reuses the expanded key
+        schedule instead of rebuilding it per blob.
+        """
+        return resolve_engine(engine).gcm(self.key)
 
 
 def seal_data(enclave: Enclave, data: bytes, iv_counter: int, aad: bytes = b"") -> bytes:

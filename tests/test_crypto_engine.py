@@ -1,0 +1,253 @@
+"""Crypto engine layer: published vectors on BOTH engines, parity, selection.
+
+The ``fast`` engine re-implements every primitive with different data
+structures (pair-table AES, lane-parallel Salsa20, table-driven GHASH),
+so each one is pinned to the same published vectors as the readable
+reference -- a shared bug in both engines cannot hide behind a
+parity-only check -- and a randomized cross-engine matrix then proves
+the two interoperate on every path the stack uses.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.engine import (
+    FastEngine,
+    ReferenceEngine,
+    available_engines,
+    default_engine,
+    get_engine,
+    parity_check,
+    resolve_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.crypto.fastcrypto import FastAES128
+from repro.crypto.gcm import GcmFailure
+from repro.crypto.keys import KeyGenerator, SessionKey
+from repro.crypto.provider import CryptoProvider
+from repro.errors import ConfigurationError
+
+ENGINES = ["reference", "fast"]
+
+RFC4493_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+RFC4493_MSG = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return get_engine(request.param)
+
+
+class TestPublishedVectorsBothEngines:
+    """The same external ground truth must hold under either engine."""
+
+    def test_salsa20_ecrypt_set1_vector0(self, engine):
+        # ECRYPT Salsa20/20 256-bit "Set 1, vector# 0": encrypting zeros
+        # yields the raw keystream.
+        key = bytes([0x80] + [0] * 31)
+        stream = engine.salsa20_encrypt(key, b"\x00" * 8, b"\x00" * 64)
+        assert stream == bytes.fromhex(
+            "e3be8fdd8beca2e3ea8ef9475b29a6e7"
+            "003951e1097a5c38d23b7a5fad9f6844"
+            "b22c97559e2723c7cbbd3fe4fc8d9a07"
+            "44652a83e72a9c461876af4d7ef1a117"
+        )
+
+    def test_gcm_nist_case_1_empty(self, engine):
+        sealed = engine.gcm(b"\x00" * 16).seal(b"\x00" * 12, b"")
+        assert sealed == bytes.fromhex("58e2fccefa7e3061367f1d57a4e7455a")
+
+    def test_gcm_nist_case_2_zero_block(self, engine):
+        sealed = engine.gcm(b"\x00" * 16).seal(b"\x00" * 12, b"\x00" * 16)
+        assert sealed == bytes.fromhex(
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf"
+        )
+
+    @pytest.mark.parametrize(
+        "length,expected",
+        [
+            (0, "bb1d6929e95937287fa37d129b756746"),
+            (16, "070a16b46b4d4144f79bdd9dd04a287c"),
+            (40, "dfa66747de9ae63030ca32611497c827"),
+            (64, "51f0bebf7e3b9d92fc49741779363cfe"),
+        ],
+    )
+    def test_cmac_rfc4493_examples(self, engine, length, expected):
+        mac = engine.aes_cmac(RFC4493_KEY, RFC4493_MSG[:length])
+        assert mac == bytes.fromhex(expected)
+        assert engine.cmac_verify(
+            RFC4493_KEY, RFC4493_MSG[:length], mac
+        )
+
+    @pytest.mark.parametrize("aes_cls", [AES128, FastAES128])
+    def test_aes_fips197_appendix_c(self, aes_cls):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert aes_cls(key).encrypt_block(plaintext) == expected
+
+    @pytest.mark.parametrize("aes_cls", [AES128, FastAES128])
+    def test_aes_all_zero_gfsbox(self, aes_cls):
+        out = aes_cls(b"\x00" * 16).encrypt_block(b"\x00" * 16)
+        assert out == bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+
+
+class TestCrossEngineParity:
+    """Randomized matrix: outputs byte-identical, artifacts interchange."""
+
+    def test_builtin_parity_check_is_green(self):
+        assert parity_check() == []
+
+    def test_randomized_parity_matrix(self):
+        rng = random.Random(0xC0FFEE)
+        ref, fast = get_engine("reference"), get_engine("fast")
+        # Sizes straddle every boundary the kernels special-case: the
+        # empty message, sub-block, exact single/multi block, the lane
+        # batch edge, and beyond it.
+        sizes = [0, 1, 15, 16, 17, 63, 64, 65, 128, 1000, 4096]
+        for size in sizes:
+            data = rng.randbytes(size)
+            k32 = rng.randbytes(32)
+            nonce = rng.randbytes(8)
+            assert ref.salsa20_encrypt(k32, nonce, data) == \
+                fast.salsa20_encrypt(k32, nonce, data)
+            assert ref.aes_cmac(k32, data) == fast.aes_cmac(k32, data)
+            k16, iv = rng.randbytes(16), rng.randbytes(12)
+            aad = rng.randbytes(size % 32)
+            sealed = ref.gcm(k16).seal(iv, data, aad)
+            assert sealed == fast.gcm(k16).seal(iv, data, aad)
+            # Decrypt-with-the-other-engine: wire compatibility.
+            assert fast.gcm(k16).open(iv, sealed, aad) == data
+
+    def test_fast_rejects_tampering_like_reference(self):
+        fast = get_engine("fast")
+        gcm = fast.gcm(b"k" * 16)
+        sealed = bytearray(gcm.seal(b"\x00" * 12, b"payload", aad=b"a"))
+        sealed[0] ^= 1
+        with pytest.raises(GcmFailure):
+            gcm.open(b"\x00" * 12, bytes(sealed), aad=b"a")
+        mac = fast.aes_cmac(b"k" * 32, b"msg")
+        assert not fast.cmac_verify(b"k" * 32, b"msg", mac[:-1] + b"\x00")
+
+    def test_transport_interoperates_across_providers(self):
+        # A reference-engine client talking to a fast-engine server: the
+        # sealed control data must open on both sides.
+        ref_p = CryptoProvider(KeyGenerator(seed=5), engine="reference")
+        fast_p = CryptoProvider(KeyGenerator(seed=5), engine="fast")
+        key = KeyGenerator(seed=9).session_key()
+        session = SessionKey(key=key, client_id=3)
+        msg = ref_p.transport_seal(session, b"control-data", aad=b"hdr")
+        assert fast_p.transport_open(key, msg, aad=b"hdr") == b"control-data"
+        payload = fast_p.payload_encrypt(b"o" * 32, b"value-bytes")
+        assert ref_p.payload_decrypt(b"o" * 32, payload) == b"value-bytes"
+
+
+class TestEngineSelection:
+    def test_available_engines(self):
+        assert available_engines() == ["fast", "reference"]
+
+    def test_get_engine_is_shared_instance(self):
+        assert get_engine("fast") is get_engine("fast")
+        assert isinstance(get_engine("reference"), ReferenceEngine)
+        assert isinstance(get_engine("fast"), FastEngine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_engine("turbo")
+        with pytest.raises(ConfigurationError):
+            set_default_engine("turbo")
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRYPTO_ENGINE", "reference")
+        assert isinstance(default_engine(), ReferenceEngine)
+        monkeypatch.setenv("REPRO_CRYPTO_ENGINE", "fast")
+        assert isinstance(default_engine(), FastEngine)
+
+    def test_use_engine_scopes_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CRYPTO_ENGINE", raising=False)
+        with use_engine("reference") as eng:
+            assert isinstance(eng, ReferenceEngine)
+            assert default_engine() is eng
+        assert isinstance(default_engine(), FastEngine)
+
+    def test_set_default_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRYPTO_ENGINE", "fast")
+        set_default_engine("reference")
+        try:
+            assert isinstance(default_engine(), ReferenceEngine)
+        finally:
+            set_default_engine(None)
+        assert isinstance(default_engine(), FastEngine)
+
+    def test_resolve_engine_accepts_all_forms(self):
+        eng = get_engine("reference")
+        assert resolve_engine(eng) is eng
+        assert resolve_engine("reference") is eng
+        assert resolve_engine(None) is default_engine()
+
+    def test_provider_inherits_keygen_engine(self):
+        provider = CryptoProvider(KeyGenerator(seed=1, engine="reference"))
+        assert isinstance(provider.engine, ReferenceEngine)
+        # Explicit argument beats the keygen's choice.
+        provider = CryptoProvider(
+            KeyGenerator(seed=1, engine="reference"), engine="fast"
+        )
+        assert isinstance(provider.engine, FastEngine)
+
+    def test_gcm_cipher_cached_per_key(self):
+        eng = get_engine("fast")
+        assert eng.gcm(b"k" * 16) is eng.gcm(b"k" * 16)
+        assert eng.gcm(b"k" * 16) is not eng.gcm(b"q" * 16)
+        session = SessionKey(key=b"k" * 16, client_id=1)
+        assert session.cipher("fast") is eng.gcm(b"k" * 16)
+
+
+class TestFastKernelEdges:
+    """Boundaries specific to the fast kernels' batching and padding."""
+
+    def test_salsa20_lane_batch_boundary(self):
+        # _LANE_BATCH blocks per wide pass: check sizes around the seam.
+        from repro.crypto.fastcrypto import _LANE_BATCH, FastSalsa20
+        from repro.crypto.salsa20 import Salsa20
+
+        key, nonce = bytes(range(32)), b"\x07" * 8
+        for blocks in (1, 2, _LANE_BATCH, _LANE_BATCH + 1):
+            n = 64 * blocks + 5
+            assert FastSalsa20(key, nonce).keystream(n) == \
+                Salsa20(key, nonce).keystream(n)
+
+    def test_salsa20_nonzero_counter(self):
+        from repro.crypto.fastcrypto import FastSalsa20
+        from repro.crypto.salsa20 import Salsa20
+
+        key, nonce = b"K" * 32, b"N" * 8
+        assert FastSalsa20(key, nonce).keystream(200, counter=3) == \
+            Salsa20(key, nonce).keystream(200, counter=3)
+
+    def test_salsa20_counter_near_wraparound(self):
+        # Counter + lane index crossing 2**32 exercises the per-lane
+        # fallback instead of the broadcast ramp.
+        from repro.crypto.fastcrypto import FastSalsa20
+        from repro.crypto.salsa20 import Salsa20
+
+        key, nonce = b"K" * 32, b"N" * 8
+        start = 2**32 - 3
+        assert FastSalsa20(key, nonce).keystream(64 * 8, counter=start) == \
+            Salsa20(key, nonce).keystream(64 * 8, counter=start)
+
+    def test_cmac_32_byte_key_folding_matches_reference(self):
+        from repro.crypto.cmac import aes_cmac
+        from repro.crypto.fastcrypto import FastCmac
+
+        key32 = bytes(range(32))
+        for n in (0, 1, 16, 17, 100):
+            assert FastCmac(key32).mac(b"z" * n) == aes_cmac(key32, b"z" * n)
