@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -30,8 +30,20 @@ chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 7 --ops 150
 	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 23 --ops 150 \
 		--schedule "drop:0.08,duplicate:0.05,delay:0.05,corrupt_payload:0.02,enclave_crash:0.01"
-	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 42 --ops 100 --shards 3 \
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 42 --ops 100 --shards 3 --replicas 1 \
 		--schedule "drop:0.05,shard_death:0.03,corrupt_payload:0.01"
+
+# Replicated failover chaos under three fixed seeds: sync groups must
+# lose nothing across promotions (exit 1 on any acked loss), then a
+# 2-replica scaleout smoke proves migration x replication coexistence
+# and the modelled ack-mode cost table regenerates (docs/REPLICATION.md).
+replica-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli replica --seed 7 --ops 150
+	PYTHONPATH=src $(PYTHON) -m repro.cli replica --seed 23 --ops 150 --replicas 2 \
+		--schedule "shard_death:0.05,replica_lag:0.08,promote_during_migration:0.02"
+	PYTHONPATH=src $(PYTHON) -m repro.cli replica --seed 42 --ops 150 --ack-mode semi-sync
+	PYTHONPATH=src $(PYTHON) -m repro.cli shard --shards 2 --ops 400 --workload b
+	PYTHONPATH=src $(PYTHON) -m repro.cli replicate --quick
 
 # Wall-clock crypto benchmark, reduced: cross-engine parity must hold and
 # the fast engine must beat 5x reference on the 4 KiB payload/transport

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     Table1Result,
 )
 from repro.bench.faulttail import FaultTailResult
+from repro.bench.replicate import ReplicationResult
 from repro.bench.scaleout import ScaleoutResult
 
 __all__ = ["to_csv"]
@@ -184,6 +185,34 @@ def _faulttail(result: FaultTailResult) -> str:
     )
 
 
+def _replicate(result: ReplicationResult) -> str:
+    return _rows(
+        [
+            "ack_mode",
+            "replicas",
+            "ack_overhead_us",
+            "put_p50_us",
+            "put_p99_us",
+            "failover_p50_us",
+            "failover_p99_us",
+            "lost_acked_per_failover",
+        ],
+        [
+            [
+                mode,
+                replicas,
+                result.ack_overhead_us[(mode, replicas)],
+                result.put_p50_us[(mode, replicas)],
+                result.put_p99_us[(mode, replicas)],
+                result.failover_p50_us[(mode, replicas)],
+                result.failover_p99_us[(mode, replicas)],
+                result.lost_per_failover[(mode, replicas)],
+            ]
+            for mode, replicas in result.configs
+        ],
+    )
+
+
 _EXPORTERS = {
     Fig1Result: _fig1,
     Fig4Result: _fig4,
@@ -194,6 +223,7 @@ _EXPORTERS = {
     Table1Result: _table1,
     ScaleoutResult: _scaleout,
     FaultTailResult: _faulttail,
+    ReplicationResult: _replicate,
 }
 
 

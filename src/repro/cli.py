@@ -34,6 +34,12 @@ Fault-injection commands (see docs/FAULTS.md)::
     python -m repro.cli chaos --seed 7 --schedule drop:0.1,enclave_crash:0.01
     python -m repro.cli chaos --shards 3 --schedule shard_death:0.02 --json
     python -m repro.cli faulttail --quick    # modelled retry-cost curves
+
+Replication commands (see docs/REPLICATION.md)::
+
+    python -m repro.cli replica --replicas 2             # failover chaos
+    python -m repro.cli replica --ack-mode async --json  # detected losses
+    python -m repro.cli replicate --quick                # modelled costs
 """
 
 from __future__ import annotations
@@ -59,6 +65,12 @@ def _run_faulttail_runner(quick: bool = False):
     return run_faulttail(quick=quick)
 
 
+def _run_replicate_runner(quick: bool = False):
+    from repro.bench.replicate import run_replication
+
+    return run_replication(quick=quick)
+
+
 _RUNNERS: Dict[str, Callable] = {
     "fig1": experiments.run_fig1,
     "fig4": experiments.run_fig4,
@@ -69,6 +81,7 @@ _RUNNERS: Dict[str, Callable] = {
     "table1": experiments.run_table1,
     "scaleout": _run_scaleout_runner,
     "faulttail": _run_faulttail_runner,
+    "replicate": _run_replicate_runner,
 }
 
 _DESCRIPTIONS = {
@@ -81,6 +94,8 @@ _DESCRIPTIONS = {
     "table1": "EPC working set at 0/1/100k inserted keys",
     "scaleout": "throughput/latency + EPC working set vs shard count (1-8)",
     "faulttail": "get() tail latency vs transport fault rate (retry cost)",
+    "replicate": "failover latency + acked-write loss vs replication "
+    "ack mode",
 }
 
 
@@ -96,6 +111,23 @@ def _run_one(
     else:
         result = runner(quick=quick)
     text = result.report()
+    if name == "replicate":
+        # Like cryptobench: the full run refreshes the committed
+        # measurement file, the quick run stays out of its way.
+        from repro.bench.replicate import write_json
+
+        json_name = (
+            "BENCH_replication_quick.json" if quick
+            else "BENCH_replication.json"
+        )
+        if out_dir is not None:
+            json_path = out_dir / json_name
+        elif quick:
+            json_path = pathlib.Path("bench_reports") / json_name
+        else:
+            json_path = pathlib.Path(json_name)
+        write_json(result, json_path)
+        text += f"\n[measurements saved to {json_path}]"
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         (out_dir / f"{name}.txt").write_text(text + "\n")
@@ -276,21 +308,37 @@ def run_chaos_cmd(
     schedule: str = "drop:0.05,duplicate:0.05,delay:0.05,qp_error:0.02",
     ops: int = 200,
     shards: int = None,
+    replicas: int = 0,
+    ack_mode: str = "sync",
     as_json: bool = False,
     out_dir: pathlib.Path = None,
+    out_name: str = "chaos",
 ) -> "tuple":
     """Seeded chaos run; returns ``(text, exit_code)``.
 
     Exit code 0 means every fault was recovered and the final store state
     matched the shadow model; 1 means an integrity violation survived
-    (lost acked write, silent corruption, resurrection).
+    (lost acked write, silent corruption, resurrection).  Under a
+    ``sync``/``semi-sync`` replicated cluster any acked loss at a
+    promotion is itself a contract violation, so client-detected losses
+    and group-reported lost records also flip the exit code.
     """
     import json
 
     from repro.faults import run_chaos
 
     report = run_chaos(
-        seed=seed, schedule=schedule, ops=ops, shards=shards
+        seed=seed,
+        schedule=schedule,
+        ops=ops,
+        shards=shards,
+        replicas=replicas,
+        ack_mode=ack_mode,
+    )
+    contract_broken = (
+        replicas > 0
+        and ack_mode in ("sync", "semi-sync")
+        and (report.losses_detected > 0 or report.lost_records > 0)
     )
     if as_json:
         text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
@@ -303,9 +351,25 @@ def run_chaos_cmd(
             f"{name}={count}"
             for name, count in sorted(report.outcomes.items())
         )
-        mode = (
-            f"{report.shards} shards" if report.shards else "single server"
-        )
+        if report.shards and replicas:
+            mode = (
+                f"{report.shards} shards x {replicas + 1} replicas, "
+                f"{ack_mode}"
+            )
+        elif report.shards:
+            mode = f"{report.shards} shards"
+        else:
+            mode = "single server"
+        if contract_broken:
+            verdict = (
+                f"VIOLATIONS: {ack_mode} group lost acked writes "
+                f"(lost_records={report.lost_records}, "
+                f"detected={report.losses_detected})"
+            )
+        elif report.ok:
+            verdict = "OK: store matches shadow model"
+        else:
+            verdict = f"VIOLATIONS: {report.violations}"
         lines = [
             f"Chaos run: seed={report.seed} schedule='{report.schedule}' "
             f"({report.ops} ops, {mode})",
@@ -316,20 +380,68 @@ def run_chaos_cmd(
             f"recoveries        retries={report.retries} "
             f"reconnects={report.reconnects} "
             f"failovers={report.failovers} "
-            f"crash_restarts={report.crash_restarts}",
+            f"crash_restarts={report.crash_restarts} "
+            f"promotions={report.promotions}",
             f"tamper detected   {report.tamper_detected}",
+            f"losses            acked records lost={report.lost_records}, "
+            f"client-detected={report.losses_detected}",
             f"fault fingerprint {report.fault_fingerprint[:16]}...",
             f"state digest      {report.state_digest[:16]}...",
-            f"verdict           "
-            + ("OK: store matches shadow model" if report.ok
-               else f"VIOLATIONS: {report.violations}"),
+            f"verdict           {verdict}",
         ]
         text = "\n".join(lines)
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         suffix = "json" if as_json else "txt"
-        (out_dir / f"chaos.{suffix}").write_text(text + "\n")
-    return text, report.exit_code
+        (out_dir / f"{out_name}.{suffix}").write_text(text + "\n")
+    code = report.exit_code
+    if contract_broken and code == 0:
+        code = 1
+    return text, code
+
+
+def run_replica_cmd(
+    seed: int = 11,
+    schedule: str = "shard_death:0.05,replica_lag:0.08",
+    ops: int = 200,
+    shards: int = 3,
+    replicas: int = 1,
+    ack_mode: str = "sync",
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Replicated failover chaos run; returns ``(text, exit_code)``.
+
+    A thin front-end over the chaos harness with replication-shaped
+    defaults: a 3-shard cluster where every shard is a primary-backup
+    group, under a schedule that kills primaries and widens replication
+    lag.  Exit code 0 means the selected ack mode's contract held
+    (sync/semi-sync: zero acked loss; async: every loss detected by the
+    client, none silent); 1 means it did not; 2 means the configuration
+    was invalid.
+    """
+    from repro.errors import ConfigurationError
+    from repro.replica import ACK_MODES
+
+    if replicas < 1:
+        raise ConfigurationError(
+            f"'replica' needs --replicas >= 1, got {replicas}"
+        )
+    if ack_mode not in ACK_MODES:
+        raise ConfigurationError(
+            f"unknown ack mode {ack_mode!r}; known: {', '.join(ACK_MODES)}"
+        )
+    return run_chaos_cmd(
+        seed=seed,
+        schedule=schedule,
+        ops=ops,
+        shards=shards,
+        replicas=replicas,
+        ack_mode=ack_mode,
+        as_json=as_json,
+        out_dir=out_dir,
+        out_name="replica",
+    )
 
 
 def run_cryptobench_cmd(
@@ -385,14 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=sorted(_RUNNERS)
         + ["all", "list", "scorecard", "trace", "metrics", "shard",
-           "chaos", "cryptobench"],
+           "chaos", "cryptobench", "replica"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
         "'shard' for a functional sharded-cluster run, 'chaos' for a "
         "seeded fault-injection run with shadow verification, "
         "'cryptobench' for the wall-clock reference-vs-fast crypto "
-        "benchmark)",
+        "benchmark, 'replica' for a replicated failover chaos run)",
     )
     parser.add_argument(
         "--quick",
@@ -472,14 +584,30 @@ def build_parser() -> argparse.ArgumentParser:
         "payload and transport checkpoints (default: 5.0; exit code 1 "
         "below it)",
     )
-    chaos = parser.add_argument_group("fault injection ('chaos' only)")
+    chaos = parser.add_argument_group("fault injection ('chaos'/'replica')")
     chaos.add_argument(
         "--schedule",
-        default="drop:0.05,duplicate:0.05,delay:0.05,qp_error:0.02",
+        default=None,
         metavar="SPEC",
         help="comma-separated 'kind:rate' fault schedule (kinds: drop, "
         "duplicate, delay, corrupt_payload, corrupt_control, qp_error, "
-        "enclave_crash, shard_death)",
+        "enclave_crash, shard_death, replica_lag, "
+        "promote_during_migration); defaults: transport mix for 'chaos', "
+        "'shard_death:0.05,replica_lag:0.08' for 'replica'",
+    )
+    chaos.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="R",
+        help="backups per shard ('replica' default: 1; 'chaos' default: "
+        "0, unreplicated)",
+    )
+    chaos.add_argument(
+        "--ack-mode",
+        choices=["sync", "semi-sync", "async"],
+        default="sync",
+        help="replication acknowledgement contract (default: sync)",
     )
     return parser
 
@@ -499,6 +627,8 @@ def main(argv=None) -> int:
               "verification")
         print("cryptobench  wall-clock reference-vs-fast crypto engine "
               "benchmark")
+        print("replica    replicated failover chaos run (promotion + "
+              "client loss detection)")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -549,9 +679,34 @@ def main(argv=None) -> int:
         try:
             text, code = run_chaos_cmd(
                 seed=args.seed,
-                schedule=args.schedule,
+                schedule=args.schedule
+                if args.schedule is not None
+                else "drop:0.05,duplicate:0.05,delay:0.05,qp_error:0.02",
                 ops=args.ops if args.ops is not None else 200,
                 shards=args.shards,
+                replicas=args.replicas if args.replicas is not None else 0,
+                ack_mode=args.ack_mode,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "replica":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_replica_cmd(
+                seed=args.seed,
+                schedule=args.schedule
+                if args.schedule is not None
+                else "shard_death:0.05,replica_lag:0.08",
+                ops=args.ops if args.ops is not None else 200,
+                shards=args.shards if args.shards is not None else 3,
+                replicas=args.replicas if args.replicas is not None else 1,
+                ack_mode=args.ack_mode,
                 as_json=args.json,
                 out_dir=args.out,
             )

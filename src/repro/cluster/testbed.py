@@ -114,26 +114,37 @@ def paper_testbed() -> TestbedSpec:
     return TestbedSpec(server=server, clients=clients)
 
 
-def sharded_testbed(shards: int) -> TestbedSpec:
+def sharded_testbed(shards: int, replicas: int = 0) -> TestbedSpec:
     """The paper testbed scaled out to ``shards`` server machines.
 
     Each shard gets an identical copy of the §5.1 server (own CPU, RAM
-    and 40 Gbps NIC); the client fleet is unchanged.
+    and 40 Gbps NIC); the client fleet is unchanged.  With ``replicas``
+    set, every shard additionally brings that many identical backup
+    machines (``repro.replica``): the HA bill is ``shards * (1 +
+    replicas)`` servers.
     """
     if shards < 1:
         raise ConfigurationError(f"need at least one shard, got {shards}")
+    if replicas < 0:
+        raise ConfigurationError(f"replicas must be >= 0, got {replicas}")
     base = paper_testbed()
-    extra = [
-        MachineSpec(
-            name=f"server-{i}",
+
+    def clone(name: str) -> MachineSpec:
+        return MachineSpec(
+            name=name,
             ghz=base.server.ghz,
             cores=base.server.cores,
             hyper_threads=base.server.hyper_threads,
             memory_gb=base.server.memory_gb,
             nic=RNic(bandwidth_gbps=base.server.nic.bandwidth_gbps),
         )
-        for i in range(1, shards)
-    ]
+
+    extra = [clone(f"server-{i}") for i in range(1, shards)]
+    extra.extend(
+        clone(f"server-{i}b{j}")
+        for i in range(shards)
+        for j in range(replicas)
+    )
     return TestbedSpec(
         server=base.server, clients=base.clients, extra_servers=extra
     )

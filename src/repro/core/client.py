@@ -160,6 +160,8 @@ class PrecursorClient:
         self.integrity_failures = 0
         self.retries = 0
         self.reconnects = 0
+        #: Verified payload MAC of the most recent successful ``get``.
+        self.last_payload_mac: Optional[bytes] = None
 
         #: Chaos seam (repro.faults): called with the encoded frame after
         #: each submit; returning True makes the client post the frame
@@ -246,6 +248,20 @@ class PrecursorClient:
             {"kind": "reconnect"},
         ).inc()
         return self._server.replay_expected(self.client_id)
+
+    def revive(self) -> None:
+        """Reconnect an *idle* session and realign the oid sequence.
+
+        For sessions a router parked while another replica served the
+        shard: the server behind them may have restarted since (wiping
+        its replay table), so after the reconnect handshake the next
+        operation picks up at whatever oid the filter expects.  Only
+        valid between operations -- the in-flight retry engine does its
+        own oid resync and must keep the current oid pinned instead.
+        """
+        expected = self.reconnect()
+        if expected is not None:
+            self._oid = expected - 1
 
     @property
     def server(self) -> PrecursorServer:
@@ -531,12 +547,15 @@ class PrecursorClient:
 
     # -- key-value API --------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> None:
+    def put(self, key: bytes, value: bytes) -> bytes:
         """Store ``value`` under ``key`` (Algorithm 1).
 
         Generates a fresh one-time key, encrypts and MACs the value
         client-side, and ships ciphertext+MAC as the untrusted payload next
-        to the sealed control data.
+        to the sealed control data.  Returns the payload MAC -- the
+        client-held freshness token for this acknowledged write (a retry
+        re-ships the identical ciphertext, so the MAC survives the retry
+        engine; see :mod:`repro.replica.freshness`).
         """
         self._check_key(key)
         trace = self._start_trace("put")
@@ -559,6 +578,7 @@ class PrecursorClient:
             raise
         if trace is not None:
             trace.finish()
+        return payload.mac
 
     def get(self, key: bytes) -> bytes:
         """Fetch and verify the value stored under ``key``.
@@ -613,6 +633,9 @@ class PrecursorClient:
             except IntegrityError:
                 self.integrity_failures += 1
                 raise
+            # Verified MAC of the value just served -- routers compare it
+            # against the last acked write to catch stale failover state.
+            self.last_payload_mac = payload.mac
         except BaseException:
             if trace is not None:
                 trace.abort()

@@ -148,7 +148,13 @@ def _restore_payload_arenas(server: PrecursorServer, blob: bytes) -> None:
 
 
 class CheckpointManager:
-    """Creates and restores rollback-protected server checkpoints."""
+    """Creates and restores rollback-protected server checkpoints.
+
+    These are *operator snapshots* and enclave-crash restore points on
+    a surviving host's disk -- never a stand-in for replication: a
+    machine loss (``shard_death``) keeps only what the shard's replica
+    group shipped to backups (docs/REPLICATION.md).
+    """
 
     def __init__(
         self,

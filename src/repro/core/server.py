@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.crypto.provider import CryptoProvider, EncryptedPayload, SealedMessage
 from repro.crypto.keys import KeyGenerator, SessionKey
@@ -272,6 +272,12 @@ class PrecursorServer:
         #: Set by :meth:`crash`; every entry point then raises
         #: :class:`ShardUnavailableError` until :meth:`restart`.
         self.crashed = False
+        #: Replication seam (:mod:`repro.replica`): when this server is a
+        #: group primary, the group installs a callable here and every
+        #: applied mutation reports ``(op, key)`` -- *after* the table
+        #: commit, *before* the client's ack is produced, which is what
+        #: makes sync/semi-sync acknowledged-write contracts real.
+        self.replication_hook: Optional[Callable[[str, bytes], None]] = None
 
     # -- ecall implementations (trusted side) ------------------------------
 
@@ -734,9 +740,17 @@ class PrecursorServer:
                 self.enclave.allocator.free(
                     len(old.inline_payload), "inline_values"
                 )
+        self._notify_replication("put", control.key)
         self._send_response(
             channel, ResponseControl(status=Status.OK, oid=control.oid)
         )
+
+    def _notify_replication(self, op: str, key: bytes) -> None:
+        # Outside every table lock: a group hook re-enters this server
+        # through export_entry, which takes the read lock.
+        hook = self.replication_hook
+        if hook is not None:
+            hook(op, bytes(key))
 
     # -- tenant isolation (§3.3: access control on top of per-pair keys) ----
 
@@ -832,6 +846,7 @@ class PrecursorServer:
                     len(entry.inline_payload), "inline_values"
                 )
             status = Status.OK
+            self._notify_replication("delete", control.key)
         self._send_response(
             channel, ResponseControl(status=status, oid=control.oid)
         )
@@ -1111,6 +1126,7 @@ class PrecursorServer:
         if grants:
             self._grants[bytes(key)] = set(grants)
         self.stats.entries_imported += 1
+        self._notify_replication("put", key)
         return key
 
     def evict_entry(self, key: bytes) -> None:
@@ -1131,6 +1147,7 @@ class PrecursorServer:
             self.payload_store.release(entry.ptr)
         if entry.inline_payload is not None:
             self.enclave.allocator.free(len(entry.inline_payload), "inline_values")
+        self._notify_replication("delete", key)
 
     # -- introspection -----------------------------------------------------------
 

@@ -74,6 +74,25 @@ class ShardUnavailableError(PrecursorError):
     """
 
 
+class StaleReadError(PrecursorError):
+    """The store answered with authentic-but-outdated state for a key.
+
+    Raised client-side when a read (or a NOT_FOUND answer) contradicts the
+    client's own record of its last *acknowledged* write: the payload MAC
+    of the returned value differs from the MAC of the acked write, a key
+    with an acked value is suddenly absent, or a key the client deleted
+    resurfaces.  Deliberately **not** an :class:`IntegrityError` -- the
+    bytes verified fine, they are just from the past.  This is the
+    client-centric detection path for a replica failover that lost the
+    unreplicated tail of an ``async`` replication log.
+    """
+
+    def __init__(self, key: bytes, reason: str):
+        self.key = key
+        self.reason = reason
+        super().__init__(f"stale read for {key!r}: {reason}")
+
+
 class AccessError(PrecursorError):
     """An RDMA access violated memory-region permissions or bounds."""
 

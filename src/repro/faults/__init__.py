@@ -5,7 +5,9 @@ The package splits policy from mechanics:
 - :mod:`repro.faults.schedule` -- declarative ``kind:rate`` schedules;
 - :mod:`repro.faults.engine` -- the seeded engine that draws faults and
   keeps the ordered, fingerprintable injection log;
-- :mod:`repro.faults.recovery` -- whole-server crash-restart;
+- :mod:`repro.faults.recovery` -- enclave crash-restart on a surviving
+  host (machine-loss recovery is the replica groups' job: promotion via
+  :meth:`repro.shard.ShardedCluster.crash_shard`);
 - :mod:`repro.faults.harness` -- seeded chaos workloads with shadow-dict
   verification (the ``repro chaos`` CLI entry point).
 

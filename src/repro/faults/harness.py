@@ -12,7 +12,19 @@ faults, and checks every observable outcome against a shadow dict:
 - a GET returning a value for a key the shadow deleted is a
   **resurrection** violation;
 - an :class:`~repro.errors.IntegrityError` is *correct* behaviour (the
-  client caught tampering); the harness counts it and repairs the key.
+  client caught tampering); the harness counts it and repairs the key;
+- a :class:`~repro.errors.StaleReadError` is likewise *correct*: the
+  client's own MAC-freshness record caught a replica failover serving
+  pre-loss state (``async`` groups).  Counted as ``loss_detected`` and
+  repaired -- crucially, the *client* caught it, not the shadow oracle.
+
+Replication (``replicas >= 1``) changes what ``shard_death`` means: the
+primary's enclave dies with its unshipped log tail, a backup is promoted
+(no checkpoint-at-crash exists), and the ack-mode contract decides what
+survives.  Under ``sync``/``semi-sync`` a single primary death loses
+nothing; under ``async`` tail writes die and every such loss must
+surface as a client-side detection, never as a shadow-only discovery.
+The router runs with freshness tracking enabled for exactly this reason.
 
 Operations that exhaust their retry budget must fail with a *typed*
 :class:`~repro.errors.PrecursorError`; the harness then resolves the
@@ -38,10 +50,12 @@ from repro.core.persistence import CheckpointManager
 from repro.core.server import PrecursorServer
 from repro.crypto.keys import KeyGenerator
 from repro.errors import (
+    ConfigurationError,
     IntegrityError,
     KeyNotFoundError,
     PrecursorError,
     ShardUnavailableError,
+    StaleReadError,
 )
 from repro.faults.engine import FaultEngine
 from repro.faults.recovery import crash_restart
@@ -62,6 +76,9 @@ class ChaosReport:
     schedule: str
     ops: int
     shards: Optional[int]
+    #: Replication factor and ack mode of the cluster under test.
+    replicas: int = 0
+    ack_mode: Optional[str] = None
     #: Outcome class -> count (ok, miss, tamper_detected, unavailable, ...).
     outcomes: Dict[str, int] = field(default_factory=dict)
     #: Integrity violations -- empty on a correct run.
@@ -76,6 +93,13 @@ class ChaosReport:
     failovers: int = 0
     crash_restarts: int = 0
     tamper_detected: int = 0
+    #: Failover losses the *client* caught via MAC freshness (async tails).
+    losses_detected: int = 0
+    #: Backup promotions performed across all groups.
+    promotions: int = 0
+    #: Acked log records the groups report lost at promotions (ground
+    #: truth for tests: every one must be matched by client detections).
+    lost_records: int = 0
 
     @property
     def ok(self) -> bool:
@@ -94,6 +118,8 @@ class ChaosReport:
             "schedule": self.schedule,
             "ops": self.ops,
             "shards": self.shards,
+            "replicas": self.replicas,
+            "ack_mode": self.ack_mode,
             "ok": self.ok,
             "outcomes": dict(self.outcomes),
             "violations": list(self.violations),
@@ -105,6 +131,9 @@ class ChaosReport:
             "failovers": self.failovers,
             "crash_restarts": self.crash_restarts,
             "tamper_detected": self.tamper_detected,
+            "losses_detected": self.losses_detected,
+            "promotions": self.promotions,
+            "lost_records": self.lost_records,
         }
 
 
@@ -129,15 +158,27 @@ class _ChaosRun:
         value_size: int,
         max_retries: int,
         obs: Optional[ObsContext],
+        replicas: int = 0,
+        ack_mode: str = "sync",
     ):
+        if replicas and shards is None:
+            raise ConfigurationError(
+                "replicas require a sharded cluster (pass shards >= 1)"
+            )
         self.ops = ops
         self.keyspace = keyspace
         self.value_size = value_size
+        self.replicas = replicas
         self.obs = obs if obs is not None else ObsContext.create()
         self.oprng = random.Random((seed << 1) ^ 0x5EED)
         self.engine = FaultEngine(schedule, seed, obs=self.obs)
         self.report = ChaosReport(
-            seed=seed, schedule=str(schedule), ops=ops, shards=shards
+            seed=seed,
+            schedule=str(schedule),
+            ops=ops,
+            shards=shards,
+            replicas=replicas,
+            ack_mode=ack_mode if shards is not None else None,
         )
         self.shadow: Dict[bytes, bytes] = {}
         self.uncertain: set = set()
@@ -161,7 +202,11 @@ class _ChaosRun:
 
             self.server = None
             self.cluster = ShardedCluster(
-                shards=shards, seed=seed, obs=self.obs
+                shards=shards,
+                seed=seed,
+                obs=self.obs,
+                replicas=replicas,
+                ack_mode=ack_mode,
             )
             self.manager = self.cluster.checkpoints
             self.target = ShardedClient(
@@ -169,6 +214,9 @@ class _ChaosRun:
                 keygen=KeyGenerator(seed),
                 max_retries=max_retries,
                 retry_backoff_s=0.0,
+                # The client-centric failover check: losses must be caught
+                # by the client's own MAC record, not the shadow oracle.
+                track_freshness=replicas > 0,
             )
             fabrics = [
                 self.cluster.server(name).fabric for name in self.cluster.shards
@@ -188,16 +236,30 @@ class _ChaosRun:
     def _servers(self) -> List[PrecursorServer]:
         if self.cluster is None:
             return [self.server]
-        return [self.cluster.server(name) for name in self.cluster._servers]
+        # Every group member: a tampered *backup* blob must surface as an
+        # IntegrityError after its promotion, exactly like primary tamper.
+        servers: List[PrecursorServer] = []
+        for name in self.cluster._groups:
+            servers.extend(self.cluster.group(name).members())
+        return servers
 
     @property
     def _any_down(self) -> bool:
         return bool(self.down)
 
+    @property
+    def _outage_excuses_misses(self) -> bool:
+        # Only an unreplicated dead shard makes keys legitimately
+        # unavailable.  A replicated cluster promoted a backup instead --
+        # a NOT_FOUND there is a loss, and losses must be *detected*
+        # (StaleReadError), never excused.
+        return bool(self.down) and self.replicas == 0
+
     # -- machine-level faults ----------------------------------------------
 
     def _machine_faults(self, op_index: int) -> None:
-        # Restore shards whose outage span elapsed.
+        # Restore shards whose outage span elapsed (replicated groups
+        # rejoin their dead ex-primary as a backup).
         for name in [n for n, due in self.down.items() if op_index >= due]:
             self.cluster.restore_shard(name)
             self.report.crash_restarts += 1
@@ -205,28 +267,89 @@ class _ChaosRun:
 
         for kind in self.engine.schedule.harness_kinds():
             if kind == FaultKind.ENCLAVE_CRASH and self.engine.draw(kind):
+                # An enclave *process* dies but its host survives, so the
+                # sealed-persistence checkpoint on the host's disk is
+                # legitimately available -- unlike shard_death, which
+                # loses the whole machine and leans on replication.
                 if self.cluster is None:
                     crash_restart(self.server, self.manager, self.obs)
                 else:
                     live = [n for n in self.cluster.shards if n not in self.down]
                     victim = live[self.engine.rng.randrange(len(live))]
-                    self.cluster.crash_shard(victim)
-                    self.cluster.restore_shard(victim)
+                    crash_restart(
+                        self.cluster.server(victim),
+                        self.cluster.checkpoints,
+                        self.obs,
+                    )
                 self.report.crash_restarts += 1
             elif kind == FaultKind.SHARD_DEATH:
-                if (
-                    self.cluster is None
-                    or self.down
-                    or len(self.cluster.shards) < 2
-                ):
-                    continue  # no rng draw: kind inapplicable right now
+                if self.cluster is None or self.down or self.replicas < 1:
+                    # No rng draw: kind inapplicable right now.  Without
+                    # replicas there is no promotion path and no
+                    # checkpoint-at-crash cheat to fall back on; the
+                    # harness refuses to fake one.
+                    continue
                 if self.engine.draw(kind):
                     live = list(self.cluster.shards)
                     victim = live[self.engine.rng.randrange(len(live))]
                     self.cluster.crash_shard(victim)
                     self.down[victim] = op_index + _OUTAGE_SPAN
+            elif kind == FaultKind.REPLICA_LAG:
+                if self.cluster is None or self.replicas < 1:
+                    continue
+                if self.engine.draw(kind):
+                    live = list(self.cluster.shards)
+                    name = live[self.engine.rng.randrange(len(live))]
+                    lag = 2 + self.engine.rng.randrange(5)
+                    self.cluster.group(name).inject_lag(lag)
+            elif kind == FaultKind.PROMOTE_DURING_MIGRATION:
+                if self.cluster is None or self.down or self.replicas < 1:
+                    continue
+                if self.engine.draw(kind):
+                    self._promote_during_migration(op_index)
             elif kind == FaultKind.CORRUPT_PAYLOAD and self.engine.draw(kind):
                 self.engine.tamper_stored(self._servers())
+
+    def _promote_during_migration(self, op_index: int) -> None:
+        """Race a primary death against a live rebalance.
+
+        A scratch shard joins (pulling ~1/(n+1) of the keys through the
+        migration engine) and immediately leaves; the first entry copied
+        triggers ``crash_shard`` on a random established shard, promoting
+        its backup *mid-copy*.  The PR-3 guarantee must hold either way:
+        the rebalance completes against the promoted primary, or it
+        aborts with the old ring map intact and nothing evicted.
+        """
+        cluster = self.cluster
+        live = list(cluster.shards)
+        victim = live[self.engine.rng.randrange(len(live))]
+        joiner = f"chaos-join-{op_index}"
+        engine = cluster._engine
+        fired: List[bool] = []
+
+        def crash_once(_copied: int) -> None:
+            if not fired:
+                fired.append(True)
+                cluster.crash_shard(victim)
+
+        engine.on_entry_copied = crash_once
+        try:
+            cluster.add_shard(joiner)
+            if joiner in cluster.shard_map.ring:
+                cluster.remove_shard(joiner)
+        except ShardUnavailableError:
+            # The race aborted the rebalance; the cluster guarantees the
+            # old map stayed authoritative, so the workload just carries
+            # on (the idle joiner group stays outside the ring).
+            pass
+        finally:
+            engine.on_entry_copied = None
+        if not fired:
+            # Nothing crossed shards during the join (tiny-keyspace
+            # corner); crash the victim directly so the drawn fault
+            # still happens.
+            cluster.crash_shard(victim)
+        self.down[victim] = op_index + _OUTAGE_SPAN
 
     # -- fault-free resolution ---------------------------------------------
 
@@ -239,6 +362,13 @@ class _ChaosRun:
         except KeyNotFoundError:
             self.shadow.pop(key, None)
             self.uncertain.discard(key)
+        except StaleReadError:
+            # The resolution read itself tripped the freshness check: a
+            # failover already lost this key's acked state.  Count the
+            # detection and repair from the shadow.
+            self.report.losses_detected += 1
+            self._outcome("loss_detected")
+            self._repair_lost(key)
         except PrecursorError:
             # Unresolvable right now (e.g. the owning shard is down);
             # exclude the key from violation checking until readback.
@@ -255,6 +385,31 @@ class _ChaosRun:
                 self.target.put(key, value)
             else:
                 self.target.delete(key)
+        except PrecursorError:
+            self.uncertain.add(key)
+        finally:
+            self.engine.arm()
+
+    def _repair_lost(self, key: bytes) -> None:
+        """Re-establish a key's state after a client-detected loss.
+
+        Mirrors what a real application does on ``StaleReadError``: drop
+        the stale claim and re-issue the lost write from its own copy
+        (here, the shadow).
+        """
+        freshness = getattr(self.target, "freshness", None)
+        if freshness is not None:
+            freshness.forget(key)
+        self.engine.disarm()
+        try:
+            value = self.shadow.get(key)
+            if value is not None:
+                self.target.put(key, value)
+            else:
+                try:
+                    self.target.delete(key)
+                except KeyNotFoundError:
+                    pass  # lost write was a delete of an absent key
         except PrecursorError:
             self.uncertain.add(key)
         finally:
@@ -308,9 +463,9 @@ class _ChaosRun:
                 self.uncertain.discard(key)
                 self._outcome("resolved")
             elif key in self.shadow:
-                if self._any_down:
-                    # The owning shard is dead; its keys are unavailable
-                    # (not lost) until restore_shard brings them back.
+                if self._outage_excuses_misses:
+                    # The owning shard is dead with no backup; its keys
+                    # are unavailable (not lost) until restore_shard.
                     self._outcome("unavailable")
                 else:
                     self._violation(
@@ -319,6 +474,14 @@ class _ChaosRun:
                     )
             else:
                 self._outcome("miss")
+        except StaleReadError:
+            # The client's MAC-freshness record caught a failover that
+            # lost acked state -- the designed detection for ``async``
+            # groups.  No oracle involved: the check ran on the client's
+            # own record before the shadow was ever consulted.
+            self.report.losses_detected += 1
+            self._outcome("loss_detected")
+            self._repair_lost(key)
         except IntegrityError:
             # Tampering detected by the client's MAC check -- the designed
             # behaviour.  Repair so later reads see the shadow's value.
@@ -353,6 +516,16 @@ class _ChaosRun:
                 actual = self.target.get(key)
             except KeyNotFoundError:
                 actual = None
+            except StaleReadError:
+                # A failover loss surfacing only now: still caught by the
+                # client's own record before the shadow comparison below.
+                self.report.losses_detected += 1
+                self._outcome("loss_detected")
+                self._repair_lost(key)
+                try:
+                    actual = self.target.get(key)
+                except KeyNotFoundError:
+                    actual = None
             except IntegrityError:
                 # At-rest tamper injected after the key's last read: the
                 # detection *is* correct behaviour.  Repair once and
@@ -393,6 +566,9 @@ class _ChaosRun:
         report.retries = self.target.retries
         report.reconnects = self.target.reconnects
         report.failovers = getattr(self.target, "failovers", 0)
+        if self.cluster is not None:
+            report.promotions = self.cluster.promotions
+            report.lost_records = self.cluster.lost_records
         self.engine.uninstall()
         return report
 
@@ -406,12 +582,20 @@ def run_chaos(
     value_size: int = 32,
     max_retries: int = 4,
     obs: Optional[ObsContext] = None,
+    replicas: int = 0,
+    ack_mode: str = "sync",
 ) -> ChaosReport:
     """Run one seeded chaos workload; see the module docstring.
 
     ``shards=None`` runs a single server; an integer runs a sharded
-    cluster of that size (enabling the ``shard_death`` fault kind).
-    Raises :class:`~repro.errors.ConfigurationError` on a bad schedule.
+    cluster of that size (enabling the ``shard_death`` fault kind once
+    ``replicas >= 1`` gives each shard a backup to promote).  ``ack_mode``
+    picks the replication acknowledgement contract: under ``sync`` and
+    ``semi-sync`` an acked write survives any single promotion, while
+    ``async`` may lose the unshipped tail -- which the client must then
+    *detect* (``losses_detected``) rather than silently absorb.
+    Raises :class:`~repro.errors.ConfigurationError` on a bad schedule
+    or an inconsistent replication configuration.
     """
     parsed = FaultSchedule.parse(schedule)
     run = _ChaosRun(
@@ -423,5 +607,7 @@ def run_chaos(
         value_size=value_size,
         max_retries=max_retries,
         obs=obs,
+        replicas=replicas,
+        ack_mode=ack_mode,
     )
     return run.run()

@@ -5,13 +5,19 @@ Each helper performs one complete recovery state machine from
 
 - client reconnect (QP + re-attestation) lives on the client itself
   (:meth:`repro.core.client.PrecursorClient.reconnect`);
-- shard failover lives on the router
-  (:meth:`repro.shard.router.ShardedClient._failover`);
-- the crash-restart of a single server -- checkpoint, crash, restart,
-  restore -- is :func:`crash_restart` below, mirroring what
-  :meth:`repro.shard.cluster.ShardedCluster.crash_shard` /
-  :meth:`~repro.shard.cluster.ShardedCluster.restore_shard` do for a
-  cluster member.
+- shard failover -- route-around for unreplicated shards, promotion
+  following for replicated ones -- lives on the router
+  (:meth:`repro.shard.router.ShardedClient._failover_retry`);
+- backup promotion lives on the replica group
+  (:meth:`repro.replica.ReplicaGroup.promote`, driven by
+  :meth:`repro.shard.cluster.ShardedCluster.crash_shard`);
+- the crash-restart of one *enclave process* whose host survived --
+  checkpoint, crash, restart, restore from sealed persistence -- is
+  :func:`crash_restart` below.  It applies to any single server,
+  standalone or cluster member.  It is **not** a shard-death recovery:
+  losing a whole machine loses the checkpoint with it, and what
+  survives is exactly what the replica group's acknowledged-write
+  contract shipped to backups.
 """
 
 from __future__ import annotations
@@ -25,9 +31,11 @@ __all__ = ["crash_restart"]
 def crash_restart(
     server: PrecursorServer, manager: CheckpointManager, obs=None
 ) -> int:
-    """Crash ``server`` and bring it back from sealed persistence.
+    """Crash ``server``'s enclave and bring it back from sealed persistence.
 
-    The checkpoint is taken at the crash instant -- the synchronous
+    Models an enclave-process failure on a *surviving host*: the sealed
+    checkpoint on the host's disk is legitimately available, so the
+    snapshot is taken at the crash instant -- the synchronous
     sealed-persistence model under which no acknowledged write is lost.
     The replacement enclave (same measurement) unseals it; the rollback
     guard has verified freshness before a single byte is trusted.  Every

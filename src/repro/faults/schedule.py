@@ -44,15 +44,29 @@ class FaultKind:
     QP_ERROR = "qp_error"
     #: Destroy the enclave; service resumes only after crash-restart.
     ENCLAVE_CRASH = "enclave_crash"
-    #: Kill a whole shard (sharded runs only); routers must fail over.
+    #: Kill a shard's primary (replicated sharded runs); a backup is
+    #: promoted and routers must follow the failover fence.
     SHARD_DEATH = "shard_death"
+    #: Hold a group's above-contract replication shipping back a few
+    #: records, widening the window a later promotion can lose.
+    REPLICA_LAG = "replica_lag"
+    #: Kill a primary *while its keys are mid-rebalance*: the migration
+    #: must either complete against the promoted backup or abort with
+    #: the old ring map intact.
+    PROMOTE_DURING_MIGRATION = "promote_during_migration"
 
     #: Kinds judged per RDMA write by the fabric hook.
     WIRE = (DROP, DELAY, CORRUPT_CONTROL, QP_ERROR)
     #: Kinds judged per submitted request frame by the client seam.
     CLIENT = (DUPLICATE,)
     #: Kinds the chaos harness executes between operations.
-    HARNESS = (CORRUPT_PAYLOAD, ENCLAVE_CRASH, SHARD_DEATH)
+    HARNESS = (
+        CORRUPT_PAYLOAD,
+        ENCLAVE_CRASH,
+        SHARD_DEATH,
+        REPLICA_LAG,
+        PROMOTE_DURING_MIGRATION,
+    )
 
     ALL = WIRE + CLIENT + HARNESS
 

@@ -1,0 +1,30 @@
+"""Primary-backup replication under the shard ring (``docs/REPLICATION.md``).
+
+- :class:`~repro.replica.group.ReplicaGroup` -- one primary plus R
+  backup servers streaming a sealed replication log, with ``sync`` /
+  ``semi-sync`` / ``async`` acknowledged-write semantics and
+  most-caught-up promotion on primary death;
+- :class:`~repro.replica.freshness.FreshnessTracker` -- the client-side
+  MAC-freshness record that detects (without any server-side oracle)
+  every acked write an ``async`` failover dropped;
+- :data:`~repro.replica.group.ACK_MODES` / reports -- the shared
+  vocabulary the cluster, router, chaos harness and CLI speak.
+"""
+
+from repro.replica.freshness import FreshnessTracker
+from repro.replica.group import (
+    ACK_MODES,
+    FailoverReport,
+    LogRecord,
+    ReplicaGroup,
+    build_group,
+)
+
+__all__ = [
+    "ACK_MODES",
+    "FailoverReport",
+    "FreshnessTracker",
+    "LogRecord",
+    "ReplicaGroup",
+    "build_group",
+]

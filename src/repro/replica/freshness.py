@@ -1,0 +1,125 @@
+"""Client-side freshness tracking: the trust anchor for failover.
+
+Precursor's replicas are untrusted in exactly the same way its primary
+is: the enclave guards key material, but nothing server-side can *prove*
+to a client that a promoted backup holds the latest acknowledged state.
+The client can, though -- it already computes the MAC over every
+ciphertext it stores (the payload MAC of ``put``), so remembering the
+MAC of its last acknowledged write per key gives it an oracle-free
+staleness detector:
+
+- a ``get`` that verifies correctly but returns a payload whose MAC
+  differs from the last acked write's MAC is **stale** (an old version
+  served back -- e.g. a promoted backup that missed the async tail);
+- a ``NOT_FOUND`` for a key with an acked value is a **lost write**;
+- a value returned for a key whose delete was acked is a
+  **resurrection**.
+
+All three raise :class:`~repro.errors.StaleReadError`.  The tracker is
+deliberately MAC-based rather than value-based: the client never needs
+to retain plaintext, and two writes of identical plaintext still differ
+(fresh one-time key => fresh MAC), so version confusion is impossible.
+
+The tracker only speaks for *this* client's acked writes.  Keys written
+by other clients, or whose last mutation failed with an unknown outcome
+(retry budget exhausted mid-flight), must be :meth:`forget`-ten --
+the router does this on any failed mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import StaleReadError
+
+__all__ = ["FreshnessTracker"]
+
+#: Sentinel distinguishing "acked delete" from "never tracked".
+_TOMBSTONE = None
+
+
+class FreshnessTracker:
+    """Per-key record of the last acknowledged write's payload MAC."""
+
+    def __init__(self) -> None:
+        # key -> MAC bytes of the acked value, or _TOMBSTONE for an
+        # acked delete.  Absent key == no claim about the store.
+        self._acked: Dict[bytes, Optional[bytes]] = {}
+        #: Staleness detections raised so far (introspection/metrics).
+        self.detections = 0
+
+    # -- recording acknowledgements ---------------------------------------
+
+    def note_write(self, key: bytes, mac: bytes) -> None:
+        """Record that a put of ``key`` was acknowledged with ``mac``."""
+        self._acked[bytes(key)] = bytes(mac)
+
+    def note_delete(self, key: bytes) -> None:
+        """Record that a delete of ``key`` was acknowledged."""
+        self._acked[bytes(key)] = _TOMBSTONE
+
+    def forget(self, key: bytes) -> None:
+        """Drop any claim about ``key`` (unknown-outcome mutation)."""
+        self._acked.pop(bytes(key), None)
+
+    # -- introspection -----------------------------------------------------
+
+    def expects_value(self, key: bytes) -> bool:
+        """True when the last acked mutation of ``key`` stored a value."""
+        return self._acked.get(bytes(key)) is not None
+
+    def expects_absence(self, key: bytes) -> bool:
+        """True when the last acked mutation of ``key`` was a delete."""
+        key = bytes(key)
+        return key in self._acked and self._acked[key] is None
+
+    @property
+    def tracked(self) -> int:
+        """Number of keys with an outstanding freshness claim."""
+        return len(self._acked)
+
+    # -- verification ------------------------------------------------------
+
+    def check_read(self, key: bytes, mac: bytes) -> None:
+        """Validate a successful read of ``key`` that returned ``mac``.
+
+        Raises :class:`StaleReadError` when the MAC contradicts the last
+        acked write (old version) or when the key's delete was acked
+        (resurrection).  A read that *passes* refreshes (or creates) the
+        key's claim: a verified read is the same client-side knowledge an
+        ack is -- "the store held this exact MAC" -- so later reads must
+        never regress behind it.  (Single-writer assumption: another
+        client's legitimate overwrite is indistinguishable from a
+        regression; see the class docstring.)
+        """
+        key = bytes(key)
+        mac = bytes(mac)
+        if key in self._acked:
+            expected = self._acked[key]
+            if expected is None:
+                self.detections += 1
+                raise StaleReadError(
+                    key,
+                    "value returned for a key whose delete was acknowledged",
+                )
+            if mac != expected:
+                self.detections += 1
+                raise StaleReadError(
+                    key,
+                    "payload MAC differs from the last acknowledged write "
+                    "(an older version was served)",
+                )
+        self._acked[key] = mac
+
+    def check_absent(self, key: bytes) -> None:
+        """Validate a NOT_FOUND answer for ``key``.
+
+        Raises :class:`StaleReadError` when this client holds an acked
+        value for the key -- the store demonstrably lost a write it
+        acknowledged.
+        """
+        if self.expects_value(key):
+            self.detections += 1
+            raise StaleReadError(
+                bytes(key), "NOT_FOUND for a key with an acknowledged write"
+            )

@@ -1,0 +1,464 @@
+"""Primary-backup replica groups: the HA unit under the shard ring.
+
+One logical shard = one :class:`ReplicaGroup`: a primary plus R backup
+:class:`~repro.core.server.PrecursorServer`\\ s, each a full machine with
+its own fabric, NIC and enclave.  Clients only ever talk to the primary;
+the primary streams a per-group **replication log** to the backups.
+
+Each log record is exactly the sealed-migration wire format of PR-2
+(:meth:`~repro.core.server.PrecursorServer.export_entry` /
+:meth:`~repro.core.server.PrecursorServer.import_entry`): the enclave-
+resident metadata travels sealed to the shared binary measurement, the
+payload travels as the ciphertext+MAC blob it already is.  That reuse is
+the whole point of replicating a client-centric store -- a backup needs
+**no extra enclave secrets** beyond the sealing key every same-binary
+enclave already derives, and it cannot forge data the clients would
+accept because only clients hold the plaintext and check the MACs.
+
+Acknowledged-write semantics are configurable per group:
+
+``sync``
+    every live backup applies the record before the primary acks;
+``semi-sync``
+    at least one live backup (the *witness*, the first live backup)
+    applies before the ack; the rest may lag;
+``async``
+    the ack never waits; records ship in windows of
+    ``async_flush_every`` and a crash loses the unshipped tail.
+
+On primary failure, :meth:`promote` elects the most-caught-up live
+backup (max applied LSN), replays nothing it already has, re-syncs the
+remaining backups from the new primary, and reports exactly which acked
+records died with the old primary -- zero under ``sync``/``semi-sync``
+by construction, the open window under ``async``.  Detecting those
+losses is *deliberately* not the group's job: clients notice via MAC
+freshness (:mod:`repro.replica.freshness`), keeping the trust argument
+client-centric end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.server import PrecursorServer, ServerConfig
+from repro.errors import (
+    ConfigurationError,
+    KeyNotFoundError,
+    ShardUnavailableError,
+)
+from repro.obs import ObsContext
+from repro.rdma.fabric import Fabric
+
+__all__ = ["ACK_MODES", "FailoverReport", "LogRecord", "ReplicaGroup", "build_group"]
+
+#: Acknowledged-write semantics a group can run under.
+ACK_MODES = ("sync", "semi-sync", "async")
+
+#: Accounted log bytes for a delete record (key framing, no payload).
+_DELETE_RECORD_OVERHEAD = 24
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One replication-log entry: an applied mutation, export-encoded."""
+
+    lsn: int
+    op: str  # "put" | "delete"
+    key: bytes
+    sealed: Optional[bytes]  # sealed metadata record (None for delete)
+    blob: Optional[bytes]  # ciphertext+MAC payload (None for delete)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire bytes this record ships (sealed + payload, or framing)."""
+        if self.op == "delete":
+            return len(self.key) + _DELETE_RECORD_OVERHEAD
+        return len(self.sealed) + len(self.blob)
+
+
+@dataclass
+class FailoverReport:
+    """What one promotion did, and what it provably could not save."""
+
+    group: str
+    old_primary: str
+    new_primary: str
+    #: LSN the promoted backup had applied at election time.
+    promoted_lsn: int
+    #: Log records acknowledged to clients but applied by no live member.
+    lost_records: int
+    #: Keys those lost records touched (test introspection -- the chaos
+    #: harness must NOT consult this; clients detect losses themselves).
+    lost_keys: List[bytes] = field(default_factory=list)
+    #: Entries re-shipped to lagging survivors during the resync.
+    resynced: int = 0
+
+
+class ReplicaGroup:
+    """One primary plus R backups behind a single logical shard name."""
+
+    def __init__(
+        self,
+        name: str,
+        primary: PrecursorServer,
+        backups: List[PrecursorServer],
+        ack_mode: str = "sync",
+        obs: Optional[ObsContext] = None,
+        async_flush_every: int = 4,
+    ):
+        if ack_mode not in ACK_MODES:
+            raise ConfigurationError(
+                f"unknown ack mode {ack_mode!r}; known: {', '.join(ACK_MODES)}"
+            )
+        if async_flush_every < 1:
+            raise ConfigurationError(
+                f"async_flush_every must be >= 1, got {async_flush_every}"
+            )
+        for backup in backups:
+            if backup.enclave.measurement != primary.enclave.measurement:
+                # Same defense-in-depth as migration: records are sealed
+                # to the binary identity, a foreign backup could not
+                # unseal them anyway -- refuse to even ship.
+                raise ConfigurationError(
+                    f"backup {backup.shard_name!r} runs a different "
+                    "enclave binary"
+                )
+        self.name = name
+        self.primary = primary
+        self.backups: List[PrecursorServer] = list(backups)
+        self.ack_mode = ack_mode
+        self.async_flush_every = async_flush_every
+        self.obs = obs if obs is not None else ObsContext.create()
+
+        self._log: List[LogRecord] = []
+        self._last_lsn = 0
+        #: Per-backup high-water mark of applied log records.
+        self._applied: Dict[PrecursorServer, int] = {
+            backup: 0 for backup in self.backups
+        }
+        #: Outstanding injected lag (records the non-witness/async ship
+        #: path skips); never weakens the ack contract.
+        self._lag_budget = 0
+
+        #: Lifetime counters (also exported as labelled metrics).
+        self.records_logged = 0
+        self.log_bytes = 0
+        self.promotions = 0
+        self.lost_records = 0
+        self.last_failover: Optional[FailoverReport] = None
+
+        labels = {"shard": name}
+        registry = self.obs.registry
+        self._obs_records = registry.counter(
+            "replication_records_total",
+            "replication-log records shipped per group",
+            labels,
+        )
+        self._obs_bytes = registry.counter(
+            "replication_log_bytes_total",
+            "replication-log bytes streamed per group",
+            labels,
+        )
+        self._obs_lag = registry.gauge(
+            "replication_lag_records",
+            "log records the slowest live backup is behind",
+            labels,
+        )
+        self._obs_promotions = registry.counter(
+            "replica_promotions_total",
+            "backup promotions per group",
+            labels,
+        )
+        self._obs_lost = registry.counter(
+            "replica_lost_records_total",
+            "acknowledged log records lost at promotion (async tail)",
+            labels,
+        )
+        self._install_hook(self.primary)
+
+    # -- membership introspection ------------------------------------------
+
+    @property
+    def replicas(self) -> int:
+        """Configured backup count."""
+        return len(self.backups)
+
+    def live_backups(self) -> List[PrecursorServer]:
+        """Backups currently able to apply log records."""
+        return [b for b in self.backups if not b.crashed]
+
+    def members(self) -> List[PrecursorServer]:
+        """Primary first, then every backup."""
+        return [self.primary] + list(self.backups)
+
+    def applied_lsn(self, backup: PrecursorServer) -> int:
+        """High-water mark of log records ``backup`` has applied."""
+        return self._applied.get(backup, 0)
+
+    @property
+    def lag(self) -> int:
+        """Records the slowest live backup is behind the primary."""
+        live = self.live_backups()
+        if not live:
+            return 0
+        return self._last_lsn - min(self._applied[b] for b in live)
+
+    # -- the replication hook ----------------------------------------------
+
+    def _install_hook(self, server: PrecursorServer) -> None:
+        server.replication_hook = self._on_primary_mutation
+
+    def _on_primary_mutation(self, op: str, key: bytes) -> None:
+        """Append one applied primary mutation to the log and ship it.
+
+        Runs synchronously inside the primary's request handling, *before*
+        the client's ack is produced -- which is exactly what makes the
+        ``sync``/``semi-sync`` contracts real: by the time the ack frame
+        exists, the contractual backups have applied the record.
+        """
+        if op == "put":
+            sealed, blob = self.primary.export_entry(key)
+            record = LogRecord(
+                lsn=self._last_lsn + 1, op="put", key=bytes(key),
+                sealed=sealed, blob=blob,
+            )
+        else:
+            record = LogRecord(
+                lsn=self._last_lsn + 1, op="delete", key=bytes(key),
+                sealed=None, blob=None,
+            )
+        self._last_lsn = record.lsn
+        self._log.append(record)
+        self.records_logged += 1
+        if self._lag_budget > 0:
+            self._lag_budget -= 1
+            lagging = True
+        else:
+            lagging = False
+        self._ship_per_contract(lagging)
+        self._obs_lag.set(self.lag)
+
+    def _ship_per_contract(self, lagging: bool) -> None:
+        live = self.live_backups()
+        if not live:
+            return
+        if self.ack_mode == "sync":
+            # Contractual: every live backup applies before the ack.
+            for backup in live:
+                self._catch_up(backup)
+        elif self.ack_mode == "semi-sync":
+            # Contractual: the witness applies before the ack.  The rest
+            # follow immediately unless injected lag holds them back.
+            self._catch_up(live[0])
+            if not lagging:
+                for backup in live[1:]:
+                    self._catch_up(backup)
+        else:  # async: ship in windows, never on the ack path
+            if not lagging and self._backlog(live) >= self.async_flush_every:
+                for backup in live:
+                    self._catch_up(backup)
+        self._truncate(live)
+
+    def _backlog(self, live: List[PrecursorServer]) -> int:
+        return self._last_lsn - min(self._applied[b] for b in live)
+
+    def _catch_up(self, backup: PrecursorServer) -> int:
+        """Apply every log record ``backup`` is missing, in LSN order."""
+        high = self._applied[backup]
+        shipped = 0
+        for record in self._log:
+            if record.lsn <= high:
+                continue
+            self._apply(backup, record)
+            high = record.lsn
+            shipped += 1
+            self._obs_records.inc()
+            self._obs_bytes.inc(record.nbytes)
+            self.log_bytes += record.nbytes
+        self._applied[backup] = high
+        return shipped
+
+    @staticmethod
+    def _apply(backup: PrecursorServer, record: LogRecord) -> None:
+        if record.op == "put":
+            backup.import_entry(record.sealed, record.blob)
+        else:
+            try:
+                backup.evict_entry(record.key)
+            except KeyNotFoundError:
+                # The delete's target never reached this backup (it was
+                # created and deleted inside one unshipped window).
+                pass
+
+    def _truncate(self, live: List[PrecursorServer]) -> None:
+        # A record is only droppable once every *live* backup applied it;
+        # crashed members rejoin via full resync, never via log replay.
+        if not live:
+            return
+        floor = min(self._applied[b] for b in live)
+        if self._log and self._log[0].lsn <= floor:
+            self._log = [r for r in self._log if r.lsn > floor]
+
+    # -- operator / chaos controls ------------------------------------------
+
+    def inject_lag(self, records: int) -> None:
+        """Hold non-contractual shipping back for the next N records.
+
+        The ack contract is never weakened: ``sync`` ships everything
+        regardless, ``semi-sync`` keeps its witness current.  What lags
+        is the above-contract catch-up traffic -- widening the window a
+        promotion can lose (``async``) or the resync a promotion must
+        pay (``semi-sync``).
+        """
+        if records < 0:
+            raise ConfigurationError(f"lag must be >= 0, got {records}")
+        self._lag_budget += records
+
+    def flush(self) -> int:
+        """Ship every outstanding record to every live backup now."""
+        self._lag_budget = 0
+        live = self.live_backups()
+        shipped = sum(self._catch_up(b) for b in live)
+        self._truncate(live)
+        self._obs_lag.set(self.lag)
+        return shipped
+
+    # -- failover ------------------------------------------------------------
+
+    def promote(self) -> FailoverReport:
+        """Elect the most-caught-up live backup as the new primary.
+
+        The old primary (crashed) stays a group member so a later
+        :meth:`rejoin` can fold it back in as a backup.  Every acked log
+        record beyond the electee's applied LSN is *lost* -- counted and
+        named in the report, never silently absorbed.  Surviving backups
+        are re-synced from the new primary (their prefix may be behind),
+        and the log restarts empty: it died with the old primary's
+        enclave, which is precisely why the ack contract, not the log,
+        carries the durability argument.
+        """
+        live = self.live_backups()
+        if not live:
+            raise ShardUnavailableError(
+                f"group {self.name!r}: no live backup to promote"
+            )
+        new_primary = max(live, key=lambda b: self._applied[b])
+        promoted_lsn = self._applied[new_primary]
+        lost = [r for r in self._log if r.lsn > promoted_lsn]
+
+        old_primary = self.primary
+        old_primary.replication_hook = None
+        self.backups = [b for b in self.backups if b is not new_primary]
+        self.backups.append(old_primary)
+        self._applied.pop(new_primary, None)
+        self._applied[old_primary] = 0
+        self.primary = new_primary
+        self._install_hook(new_primary)
+
+        # The survivors hold prefixes of the dead log; bring them to the
+        # new primary's exact state before service resumes.
+        resynced = 0
+        for backup in self.live_backups():
+            resynced += self._full_resync(backup)
+            self._applied[backup] = self._last_lsn
+        self._log = []
+
+        self.promotions += 1
+        self.lost_records += len(lost)
+        self._obs_promotions.inc()
+        if lost:
+            self._obs_lost.inc(len(lost))
+        self._obs_lag.set(self.lag)
+        report = FailoverReport(
+            group=self.name,
+            old_primary=old_primary.shard_name or "primary",
+            new_primary=new_primary.shard_name or "backup",
+            promoted_lsn=promoted_lsn,
+            lost_records=len(lost),
+            lost_keys=[r.key for r in lost],
+            resynced=resynced,
+        )
+        self.last_failover = report
+        return report
+
+    def rejoin(self) -> int:
+        """Restart every crashed backup and resync it from the primary.
+
+        A rejoiner's enclave state died with it, so it comes back via a
+        full state transfer (export/import of every entry), not log
+        replay.  Returns the number of entries shipped.
+        """
+        resynced = 0
+        for backup in self.backups:
+            if not backup.crashed:
+                continue
+            backup.restart()
+            backup.start()
+            resynced += self._full_resync(backup)
+            self._applied[backup] = self._last_lsn
+        self._truncate(self.live_backups())
+        self._obs_lag.set(self.lag)
+        return resynced
+
+    def _full_resync(self, backup: PrecursorServer) -> int:
+        """Make ``backup`` an exact copy of the current primary."""
+        for key in backup.stored_keys():
+            backup.evict_entry(key)
+        shipped = 0
+        for key in self.primary.stored_keys():
+            try:
+                sealed, blob = self.primary.export_entry(key)
+            except KeyNotFoundError:
+                continue  # deleted under us (single-threaded sim: unreachable)
+            backup.import_entry(sealed, blob)
+            shipped += 1
+            self._obs_records.inc()
+            self._obs_bytes.inc(len(sealed) + len(blob))
+            self.log_bytes += len(sealed) + len(blob)
+        return shipped
+
+
+def build_group(
+    name: str = "group-0",
+    replicas: int = 1,
+    ack_mode: str = "sync",
+    config: Optional[ServerConfig] = None,
+    obs: Optional[ObsContext] = None,
+    async_flush_every: int = 4,
+    base_index: int = 0,
+) -> Tuple[ReplicaGroup, ObsContext]:
+    """Spawn a standalone group (primary + R backups) for tests/benches.
+
+    Shard indices ``base_index .. base_index+replicas`` partition the
+    sealed-migration IV space exactly like cluster membership does.
+    """
+    if replicas < 0:
+        raise ConfigurationError(f"replicas must be >= 0, got {replicas}")
+    obs = obs if obs is not None else ObsContext.create()
+    config = config if config is not None else ServerConfig()
+
+    def spawn(label: str, index: int) -> PrecursorServer:
+        server = PrecursorServer(
+            fabric=Fabric(),
+            config=config,
+            obs=obs,
+            shard_name=label,
+            shard_index=index,
+        )
+        server.start()
+        return server
+
+    primary = spawn(name, base_index)
+    backups = [
+        spawn(f"{name}/b{i}", base_index + 1 + i) for i in range(replicas)
+    ]
+    group = ReplicaGroup(
+        name,
+        primary,
+        backups,
+        ack_mode=ack_mode,
+        obs=obs,
+        async_flush_every=async_flush_every,
+    )
+    return group, obs

@@ -1,17 +1,30 @@
-"""The sharded cluster: N Precursor servers behind one shard map.
+"""The sharded cluster: N Precursor replica groups behind one shard map.
 
-Each shard is a full :class:`~repro.core.server.PrecursorServer` on its
-own machine: its own RDMA fabric and NIC, its own enclave (hence its own
-EPC budget and replay table) -- the scale-out unit the paper's
-client-centric design makes cheap, since the server does almost no
-per-request work.  One shared :class:`~repro.obs.ObsContext` collects
-every shard's metrics under a ``shard`` label.
+Each shard is a :class:`~repro.replica.ReplicaGroup`: a primary
+:class:`~repro.core.server.PrecursorServer` plus ``replicas`` backups,
+every member a full machine with its own RDMA fabric, NIC and enclave --
+the scale-out unit the paper's client-centric design makes cheap, since
+the server does almost no per-request work.  One shared
+:class:`~repro.obs.ObsContext` collects every member's metrics under a
+``shard`` label.
 
 Ownership is decided by a :class:`~repro.shard.ring.HashRing` wrapped in
 a versioned :class:`ShardMap`.  Membership changes (``add_shard`` /
 ``remove_shard``) run the live migration engine and then install the new
 map under a bumped epoch; routers holding the old epoch notice on their
 next operation and re-route (see ``docs/SHARDING.md`` for the protocol).
+
+Primary failure (:meth:`ShardedCluster.crash_shard`) is handled by
+**promotion**, not by ring surgery: the group elects its most-caught-up
+backup, the cluster installs the *same* ring under a bumped epoch (the
+failover fence), and routers re-attest against the new primary on their
+next operation.  Only a group with no live backup falls back to the
+PR-3 route-around path (:meth:`handle_shard_failure`), where the dead
+shard's keys are unavailable until :meth:`restore_shard`.  There is no
+checkpoint taken at crash time -- durability across a crash is exactly
+what the group's acknowledged-write contract (sync / semi-sync / async)
+bought, nothing more; :class:`~repro.core.persistence.CheckpointManager`
+remains available for *explicit operator snapshots* only.
 """
 
 from __future__ import annotations
@@ -20,11 +33,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.testbed import TestbedSpec, sharded_testbed
-from repro.core.persistence import CheckpointManager, ServerCheckpoint
+from repro.core.persistence import CheckpointManager
 from repro.core.server import PrecursorServer, ServerConfig
 from repro.errors import ConfigurationError, ShardUnavailableError
 from repro.obs import ObsContext
 from repro.rdma.fabric import Fabric
+from repro.replica import FailoverReport, ReplicaGroup
 from repro.shard.migrate import MigrationEngine, MigrationReport
 from repro.shard.ring import DEFAULT_VNODES, HashRing
 
@@ -72,6 +86,9 @@ class ShardedCluster:
         seed: int = 0,
         obs: ObsContext = None,
         shard_names: Optional[List[str]] = None,
+        replicas: int = 0,
+        ack_mode: str = "sync",
+        async_flush_every: int = 4,
     ):
         if shard_names is not None:
             names = list(shard_names)
@@ -83,20 +100,27 @@ class ShardedCluster:
                     f"need at least one shard, got {shards}"
                 )
             names = [f"shard-{i}" for i in range(shards)]
+        if replicas < 0:
+            raise ConfigurationError(f"replicas must be >= 0, got {replicas}")
         self.config = config if config is not None else ServerConfig()
         self.obs = obs if obs is not None else ObsContext.create()
-        self.testbed: TestbedSpec = sharded_testbed(len(names))
+        self.replicas = replicas
+        self.ack_mode = ack_mode
+        self.async_flush_every = async_flush_every
+        self.testbed: TestbedSpec = sharded_testbed(len(names), replicas)
         self._servers: Dict[str, PrecursorServer] = {}
-        self._next_index = 0
+        self._groups: Dict[str, ReplicaGroup] = {}
+        self._next_index = 0  # server spawn ordinal (migration-IV space)
+        self._name_seq = 0  # default shard-name ordinal
         for name in names:
-            self._spawn_server(name)
+            self._spawn_group(name)
         self.shard_map = ShardMap(epoch=1, ring=HashRing(names, vnodes, seed))
         self._engine = MigrationEngine(self)
-        #: Sealed crash persistence, shared cluster-wide: every shard runs
-        #: the same measurement, so one manager (one sealing key + counter
-        #: guard) serves them all.
+        #: Sealed persistence for *explicit operator snapshots*, shared
+        #: cluster-wide: every shard runs the same measurement, so one
+        #: manager (one sealing key + counter guard) serves them all.
+        #: Crash durability is the replica groups' job, not this one's.
         self.checkpoints = CheckpointManager()
-        self._crash_checkpoints: Dict[str, ServerCheckpoint] = {}
         self._obs_epoch = self.obs.registry.gauge(
             "shard_map_epoch", "current shard-map epoch"
         )
@@ -111,12 +135,30 @@ class ShardedCluster:
             shard_index=self._next_index,
         )
         self._next_index += 1
-        # Start now (idempotent): a shard must be polling before the
-        # migration engine imports entries into it, or the first client
-        # connection would re-issue ``init_hashtable`` and wipe them.
+        # Start now (idempotent): a member must be polling before the
+        # migration engine or replication log imports entries into it, or
+        # the first client connection would re-issue ``init_hashtable``
+        # and wipe them.
         server.start()
-        self._servers[name] = server
         return server
+
+    def _spawn_group(self, name: str) -> ReplicaGroup:
+        primary = self._spawn_server(name)
+        backups = [
+            self._spawn_server(f"{name}/b{i}") for i in range(self.replicas)
+        ]
+        group = ReplicaGroup(
+            name,
+            primary,
+            backups,
+            ack_mode=self.ack_mode,
+            obs=self.obs,
+            async_flush_every=self.async_flush_every,
+        )
+        self._servers[name] = primary
+        self._groups[name] = group
+        self._name_seq += 1
+        return group
 
     # -- introspection -----------------------------------------------------
 
@@ -131,11 +173,28 @@ class ShardedCluster:
         return self.shard_map.epoch
 
     def server(self, name: str) -> PrecursorServer:
-        """The server running shard ``name``."""
+        """The server currently *primary* for shard ``name``."""
         server = self._servers.get(name)
         if server is None:
             raise ConfigurationError(f"unknown shard {name!r}")
         return server
+
+    def group(self, name: str) -> ReplicaGroup:
+        """The replica group behind shard ``name``."""
+        group = self._groups.get(name)
+        if group is None:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        return group
+
+    @property
+    def promotions(self) -> int:
+        """Backup promotions performed across every group."""
+        return sum(g.promotions for g in self._groups.values())
+
+    @property
+    def lost_records(self) -> int:
+        """Acked log records lost at promotions (async tails), all groups."""
+        return sum(g.lost_records for g in self._groups.values())
 
     def owner(self, key: bytes) -> str:
         """Authoritative owner of ``key``."""
@@ -178,20 +237,21 @@ class ShardedCluster:
         self._obs_epoch.set(epoch)
 
     def add_shard(self, name: str = None) -> MigrationReport:
-        """Join a new shard: spawn its server, rebalance, bump the epoch.
+        """Join a new shard: spawn its group, rebalance, bump the epoch.
 
         Consistent hashing moves ~``1/(n+1)`` of the keys, all of them
-        *onto* the joiner.
+        *onto* the joiner (and, via the joiner's replication hook, onto
+        its backups).
         """
         if name is None:
-            name = f"shard-{self._next_index}"
+            name = f"shard-{self._name_seq}"
         if name in self._servers:
             raise ConfigurationError(f"shard {name!r} already exists")
-        self._spawn_server(name)
+        self._spawn_group(name)
         report = self._engine.rebalance(self.shard_map.ring.with_shard(name))
         # Only a *successful* join changes the testbed shape; a rebalance
         # aborted by a shard failure leaves the old spec authoritative.
-        self.testbed = sharded_testbed(len(self.shards))
+        self.testbed = sharded_testbed(len(self.shards), self.replicas)
         return report
 
     def remove_shard(self, name: str) -> MigrationReport:
@@ -199,31 +259,61 @@ class ShardedCluster:
         if name not in self.shard_map.ring:
             raise ConfigurationError(f"shard {name!r} not in the ring")
         report = self._engine.rebalance(self.shard_map.ring.without_shard(name))
-        retired = self._servers.pop(name)
-        if retired.key_count:
-            raise ConfigurationError(
-                f"shard {name!r} retired with {retired.key_count} keys left"
-            )
-        self.testbed = sharded_testbed(len(self.shards))
+        retired = self._groups.pop(name)
+        self._servers.pop(name)
+        # The drain's evictions replicate through the primary's hook;
+        # flush so an async group's backups drop their tail too, then
+        # verify no member of the retiring group still holds a key.
+        retired.flush()
+        retired.primary.replication_hook = None
+        for member in retired.members():
+            if not member.crashed and member.key_count:
+                raise ConfigurationError(
+                    f"shard {name!r} retired with {member.key_count} keys "
+                    f"left on {member.shard_name!r}"
+                )
+        self.testbed = sharded_testbed(len(self.shards), self.replicas)
         return report
 
     # -- failures and recovery ----------------------------------------------
 
     def crash_shard(self, name: str) -> PrecursorServer:
-        """Fail shard ``name``: checkpoint its state, then crash it.
+        """Fail shard ``name``'s primary, promoting a backup if one lives.
 
-        The checkpoint is taken at the crash instant -- the synchronous
-        sealed-persistence model of :mod:`repro.core.persistence`, under
-        which no acknowledged write is ever lost.  Clients talking to the
-        shard see errored QPs and :class:`ShardUnavailableError` until
-        :meth:`restore_shard`.
+        The primary's enclave dies with everything it had not shipped:
+        there is **no checkpoint at the crash instant** -- what survives
+        is exactly what the group's acknowledged-write contract shipped
+        to backups.  With a live backup, the group promotes its most
+        caught-up member and the cluster installs the *same* ring under a
+        bumped epoch (the failover fence routers re-attest through).
+        Without one, the shard simply stays dark -- clients see errored
+        QPs and :class:`ShardUnavailableError` until either a router
+        triggers :meth:`handle_shard_failure` or an operator runs
+        :meth:`restore_shard`.  Returns the crashed server; the group's
+        ``last_failover`` report carries the promotion details.
         """
         server = self.server(name)
         if server.crashed:
             raise ConfigurationError(f"shard {name!r} is already down")
-        self._crash_checkpoints[name] = self.checkpoints.checkpoint(server)
         server.crash()
+        self._promote_if_possible(name)
         return server
+
+    def _promote_if_possible(self, name: str) -> Optional[FailoverReport]:
+        group = self._groups[name]
+        if not group.live_backups():
+            return None
+        report = group.promote()
+        self._servers[name] = group.primary
+        # Same ring, new epoch: the fence that tells every router "the
+        # member behind this shard name changed, re-route and re-attest".
+        self._install_map(self.shard_map.ring, self.shard_map.epoch + 1)
+        self.obs.registry.counter(
+            "recoveries_total",
+            "recovery actions taken",
+            {"kind": "promotion"},
+        ).inc()
+        return report
 
     def handle_shard_failure(self, name: str) -> bool:
         """Route around a dead shard: drop it from the ring, bump the epoch.
@@ -247,26 +337,36 @@ class ShardedCluster:
         return True
 
     def restore_shard(self, name: str) -> int:
-        """Crash-restart shard ``name`` and fold it back into the ring.
+        """Bring shard ``name`` back to full strength after a crash.
 
-        Restarts the server (fresh enclave, same measurement), restores
-        the sealed checkpoint taken at crash time -- table entries,
-        payload arenas, replay expectations -- and, if a failover removed
-        the shard from the ring meanwhile, rebalances it back in (keys
-        written to the survivors during the outage migrate over, newer
-        versions overwriting the restored shard's checkpointed copies).
-        Returns the number of restored entries.
+        The healing path depends on what the crash left behind:
+
+        - the usual case -- a backup was already promoted -- restarts the
+          dead ex-primary (fresh enclave, same measurement, *empty*
+          state) and folds it back in as a backup via a full resync from
+          the current primary;
+        - a primary still dark but with live backups (no router touched
+          the shard since the crash) is promoted first, then healed the
+          same way;
+        - a group with nothing live (``replicas=0``, or everyone dead)
+          restarts the primary empty: unreplicated data is **gone**, and
+          clients that hold freshness claims for it will detect the loss
+          (:class:`~repro.errors.StaleReadError`) -- exactly what the
+          paper's trust model promises, no more.
+
+        If a route-around removed the shard from the ring meanwhile, it
+        is rebalanced back in (keys written to survivors during the
+        outage migrate over).  Returns the number of entries resynced
+        into rejoining members.
         """
-        server = self.server(name)
-        server.restart()
-        # Startup ecalls must run before the restore: a later first
-        # ``start()`` would re-issue ``init_hashtable`` and drop the
-        # restored table.
-        server.start()
-        checkpoint = self._crash_checkpoints.pop(name, None)
-        restored = 0
-        if checkpoint is not None:
-            restored = self.checkpoints.restore(server, checkpoint)
+        group = self.group(name)
+        if group.primary.crashed:
+            if group.live_backups():
+                self._promote_if_possible(name)
+            else:
+                group.primary.restart()
+                group.primary.start()
+        restored = group.rejoin()
         if name not in self.shard_map.ring:
             self._engine.rebalance(self.shard_map.ring.with_shard(name))
         self.obs.registry.counter(

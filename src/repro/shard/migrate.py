@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, KeyNotFoundError
 from repro.shard.ring import HashRing
 
 __all__ = ["MigrationEngine", "MigrationReport"]
@@ -56,6 +56,10 @@ class MigrationEngine:
 
     def __init__(self, cluster):
         self._cluster = cluster
+        #: Chaos seam: called with the running copy count after each
+        #: entry lands on its target -- lets the harness race a primary
+        #: failure against a live rebalance (``promote_during_migration``).
+        self.on_entry_copied = None
         registry = cluster.obs.registry
         self._obs_moved = registry.counter(
             "shard_migrated_entries_total", "entries moved between shards"
@@ -91,6 +95,8 @@ class MigrationEngine:
         # (``import_entry`` replaces existing entries).
         installed: List[Tuple[str, bytes]] = []
         for key, source, target in moves:
+            # Resolved per entry, not per batch: a promotion racing this
+            # rebalance swaps the member behind a shard name mid-copy.
             src_server = cluster.server(source)
             dst_server = cluster.server(target)
             if src_server.enclave.measurement != dst_server.enclave.measurement:
@@ -99,7 +105,14 @@ class MigrationEngine:
                 raise ConfigurationError(
                     f"shard {target!r} runs a different enclave binary"
                 )
-            sealed, blob = src_server.export_entry(key)
+            try:
+                sealed, blob = src_server.export_entry(key)
+            except KeyNotFoundError:
+                # The key died between scan and copy -- e.g. an async
+                # group promoted a backup that never received it.  The
+                # loss is the *client's* to detect (MAC freshness), not
+                # the migration's to resurrect; skip and move on.
+                continue
             dst_server.import_entry(sealed, blob)
             installed.append((source, key))
             pair = (source, target)
@@ -108,9 +121,18 @@ class MigrationEngine:
             report.sealed_bytes += len(sealed)
             self._obs_moved.inc()
             self._obs_bytes.inc(len(blob))
+            if self.on_entry_copied is not None:
+                self.on_entry_copied(len(installed))
         # Ownership flips atomically for the whole batch, and only then do
-        # the sources drop their (now shadowed) copies.
+        # the sources drop their (now shadowed) copies.  The epoch is
+        # resolved *at install time*: a promotion that raced the copy
+        # phase burned epochs of its own, and re-using one would let a
+        # router mistake this map for the failover fence.
+        report.epoch = cluster.shard_map.epoch + 1
         cluster._install_map(new_ring, report.epoch)
         for source, key in installed:
-            cluster.server(source).evict_entry(key)
+            try:
+                cluster.server(source).evict_entry(key)
+            except KeyNotFoundError:
+                pass  # already evicted by a racing promotion's resync
         return report

@@ -38,6 +38,7 @@ from repro.errors import (
     ShardUnavailableError,
 )
 from repro.obs import Trace
+from repro.replica import FreshnessTracker
 
 __all__ = ["ShardedClient"]
 
@@ -49,6 +50,17 @@ class ShardedClient:
     they apply; ``client_id`` defaults to a fresh process-wide id used on
     *every* shard, so ownership metadata stays valid when entries migrate
     between shards.
+
+    With ``track_freshness`` enabled the router keeps a client-side
+    :class:`~repro.replica.FreshnessTracker`: the payload MAC of every
+    acknowledged single-key write is remembered, and any later read that
+    contradicts it -- an older version served back, an acked key gone
+    missing, a deleted key resurrected -- raises
+    :class:`~repro.errors.StaleReadError`.  This is the *client-centric*
+    failover check: no replica, no oracle, just the MACs the client
+    already computes.  The single-writer caveat applies: the tracker only
+    speaks for this router's own acked writes, and batched ``put_many``
+    keys drop their claims (the batch API does not return per-key MACs).
     """
 
     def __init__(
@@ -62,6 +74,7 @@ class ShardedClient:
         max_retries: int = 0,
         retry_backoff_s: float = 0.0002,
         retry_backoff_cap_s: float = 0.01,
+        track_freshness: bool = False,
     ):
         self.cluster = cluster
         self.obs = cluster.obs
@@ -77,6 +90,10 @@ class ShardedClient:
         self._retry_backoff_cap_s = retry_backoff_cap_s
         self._map = cluster.shard_map
         self._clients: Dict[str, PrecursorClient] = {}
+        # Every session ever opened, keyed by server identity: failing
+        # *back* to a member we already attested to must revive its old
+        # session (our host is still attached to that server's fabric).
+        self._by_server: Dict[int, PrecursorClient] = {}
         for name in cluster.shards:
             self._connect(name)
 
@@ -84,6 +101,9 @@ class ShardedClient:
         self.operations = 0
         self.stale_retries = 0
         self.failovers = 0
+        #: Sessions re-attested because a promotion swapped the primary.
+        self.promotions_followed = 0
+        self.freshness = FreshnessTracker() if track_freshness else None
         registry = self.obs.registry
         self._obs_routed = {}
         self._obs_stale = registry.counter(
@@ -94,6 +114,10 @@ class ShardedClient:
             "recoveries_total",
             "recovery actions taken",
             {"kind": "failover"},
+        )
+        self._obs_promoted = registry.counter(
+            "router_promotion_follows_total",
+            "sessions re-attested against a promoted primary",
         )
 
     # -- connections -------------------------------------------------------
@@ -112,13 +136,35 @@ class ShardedClient:
             retry_backoff_cap_s=self._retry_backoff_cap_s,
         )
         self._clients[shard] = client
+        self._by_server[id(client.server)] = client
         return client
 
     def _client(self, shard: str) -> PrecursorClient:
         client = self._clients.get(shard)
+        if client is not None:
+            # A retired shard (stale-map route) has no cluster entry; the
+            # kept session answers NOT_FOUND and the epoch retry re-routes.
+            current = getattr(self.cluster, "_servers", {}).get(shard)
+            if current is not None and client.server is not current:
+                # A failover promoted a different member behind this shard
+                # name: the old session's QPs died with the old primary, so
+                # re-attest against the new one.  (A *restarted* server is
+                # the same object -- plain reconnects keep their session.)
+                self.promotions_followed += 1
+                self._obs_promoted.inc()
+                cached = self._by_server.get(id(current))
+                if cached is not None:
+                    # Failing *back* to a member we once held a session
+                    # with (e.g. the original primary after a rejoin):
+                    # revive that session with a full reconnect handshake
+                    # rather than re-attaching our host to its fabric.
+                    cached.revive()
+                    self._clients[shard] = cached
+                    return cached
+                client = None
         if client is None:
-            # A shard that joined after this router connected: attest and
-            # open a session on first contact.
+            # A shard that joined after this router connected, or a
+            # promoted primary: attest and open a session on first contact.
             client = self._connect(shard)
         return client
 
@@ -190,21 +236,42 @@ class ShardedClient:
     def _failover_retry(self, key: bytes, fenced: bool, fn):
         """Run ``fn(client)`` against ``key``'s owner, surviving its death.
 
-        When the owning shard's machine is down (its server reports
-        ``crashed``), the router marks it failed cluster-wide, refreshes
-        the ring under the bumped epoch, and retries once against the new
-        owner.  The dead shard's session object is *kept*: on restore the
-        same client reconnects and resumes its oid sequence.  Failures
-        that are not a machine death propagate unchanged.
+        Three recoveries are possible, tried in order:
+
+        - a replica **promotion** already swapped the member behind the
+          shard name (the cluster's server for the shard is alive but is
+          not this session's server): refresh the fence epoch and retry
+          -- ``_client`` re-attests against the new primary;
+        - the shard is down with nothing promoted: mark it failed
+          cluster-wide (ring minus shard, epoch bump) and retry against
+          the new owner.  The dead shard's session object is *kept*: on
+          restore the same client reconnects and resumes its oid
+          sequence.
+        - the member is alive and *is* this session's server, yet the
+          exchange died at the transport: the server crashed and came
+          back behind our back while no operation routed here (crash ->
+          rejoin -> re-promotion leaves the same object primary again,
+          with this session's QPs errored by the original crash).
+          Revive the session -- full handshake plus oid realignment
+          against the restarted replay filter -- and retry.
+
+        Failures that are none of these propagate unchanged.
         """
         with self.obs.tracer.stage("router.route"):
             client, shard = self._route(key, fenced=fenced)
         try:
             return fn(client)
         except (ShardUnavailableError, AccessError, OperationTimeoutError):
-            if not self.cluster.server(shard).crashed:
-                raise
-            self._failover(shard)
+            current = self.cluster.server(shard)
+            if not current.crashed and current is not client.server:
+                # Failover fence: a backup was promoted under a bumped
+                # epoch; pick it up and re-route.
+                self.refresh_map()
+            elif current.crashed:
+                self._failover(shard)
+            else:
+                self.refresh_map()
+                client.revive()
             with self.obs.tracer.stage("router.route"):
                 client, _shard = self._route(key, fenced=fenced)
             return fn(client)
@@ -221,13 +288,28 @@ class ShardedClient:
 
     # -- key-value API -----------------------------------------------------
 
+    def _check_absent(self, key: bytes) -> None:
+        """A final NOT_FOUND: stale-loss check before it propagates.
+
+        Runs only after the epoch-retry resolved (no pending map bump),
+        so a NOT_FOUND that merely raced a migration never reaches it.
+        """
+        if self.freshness is not None:
+            self.freshness.check_absent(key)
+
     def put(self, key: bytes, value: bytes) -> None:
         """Store ``value`` under ``key`` on its owning shard (epoch-fenced)."""
         trace = self._start_trace("put")
         try:
-            self._failover_retry(key, True, lambda c: c.put(key, value))
+            mac = self._failover_retry(key, True, lambda c: c.put(key, value))
+            if self.freshness is not None:
+                self.freshness.note_write(key, mac)
             self.operations += 1
         except BaseException:
+            if self.freshness is not None:
+                # Unknown outcome: this key can no longer anchor a
+                # staleness claim.
+                self.freshness.forget(key)
             if trace is not None:
                 trace.abort()
             raise
@@ -235,18 +317,36 @@ class ShardedClient:
             trace.finish()
 
     def get(self, key: bytes) -> bytes:
-        """Fetch and verify ``key``, retrying once after an epoch bump."""
+        """Fetch and verify ``key``, retrying once after an epoch bump.
+
+        With freshness tracking on, the verified payload MAC is compared
+        against the last acknowledged write of ``key``; a mismatch (or a
+        NOT_FOUND contradicting an acked write) raises
+        :class:`~repro.errors.StaleReadError`.
+        """
         trace = self._start_trace("get")
+
+        def fetch(client: PrecursorClient):
+            fetched = client.get(key)
+            return fetched, client.last_payload_mac
+
         try:
             try:
-                value = self._failover_retry(key, False, lambda c: c.get(key))
+                value, mac = self._failover_retry(key, False, fetch)
             except KeyNotFoundError:
                 # Either a true miss or a stale route that raced a
                 # migration; only an epoch bump warrants a retry.
                 if not self.refresh_map():
+                    self._check_absent(key)
                     raise
                 self._note_stale()
-                value = self._failover_retry(key, False, lambda c: c.get(key))
+                try:
+                    value, mac = self._failover_retry(key, False, fetch)
+                except KeyNotFoundError:
+                    self._check_absent(key)
+                    raise
+            if self.freshness is not None:
+                self.freshness.check_read(key, mac)
             self.operations += 1
         except BaseException:
             if trace is not None:
@@ -264,11 +364,26 @@ class ShardedClient:
                 self._failover_retry(key, False, lambda c: c.delete(key))
             except KeyNotFoundError:
                 if not self.refresh_map():
+                    # An acked value that cannot be deleted because it is
+                    # already gone is a detected loss, not a miss.
+                    self._check_absent(key)
                     raise
                 self._note_stale()
-                self._failover_retry(key, False, lambda c: c.delete(key))
+                try:
+                    self._failover_retry(key, False, lambda c: c.delete(key))
+                except KeyNotFoundError:
+                    self._check_absent(key)
+                    raise
+            if self.freshness is not None:
+                self.freshness.note_delete(key)
             self.operations += 1
+        except KeyNotFoundError:
+            if trace is not None:
+                trace.abort()
+            raise
         except BaseException:
+            if self.freshness is not None:
+                self.freshness.forget(key)
             if trace is not None:
                 trace.abort()
             raise
@@ -294,6 +409,11 @@ class ShardedClient:
         if self.cluster.shard_map.epoch != self._map.epoch:
             self.refresh_map()
             self._note_stale()
+        if self.freshness is not None:
+            # The batch API returns no per-key MACs; batched keys stop
+            # anchoring staleness claims (single-key puts restore them).
+            for key, _value in items:
+                self.freshness.forget(key)
         groups = self._group_by_shard([key for key, _value in items])
         stored = 0
         for shard, indices in groups.items():

@@ -23,6 +23,18 @@ class TestParser:
         args = build_parser().parse_args(["table1", "--out", "/tmp/x"])
         assert args.out == pathlib.Path("/tmp/x")
 
+    def test_replica_flags(self):
+        args = build_parser().parse_args(
+            ["replica", "--replicas", "2", "--ack-mode", "semi-sync"]
+        )
+        assert args.artifact == "replica"
+        assert args.replicas == 2
+        assert args.ack_mode == "semi-sync"
+
+    def test_rejects_unknown_ack_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replica", "--ack-mode", "eventually"])
+
 
 class TestExecution:
     def test_list(self, capsys):
@@ -49,3 +61,33 @@ class TestExecution:
         assert main(["fig4", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "Figure 4" in out and "Precursor" in out
+
+    def test_list_includes_replication_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "replica" in out
+        assert "replicate" in out
+
+    def test_replica_run_is_clean(self, capsys):
+        assert main(["replica", "--seed", "7", "--ops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "promotions" in out
+        assert "sync" in out
+
+    def test_replica_rejects_zero_replicas(self, capsys):
+        assert main(["replica", "--replicas", "0"]) == 2
+        assert "--replicas >= 1" in capsys.readouterr().err
+
+    def test_replicate_quick_writes_measurements(self, tmp_path, capsys):
+        assert main(
+            ["replicate", "--quick", "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "measurements saved" in out
+        saved = tmp_path / "BENCH_replication_quick.json"
+        assert saved.exists()
+        import json
+
+        data = json.loads(saved.read_text())
+        assert data["ok"] is True
+        assert "sync/r2" in data["configs"]

@@ -1,0 +1,288 @@
+"""Failover through the cluster and router, and the chaos-level contracts.
+
+The acceptance criteria from the replication ISSUE live here:
+
+- ``crash_shard`` promotes a backup, fences the change behind an epoch
+  bump, and routers follow it without losing their session guarantees;
+- sync and semi-sync groups lose **zero acknowledged writes** across
+  promotion storms on several fixed seeds;
+- async groups may lose their unshipped tail, and every such loss a
+  client re-reads is detected *client-side* via MAC freshness -- the
+  harness never consults a server-side oracle;
+- replication and live migration compose: a promotion racing a
+  rebalance either completes the rebalance or aborts it with the old
+  ring intact;
+- fixed (seed, schedule) runs replay to byte-identical fault logs,
+  pinned here as sha256 fingerprints.
+"""
+
+import pytest
+
+from repro.errors import ShardUnavailableError, StaleReadError
+from repro.faults.harness import run_chaos
+from repro.shard import ShardedCluster, ShardedClient
+
+
+def _fill(client, count, prefix=b"key"):
+    items = [
+        (b"%s-%03d" % (prefix, i), b"value-%03d" % i) for i in range(count)
+    ]
+    for key, value in items:
+        client.put(key, value)
+    return items
+
+
+class TestClusterFailover:
+    def test_crash_promotes_and_fences_with_epoch_bump(self):
+        cluster = ShardedCluster(shards=3, seed=3, replicas=1)
+        client = ShardedClient(cluster)
+        items = _fill(client, 24)
+        victim = cluster.shards[0]
+        epoch = cluster.epoch
+        cluster.crash_shard(victim)
+        assert cluster.epoch == epoch + 1  # the failover fence
+        assert cluster.group(victim).promotions == 1
+        # The router follows the promotion: every acked write survives.
+        for key, value in items:
+            assert client.get(key) == value
+        assert client.promotions_followed >= 1
+        client.put(b"after-failover", b"v")
+        assert client.get(b"after-failover") == b"v"
+
+    def test_promotion_keeps_readers_honest_via_reattestation(self):
+        cluster = ShardedCluster(shards=2, seed=3, replicas=1)
+        client = ShardedClient(cluster)
+        _fill(client, 10)
+        victim = cluster.shards[0]
+        old_primary = cluster.server(victim)
+        cluster.crash_shard(victim)
+        # The shard name now fronts a different *member*.
+        assert cluster.server(victim) is not old_primary
+        assert cluster.server(victim) in cluster.group(victim).members()
+
+    def test_double_failover_revives_the_original_session(self):
+        # primary -> backup -> (rejoined) original primary.  The second
+        # promotion hands the shard back to a server the router already
+        # held a session with; the router must revive that session (full
+        # reconnect handshake, oid realignment) instead of re-attaching.
+        cluster = ShardedCluster(shards=2, seed=3, replicas=1)
+        client = ShardedClient(cluster)
+        items = _fill(client, 16)
+        victim = cluster.shards[0]
+        original = cluster.server(victim)
+        cluster.crash_shard(victim)
+        cluster.restore_shard(victim)  # original rejoins as a backup
+        cluster.crash_shard(victim)  # promoted backup dies in turn
+        assert cluster.server(victim) is original
+        for key, value in items:
+            assert client.get(key) == value
+        client.put(b"third-life", b"v")
+        assert client.get(b"third-life") == b"v"
+
+    def test_unreplicated_crash_is_detected_not_repaired(self):
+        # replicas=0 and no checkpoint: the data is honestly gone, and a
+        # freshness-tracking client *proves* it is gone.
+        cluster = ShardedCluster(shards=2, seed=3, replicas=0)
+        client = ShardedClient(cluster, track_freshness=True)
+        items = _fill(client, 12)
+        victim = cluster.shards[0]
+        lost = [k for k, _ in items if cluster.owner(k) == victim]
+        assert lost
+        cluster.crash_shard(victim)  # nothing to promote
+        cluster.restore_shard(victim)  # restarts empty
+        client.refresh_map()
+        with pytest.raises(StaleReadError):
+            for key in lost:
+                client.get(key)
+
+    def test_async_tail_loss_is_client_detected(self):
+        cluster = ShardedCluster(
+            shards=2, seed=3, replicas=1, ack_mode="async",
+            async_flush_every=1000,
+        )
+        client = ShardedClient(cluster, track_freshness=True)
+        items = _fill(client, 12)
+        victim = cluster.shards[0]
+        tail = [k for k, _ in items if cluster.owner(k) == victim]
+        assert tail
+        cluster.crash_shard(victim)  # nothing was ever shipped
+        assert cluster.group(victim).lost_records == len(tail)
+        detected = 0
+        for key in tail:
+            with pytest.raises(StaleReadError):
+                client.get(key)
+            detected += 1
+        assert detected == len(tail)
+        assert client.freshness.detections == detected
+
+
+class TestAckModeContracts:
+    """The headline acceptance criteria, as chaos runs."""
+
+    @pytest.mark.parametrize("seed", [3, 7, 23])
+    def test_sync_loses_nothing_under_shard_death(self, seed):
+        report = run_chaos(
+            seed,
+            "shard_death:0.06,replica_lag:0.1",
+            ops=150,
+            shards=3,
+            replicas=1,
+            ack_mode="sync",
+        )
+        assert report.violations == []
+        assert report.lost_records == 0
+        assert report.losses_detected == 0
+        assert report.fault_counts.get("shard_death", 0) > 0
+        assert report.promotions > 0
+
+    @pytest.mark.parametrize("seed", [5, 11, 42])
+    def test_semi_sync_loses_nothing_under_shard_death(self, seed):
+        report = run_chaos(
+            seed,
+            "shard_death:0.06,replica_lag:0.1",
+            ops=150,
+            shards=3,
+            replicas=2,
+            ack_mode="semi-sync",
+        )
+        assert report.violations == []
+        assert report.lost_records == 0
+        assert report.losses_detected == 0
+        assert report.promotions > 0
+
+    def test_async_losses_exist_and_are_client_detected(self):
+        report = run_chaos(
+            7,
+            "shard_death:0.08,replica_lag:0.1",
+            ops=150,
+            shards=3,
+            replicas=1,
+            ack_mode="async",
+        )
+        # Losing the tail is *allowed* -- silently losing it is not.
+        assert report.violations == []
+        assert report.lost_records > 0
+        assert report.losses_detected > 0
+        # Not every lost record is a visible loss: keys overwritten
+        # after the crash, or never re-read, don't surface.
+        assert report.losses_detected <= report.lost_records
+
+
+class TestFaultLogFingerprints:
+    """Fixed (seed, schedule) runs replay byte-identically.
+
+    These hex literals were captured from real runs; any drift in the
+    rng draw order, fault taxonomy, or schedule parsing changes them
+    and must be deliberate.
+    """
+
+    def test_sync_shard_death_fingerprint(self):
+        report = run_chaos(
+            7,
+            "shard_death:0.06,replica_lag:0.1",
+            ops=150,
+            shards=3,
+            replicas=1,
+            ack_mode="sync",
+        )
+        assert report.fault_fingerprint == (
+            "768381191a838ea005ba98db3dba97ea"
+            "0538461d597780a7d5c0a08711a94c8c"
+        )
+        assert report.fault_counts == {"replica_lag": 15, "shard_death": 6}
+
+    def test_semi_sync_two_replica_fingerprint(self):
+        report = run_chaos(
+            11,
+            "shard_death:0.06,replica_lag:0.1",
+            ops=150,
+            shards=3,
+            replicas=2,
+            ack_mode="semi-sync",
+        )
+        assert report.fault_fingerprint == (
+            "3dc8a134ac1a43725fbe4d691e388f96"
+            "b2614daf64b3ffe197dc07f0a161ecb0"
+        )
+
+    def test_promote_during_migration_fingerprint(self):
+        report = run_chaos(
+            23,
+            "shard_death:0.04,replica_lag:0.06,"
+            "promote_during_migration:0.03",
+            ops=150,
+            shards=3,
+            replicas=1,
+            ack_mode="sync",
+        )
+        assert report.fault_fingerprint == (
+            "0b21dd3dc8b33d225f688ade5781e412"
+            "82e31ea8a6818432b347fdedb4bd14ae"
+        )
+        assert report.fault_counts == {
+            "shard_death": 4,
+            "replica_lag": 10,
+            "promote_during_migration": 6,
+        }
+        assert report.violations == []
+        assert report.lost_records == 0
+        assert report.promotions > 0
+
+
+class TestMigrationInterplay:
+    def test_join_completes_across_a_mid_copy_promotion(self):
+        cluster = ShardedCluster(shards=3, seed=3, replicas=1)
+        client = ShardedClient(cluster)
+        items = _fill(client, 30)
+        fired = []
+
+        def crash_mid_copy(copied):
+            if not fired:
+                fired.append(copied)
+                cluster.crash_shard(cluster.shards[0])
+
+        cluster._engine.on_entry_copied = crash_mid_copy
+        report = cluster.add_shard()
+        assert fired, "migration moved nothing; the race never happened"
+        # The rebalance completed *and* absorbed the promotion's epoch
+        # burn: the installed map is newer than both events.
+        assert cluster.epoch == report.epoch
+        assert len(cluster.shards) == 4
+        client.refresh_map()
+        for key, value in items:
+            assert client.get(key) == value
+
+    def test_leave_aborts_cleanly_when_the_source_dies_unpromotable(self):
+        cluster = ShardedCluster(shards=3, seed=3, replicas=1)
+        client = ShardedClient(cluster)
+        _fill(client, 40)
+        victim = cluster.shards[0]
+        survivors = [s for s in cluster.shards if s != victim]
+        before = {s: cluster.server(s).key_count for s in survivors}
+        # Kill the victim's only backup so the mid-drain crash cannot
+        # promote -- the drain has nowhere to read from and must abort.
+        cluster.group(victim).backups[0].crash()
+        fired = []
+
+        def crash_mid_copy(copied):
+            if not fired:
+                fired.append(copied)
+                cluster.crash_shard(victim)
+
+        cluster._engine.on_entry_copied = crash_mid_copy
+        epoch = cluster.epoch
+        with pytest.raises(ShardUnavailableError):
+            cluster.remove_shard(victim)
+        # Old ring intact: no partial ownership flip, nothing evicted
+        # from the survivors.  (A survivor may hold an extra *shadow*
+        # copy the aborted copy phase installed -- harmless, overwritten
+        # by the next successful rebalance -- but never fewer keys.)
+        assert victim in cluster.shards
+        assert cluster.epoch == epoch
+        after = {s: cluster.server(s).key_count for s in survivors}
+        assert all(after[s] >= before[s] for s in survivors)
+        # The cluster still serves the surviving shards.
+        cluster._engine.on_entry_copied = None
+        client.refresh_map()
+        client.put(b"still-alive", b"v")
+        assert client.get(b"still-alive") == b"v"

@@ -1,0 +1,260 @@
+"""Replica groups and client-side freshness tracking (unit level)."""
+
+import pytest
+
+from repro.core.client import PrecursorClient
+from repro.errors import (
+    ConfigurationError,
+    IntegrityError,
+    PrecursorError,
+    ShardUnavailableError,
+    StaleReadError,
+)
+from repro.replica import (
+    ACK_MODES,
+    FreshnessTracker,
+    LogRecord,
+    ReplicaGroup,
+    build_group,
+)
+
+
+def _put(group, items, client_id=901):
+    """Drive puts through a real attested client against the primary."""
+    client = PrecursorClient(group.primary, client_id=client_id)
+    for key, value in items:
+        client.put(key, value)
+    return client
+
+
+class TestFreshnessTracker:
+    def test_matching_mac_passes_and_refreshes(self):
+        tracker = FreshnessTracker()
+        tracker.note_write(b"k", b"m" * 16)
+        tracker.check_read(b"k", b"m" * 16)
+        assert tracker.detections == 0
+        assert tracker.expects_value(b"k")
+
+    def test_older_version_raises(self):
+        tracker = FreshnessTracker()
+        tracker.note_write(b"k", b"new-mac")
+        with pytest.raises(StaleReadError) as exc:
+            tracker.check_read(b"k", b"old-mac")
+        assert exc.value.key == b"k"
+        assert "older version" in exc.value.reason
+        assert tracker.detections == 1
+
+    def test_lost_write_raises_on_not_found(self):
+        tracker = FreshnessTracker()
+        tracker.note_write(b"k", b"mac")
+        with pytest.raises(StaleReadError):
+            tracker.check_absent(b"k")
+
+    def test_resurrection_raises(self):
+        tracker = FreshnessTracker()
+        tracker.note_delete(b"k")
+        assert tracker.expects_absence(b"k")
+        with pytest.raises(StaleReadError):
+            tracker.check_read(b"k", b"any-mac")
+
+    def test_acked_delete_matches_absence(self):
+        tracker = FreshnessTracker()
+        tracker.note_delete(b"k")
+        tracker.check_absent(b"k")  # no claim violated
+        assert tracker.detections == 0
+
+    def test_untracked_key_is_unconstrained(self):
+        tracker = FreshnessTracker()
+        tracker.check_absent(b"other")
+        tracker.check_read(b"other2", b"whatever")
+        assert tracker.detections == 0
+
+    def test_forget_drops_the_claim(self):
+        tracker = FreshnessTracker()
+        tracker.note_write(b"k", b"mac")
+        tracker.forget(b"k")
+        tracker.check_absent(b"k")  # no longer a violation
+        assert not tracker.expects_value(b"k")
+
+    def test_verified_read_adopts_a_claim(self):
+        # A read that passes is the same client-side knowledge an ack is:
+        # later reads must never regress behind it.
+        tracker = FreshnessTracker()
+        tracker.check_read(b"k", b"seen-mac")
+        with pytest.raises(StaleReadError):
+            tracker.check_absent(b"k")
+        with pytest.raises(StaleReadError):
+            tracker.check_read(b"k", b"different-mac")
+
+    def test_stale_is_not_an_integrity_error(self):
+        # Authentic-but-stale is a different failure class from forged:
+        # the MAC *verified*; the store served the wrong version.
+        assert issubclass(StaleReadError, PrecursorError)
+        assert not issubclass(StaleReadError, IntegrityError)
+
+
+class TestGroupReplication:
+    def test_sync_ships_before_ack(self):
+        group, _obs = build_group(replicas=2, ack_mode="sync")
+        _put(group, [(b"a", b"1"), (b"b", b"2")])
+        for backup in group.backups:
+            assert backup.key_count == 2
+        assert group.lag == 0
+        assert group.records_logged == 2
+
+    def test_delete_propagates(self):
+        group, _obs = build_group(replicas=1, ack_mode="sync")
+        client = _put(group, [(b"a", b"1")])
+        client.delete(b"a")
+        assert group.primary.key_count == 0
+        assert group.backups[0].key_count == 0
+
+    def test_async_ships_in_windows(self):
+        group, _obs = build_group(
+            replicas=1, ack_mode="async", async_flush_every=4
+        )
+        _put(group, [(b"k%d" % i, b"v") for i in range(3)])
+        assert group.backups[0].key_count == 0  # window still open
+        assert group.lag == 3
+        _put(group, [(b"k3", b"v")], client_id=902)
+        assert group.backups[0].key_count == 4  # window flushed
+        assert group.lag == 0
+
+    def test_flush_drains_the_backlog(self):
+        group, _obs = build_group(
+            replicas=1, ack_mode="async", async_flush_every=100
+        )
+        _put(group, [(b"k%d" % i, b"v") for i in range(5)])
+        assert group.lag == 5
+        assert group.flush() == 5
+        assert group.backups[0].key_count == 5
+
+    def test_semi_sync_witness_is_always_current(self):
+        group, _obs = build_group(replicas=2, ack_mode="semi-sync")
+        group.inject_lag(100)
+        _put(group, [(b"k%d" % i, b"v") for i in range(4)])
+        witness, straggler = group.backups
+        assert group.applied_lsn(witness) == 4  # contract held
+        assert group.applied_lsn(straggler) == 0  # lag injection
+        assert group.lag == 4
+
+    def test_sync_contract_immune_to_injected_lag(self):
+        group, _obs = build_group(replicas=2, ack_mode="sync")
+        group.inject_lag(100)
+        _put(group, [(b"k", b"v")])
+        for backup in group.backups:
+            assert group.applied_lsn(backup) == 1
+
+    def test_log_truncates_once_everyone_applied(self):
+        group, _obs = build_group(replicas=2, ack_mode="sync")
+        _put(group, [(b"k%d" % i, b"v") for i in range(6)])
+        assert group._log == []  # nothing outstanding
+
+    def test_metrics_exported_with_shard_label(self):
+        group, obs = build_group(name="g", replicas=1)
+        _put(group, [(b"k", b"v")])
+        from repro.obs.exporters import prometheus_text
+
+        text = prometheus_text(obs.registry)
+        assert 'replication_records_total{shard="g"}' in text
+        assert 'replication_lag_records{shard="g"}' in text
+
+    def test_rejects_unknown_ack_mode(self):
+        with pytest.raises(ConfigurationError):
+            build_group(replicas=1, ack_mode="eventually")
+        assert set(ACK_MODES) == {"sync", "semi-sync", "async"}
+
+    def test_delete_record_bytes_are_framing_only(self):
+        record = LogRecord(
+            lsn=1, op="delete", key=b"some-key", sealed=None, blob=None
+        )
+        assert record.nbytes == len(b"some-key") + 24
+
+
+class TestPromotion:
+    def test_sync_promotion_loses_nothing(self):
+        group, _obs = build_group(replicas=2, ack_mode="sync")
+        _put(group, [(b"k%d" % i, b"v%d" % i) for i in range(8)])
+        group.primary.crash()
+        report = group.promote()
+        assert report.lost_records == 0
+        assert report.promoted_lsn == 8
+        assert group.primary.key_count == 8
+        assert group.promotions == 1
+        # The promoted primary serves a fresh attested session.
+        client = PrecursorClient(group.primary, client_id=903)
+        assert client.get(b"k3") == b"v3"
+
+    def test_async_promotion_loses_the_tail_and_names_it(self):
+        group, _obs = build_group(
+            replicas=1, ack_mode="async", async_flush_every=100
+        )
+        _put(group, [(b"k%d" % i, b"v") for i in range(5)])
+        group.primary.crash()
+        report = group.promote()
+        assert report.lost_records == 5
+        assert sorted(report.lost_keys) == [b"k%d" % i for i in range(5)]
+        assert group.lost_records == 5
+        assert group.primary.key_count == 0
+
+    def test_promotion_elects_most_caught_up(self):
+        group, _obs = build_group(replicas=2, ack_mode="semi-sync")
+        group.inject_lag(100)
+        _put(group, [(b"k%d" % i, b"v") for i in range(4)])
+        witness = group.backups[0]
+        group.primary.crash()
+        report = group.promote()
+        assert group.primary is witness
+        assert report.lost_records == 0
+
+    def test_promotion_resyncs_lagging_survivors(self):
+        group, _obs = build_group(replicas=2, ack_mode="semi-sync")
+        group.inject_lag(100)
+        _put(group, [(b"k%d" % i, b"v") for i in range(4)])
+        straggler = group.backups[1]
+        group.primary.crash()
+        report = group.promote()
+        assert report.resynced == 4
+        assert straggler.key_count == 4
+
+    def test_promotion_without_live_backup_refuses(self):
+        group, _obs = build_group(replicas=1, ack_mode="sync")
+        group.backups[0].crash()
+        group.primary.crash()
+        with pytest.raises(ShardUnavailableError):
+            group.promote()
+
+    def test_old_primary_rejoins_as_backup(self):
+        group, _obs = build_group(replicas=1, ack_mode="sync")
+        _put(group, [(b"k%d" % i, b"v") for i in range(3)])
+        old_primary = group.primary
+        old_primary.crash()
+        group.promote()
+        assert old_primary in group.backups
+        resynced = group.rejoin()
+        assert resynced == 3
+        assert old_primary.key_count == 3
+        # Writes through the new primary replicate to the rejoiner.
+        _put(group, [(b"post", b"v")], client_id=904)
+        assert old_primary.key_count == 4
+
+    def test_writes_after_promotion_replicate(self):
+        group, _obs = build_group(replicas=2, ack_mode="sync")
+        _put(group, [(b"k", b"v")])
+        group.primary.crash()
+        group.promote()
+        _put(group, [(b"k2", b"v2")], client_id=905)
+        for backup in group.live_backups():
+            assert backup.key_count == 2
+
+    def test_backup_needs_no_extra_secrets(self):
+        # The trust argument, executable: a same-binary backup imports
+        # sealed records; a foreign-measurement one is refused outright.
+        from repro.core.server import PrecursorServer
+        from repro.rdma.fabric import Fabric
+
+        group, obs = build_group(replicas=1)
+        foreign = PrecursorServer(fabric=Fabric(), obs=obs, shard_name="evil")
+        foreign.enclave.measurement = b"\x66" * 32
+        with pytest.raises(ConfigurationError):
+            ReplicaGroup("g2", group.primary, [foreign])
