@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -44,6 +44,15 @@ replica-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli replica --seed 42 --ops 150 --ack-mode semi-sync
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard --shards 2 --ops 400 --workload b
 	PYTHONPATH=src $(PYTHON) -m repro.cli replicate --quick
+
+# Telemetry pipeline smoke (docs/OBSERVABILITY.md): a clean sharded +
+# replicated run must produce an OK windowed SLO report (exit 1 on any
+# breach), then the breach scenario must freeze a parseable
+# flight-recorder dump and replay it offline.
+health-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli health --shards 2 --replicas 1 --ops 240
+	PYTHONPATH=src $(PYTHON) -m repro.cli flightrec --out bench_reports > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.cli flightrec --load bench_reports/flightrec.json
 
 # Wall-clock crypto benchmark, reduced: cross-engine parity must hold and
 # the fast engine must beat 5x reference on the 4 KiB payload/transport

@@ -40,6 +40,14 @@ Replication commands (see docs/REPLICATION.md)::
     python -m repro.cli replica --replicas 2             # failover chaos
     python -m repro.cli replica --ack-mode async --json  # detected losses
     python -m repro.cli replicate --quick                # modelled costs
+
+Telemetry commands (see docs/OBSERVABILITY.md)::
+
+    python -m repro.cli health                  # clean windowed SLO report
+    python -m repro.cli health --slo 'latency:p99<500us'
+    python -m repro.cli flightrec --out bench_reports  # breach -> JSON dump
+    python -m repro.cli flightrec --load bench_reports/flightrec.json \\
+        --trace c1-42                           # offline trace replay
 """
 
 from __future__ import annotations
@@ -394,6 +402,11 @@ def run_chaos_cmd(
         out_dir.mkdir(parents=True, exist_ok=True)
         suffix = "json" if as_json else "txt"
         (out_dir / f"{out_name}.{suffix}").write_text(text + "\n")
+        if report.flight_dump is not None:
+            (out_dir / f"{out_name}_flight.json").write_text(
+                json.dumps(report.flight_dump, indent=2, sort_keys=True)
+                + "\n"
+            )
     code = report.exit_code
     if contract_broken and code == 0:
         code = 1
@@ -442,6 +455,134 @@ def run_replica_cmd(
         out_dir=out_dir,
         out_name="replica",
     )
+
+
+def run_health_cmd(
+    seed: int = 11,
+    shards: int = 2,
+    replicas: int = 1,
+    ack_mode: str = "sync",
+    ops: int = 240,
+    tick_every: int = 40,
+    window: int = 3,
+    hot_shard: str = None,
+    schedule: str = "",
+    slo: str = None,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Deterministic cluster health run; returns ``(text, exit_code)``.
+
+    Drives a seeded sharded workload with modelled service latency,
+    publishes windowed per-shard telemetry on a fixed cadence, and
+    evaluates the declarative SLO rules against every snapshot.  Exit
+    code 0 means every objective held over the whole run; 1 means at
+    least one rule breached (the report names the offending shard with
+    its windowed percentile evidence).
+    """
+    import json
+
+    from repro.faults import run_health
+
+    report = run_health(
+        seed=seed,
+        shards=shards,
+        replicas=replicas,
+        ack_mode=ack_mode,
+        ops=ops,
+        tick_every=tick_every,
+        window_ticks=window,
+        hot_shard=hot_shard,
+        schedule=schedule,
+        slo=slo,
+    )
+    if as_json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.report()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        suffix = "json" if as_json else "txt"
+        (out_dir / f"health.{suffix}").write_text(text + "\n")
+    return text, report.exit_code
+
+
+def run_flightrec_cmd(
+    seed: int = 11,
+    shards: int = 2,
+    replicas: int = 1,
+    ops: int = 240,
+    tick_every: int = 40,
+    window: int = 3,
+    hot_shard: str = "auto",
+    schedule: str = "drop:0.08",
+    slo: str = None,
+    load: pathlib.Path = None,
+    trace_id: str = None,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Flight-recorder demo / offline reader; returns ``(text, exit_code)``.
+
+    Without ``--load``, runs the breach scenario (hot shard plus a wire
+    fault schedule), freezes the flight recorder on the first SLO
+    breach, and prints -- and with ``--out`` writes -- the JSON dump.
+    Exit code 0 means a valid dump was produced; 1 means the scenario
+    unexpectedly stayed clean.
+
+    With ``--load PATH``, reads a previously written dump instead:
+    validates it, prints its summary, and with ``--trace ID``
+    reconstructs that request's causal hop timeline from the frozen
+    contexts.  Exit code 0 on a valid dump, 2 on unreadable/invalid
+    input or an unknown trace id.
+    """
+    import json
+
+    from repro.faults import run_health
+    from repro.obs import FlightRecorder
+
+    if load is not None:
+        dump = FlightRecorder.load(str(load))
+        FlightRecorder.validate(dump)
+        if trace_id is not None:
+            return FlightRecorder.render_trace(dump, trace_id), 0
+        trigger = dump["trigger"]
+        traces = [c.get("trace_id") for c in dump["contexts"]]
+        lines = [
+            f"flight dump {load}",
+            f"  trigger   {trigger['reason']} (t={trigger.get('t_ns')}ns)",
+            f"  contexts  {len(dump['contexts'])} "
+            f"(--trace ID to replay one)",
+            f"  faults    {len(dump['faults'])}",
+            f"  events    {len(dump['events'])}",
+            f"  trace ids {', '.join(t for t in traces[-8:] if t)}",
+        ]
+        return "\n".join(lines), 0
+
+    report = run_health(
+        seed=seed,
+        shards=shards,
+        replicas=replicas,
+        ops=ops,
+        tick_every=tick_every,
+        window_ticks=window,
+        hot_shard=hot_shard,
+        schedule=schedule,
+        slo=slo,
+    )
+    if report.dump is None:
+        return (
+            "flightrec: scenario stayed within SLO; no dump produced "
+            "(lower the objective with --slo or raise --ops)",
+            1,
+        )
+    FlightRecorder.validate(report.dump)
+    text = json.dumps(report.dump, indent=2, sort_keys=True)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "flightrec.json").write_text(text + "\n")
+        text += f"\n[flight dump saved to {out_dir / 'flightrec.json'}]"
+    return text, 0
 
 
 def run_cryptobench_cmd(
@@ -497,14 +638,17 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=sorted(_RUNNERS)
         + ["all", "list", "scorecard", "trace", "metrics", "shard",
-           "chaos", "cryptobench", "replica"],
+           "chaos", "cryptobench", "replica", "health", "flightrec"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
         "'shard' for a functional sharded-cluster run, 'chaos' for a "
         "seeded fault-injection run with shadow verification, "
         "'cryptobench' for the wall-clock reference-vs-fast crypto "
-        "benchmark, 'replica' for a replicated failover chaos run)",
+        "benchmark, 'replica' for a replicated failover chaos run, "
+        "'health' for a windowed SLO report over a deterministic "
+        "cluster run, 'flightrec' to produce or replay a "
+        "flight-recorder dump)",
     )
     parser.add_argument(
         "--quick",
@@ -609,6 +753,54 @@ def build_parser() -> argparse.ArgumentParser:
         default="sync",
         help="replication acknowledgement contract (default: sync)",
     )
+    health = parser.add_argument_group("telemetry ('health'/'flightrec')")
+    health.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="comma-separated SLO rules, e.g. "
+        "'latency:p99<1ms:min=8,errors:budget=2%%:burn<5,"
+        "staleness:lag<32' (default: the built-in spec)",
+    )
+    health.add_argument(
+        "--hot-shard",
+        default=None,
+        metavar="NAME",
+        help="inject a modelled latency fault into NAME's replica group "
+        "('auto' picks the first shard; 'health' default: none, "
+        "'flightrec' default: auto)",
+    )
+    health.add_argument(
+        "--tick-every",
+        type=int,
+        default=40,
+        metavar="N",
+        help="publish a telemetry snapshot every N operations "
+        "(default: 40)",
+    )
+    health.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        metavar="T",
+        help="sliding-window width in ticks for the per-shard "
+        "aggregates (default: 3)",
+    )
+    health.add_argument(
+        "--load",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="with 'flightrec': read an existing dump instead of "
+        "running the breach scenario",
+    )
+    health.add_argument(
+        "--trace",
+        default=None,
+        metavar="ID",
+        help="with 'flightrec --load': reconstruct this trace's causal "
+        "hop timeline from the dump",
+    )
     return parser
 
 
@@ -629,6 +821,10 @@ def main(argv=None) -> int:
               "benchmark")
         print("replica    replicated failover chaos run (promotion + "
               "client loss detection)")
+        print("health     windowed SLO report over a deterministic "
+              "cluster run")
+        print("flightrec  breach-triggered flight-recorder dump "
+              "(or --load to replay one)")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -711,6 +907,57 @@ def main(argv=None) -> int:
                 out_dir=args.out,
             )
         except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "health":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_health_cmd(
+                seed=args.seed,
+                shards=args.shards if args.shards is not None else 2,
+                replicas=args.replicas if args.replicas is not None else 1,
+                ack_mode=args.ack_mode,
+                ops=args.ops if args.ops is not None else 240,
+                tick_every=args.tick_every,
+                window=args.window,
+                hot_shard=args.hot_shard,
+                schedule=args.schedule if args.schedule is not None else "",
+                slo=args.slo,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "flightrec":
+        from repro.errors import ConfigurationError, ObservabilityError
+
+        try:
+            text, code = run_flightrec_cmd(
+                seed=args.seed,
+                shards=args.shards if args.shards is not None else 2,
+                replicas=args.replicas if args.replicas is not None else 1,
+                ops=args.ops if args.ops is not None else 240,
+                tick_every=args.tick_every,
+                window=args.window,
+                hot_shard=args.hot_shard
+                if args.hot_shard is not None
+                else "auto",
+                schedule=args.schedule
+                if args.schedule is not None
+                else "drop:0.08",
+                slo=args.slo,
+                load=args.load,
+                trace_id=args.trace,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except (ConfigurationError, ObservabilityError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(text)

@@ -242,6 +242,10 @@ class PrecursorClient:
             )
         self._establish(reconnect=True)
         self.reconnects += 1
+        self.obs.hop(
+            "reconnect",
+            shard=self._server.shard_name or self._server.HOST_NAME,
+        )
         self.obs.registry.counter(
             "recoveries_total",
             "recovery actions taken",
@@ -422,6 +426,11 @@ class PrecursorClient:
 
     def _count_retry(self, op: str) -> None:
         self.retries += 1
+        self.obs.hop(
+            "retry",
+            shard=self._server.shard_name or self._server.HOST_NAME,
+            op=op,
+        )
         self.obs.registry.counter(
             "retries_total", "client operation retries", {"op": op}
         ).inc()

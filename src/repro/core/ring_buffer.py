@@ -167,6 +167,26 @@ class RingConsumer:
             frames.append(frame)
         return frames
 
+    def pending(self, limit: int = 64) -> int:
+        """Count ready-but-unconsumed frames without consuming them.
+
+        The telemetry pipeline's queue-depth probe: scans headers from
+        the read cursor forward, stopping at the first slot that is not
+        ready (or looks like garbage), leaving the cursor untouched.
+        """
+        layout = self.layout
+        count = 0
+        seq = self._next_seq
+        while count < limit:
+            offset = layout.slot_offset(seq - 1)
+            header = self._region.read_local(offset, _HEADER.size)
+            length, stored = _HEADER.unpack(header)
+            if stored != seq or length > layout.max_frame:
+                break
+            count += 1
+            seq += 1
+        return count
+
     @property
     def consumed(self) -> int:
         """Total frames consumed (the credit value to advertise)."""

@@ -278,6 +278,12 @@ class PrecursorServer:
         #: commit, *before* the client's ack is produced, which is what
         #: makes sync/semi-sync acknowledged-write contracts real.
         self.replication_hook: Optional[Callable[[str, bytes], None]] = None
+        #: Service-time seam: when set, called once per handled frame,
+        #: inside the timed region of :meth:`_handle_frame`.  The health
+        #: harness installs a closure here that advances a manual clock
+        #: by a modelled per-shard service latency, which is what makes
+        #: deterministic hot-shard p99 experiments possible.
+        self.service_hook: Optional[Callable[[], None]] = None
 
     # -- ecall implementations (trusted side) ------------------------------
 
@@ -575,6 +581,9 @@ class PrecursorServer:
         entered_ns = clock.now_ns()
         try:
             self._handle_frame_inner(channel, frame)
+            hook = self.service_hook
+            if hook is not None:
+                hook()
         finally:
             self._obs_handle_ns.record(max(0, clock.now_ns() - entered_ns))
 
@@ -646,6 +655,11 @@ class PrecursorServer:
                 # cached ack (at-most-once semantics) -- the operation is
                 # NOT applied again.
                 self.stats.duplicate_replies += 1
+                self.obs.hop(
+                    "dup_reply",
+                    shard=self.shard_name or self.HOST_NAME,
+                    oid=control.oid,
+                )
                 self._send_response(
                     channel,
                     channel.last_reply_control,
@@ -658,6 +672,12 @@ class PrecursorServer:
                 )
             return
         channel.last_digest = digest
+        self.obs.hop(
+            "server",
+            shard=self.shard_name or self.HOST_NAME,
+            op=control.opcode.name.lower(),
+            oid=control.oid,
+        )
 
         counter = self._obs_requests.get(control.opcode)
         if counter is not None:
@@ -1164,3 +1184,19 @@ class PrecursorServer:
     def trusted_working_set_bytes(self) -> int:
         """Enclave working set (what sgx-perf reports for Table 1)."""
         return self.enclave.trusted_bytes
+
+    def queue_depth(self) -> int:
+        """Requests visible in client rings but not yet consumed.
+
+        The telemetry pipeline's queue-depth probe.  Non-destructive:
+        peeks at ring headers without moving any read cursor.  A crashed
+        server reports 0 (nothing will ever be consumed).
+        """
+        if self.crashed:
+            return 0
+        depth = 0
+        for channel in self._channels.values():
+            if channel.revoked:
+                continue
+            depth += channel.request_consumer.pending()
+        return depth

@@ -18,6 +18,7 @@ fault hook, the client's duplicate-submit hook, the payload store's
 
 from repro.faults.engine import FaultEngine
 from repro.faults.harness import ChaosReport, run_chaos
+from repro.faults.health import HealthReport, run_health
 from repro.faults.recovery import crash_restart
 from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
 
@@ -27,6 +28,8 @@ __all__ = [
     "FaultKind",
     "FaultSchedule",
     "FaultSpec",
+    "HealthReport",
     "crash_restart",
     "run_chaos",
+    "run_health",
 ]

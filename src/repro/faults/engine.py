@@ -183,6 +183,11 @@ class FaultEngine:
                 "faults injected by the chaos engine",
                 {"kind": kind},
             ).inc()
+            flight = getattr(self.obs, "flight", None)
+            if flight is not None:
+                flight.record_fault(
+                    entry, t_ns=self.obs.tracer.clock.now_ns()
+                )
 
     @property
     def total_injected(self) -> int:

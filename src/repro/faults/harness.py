@@ -60,7 +60,7 @@ from repro.errors import (
 from repro.faults.engine import FaultEngine
 from repro.faults.recovery import crash_restart
 from repro.faults.schedule import FaultKind, FaultSchedule
-from repro.obs import ObsContext
+from repro.obs import FlightRecorder, ObsContext
 
 __all__ = ["ChaosReport", "run_chaos"]
 
@@ -100,6 +100,8 @@ class ChaosReport:
     #: Acked log records the groups report lost at promotions (ground
     #: truth for tests: every one must be matched by client detections).
     lost_records: int = 0
+    #: Flight-recorder dump triggered by the run's violations, if any.
+    flight_dump: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -134,6 +136,7 @@ class ChaosReport:
             "losses_detected": self.losses_detected,
             "promotions": self.promotions,
             "lost_records": self.lost_records,
+            "flight_dump_recorded": self.flight_dump is not None,
         }
 
 
@@ -170,6 +173,10 @@ class _ChaosRun:
         self.value_size = value_size
         self.replicas = replicas
         self.obs = obs if obs is not None else ObsContext.create()
+        if self.obs.flight is None:
+            # Every chaos run carries its own black box: a red run dumps
+            # the recent contexts/faults/events it recorded along the way.
+            self.obs.attach_flight(FlightRecorder())
         self.oprng = random.Random((seed << 1) ^ 0x5EED)
         self.engine = FaultEngine(schedule, seed, obs=self.obs)
         self.report = ChaosReport(
@@ -569,6 +576,10 @@ class _ChaosRun:
         if self.cluster is not None:
             report.promotions = self.cluster.promotions
             report.lost_records = self.cluster.lost_records
+        if report.violations:
+            report.flight_dump = self.obs.flight.trigger(
+                "chaos_violation", violations=list(report.violations)
+            )
         self.engine.uninstall()
         return report
 

@@ -11,7 +11,18 @@ The subsystem has three parts (see ``docs/OBSERVABILITY.md``):
   core/RDMA/SGX/sim layers;
 - **exporters** (:mod:`repro.obs.exporters`): JSON-lines traces,
   Prometheus text exposition, and human-readable stage tables, surfaced
-  through ``python -m repro.cli trace`` / ``python -m repro.cli metrics``.
+  through ``python -m repro.cli trace`` / ``python -m repro.cli metrics``;
+- **causal tracing** (:mod:`repro.obs.telemetry`): a :class:`ContextLog`
+  of cross-layer :class:`TraceContext` hop lists -- which shards a
+  request touched, in what order, and why it was retried;
+- **telemetry** (:mod:`repro.obs.telemetry`): a sliding-window
+  :class:`TelemetryPipeline` publishing per-shard
+  :class:`ClusterTelemetry` snapshots on a deterministic tick;
+- **SLO engine** (:mod:`repro.obs.slo`): declarative latency/error-budget/
+  staleness rules evaluated against every snapshot;
+- **flight recorder** (:mod:`repro.obs.flightrec`): bounded rings of
+  recent contexts, faults and topology events dumped as one JSON
+  artifact on SLO breach, shard crash or a red chaos run.
 """
 
 from repro.obs.clock import Clock, ManualClock, SimClock, WallClock
@@ -26,8 +37,24 @@ from repro.obs.exporters import (
     trace_to_json,
     traces_to_json_lines,
 )
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLO_SPEC,
+    SloBreach,
+    SloEngine,
+    SloRule,
+    parse_slo,
+)
 from repro.obs.span import Stage, Trace, Tracer, UNTRACKED_STAGE
+from repro.obs.telemetry import (
+    ClusterTelemetry,
+    ContextLog,
+    Hop,
+    ShardSample,
+    TelemetryPipeline,
+    TraceContext,
+)
 
 __all__ = [
     "Clock",
@@ -51,4 +78,16 @@ __all__ = [
     "lint_prometheus",
     "stage_latency_table",
     "stage_breakdown",
+    "Hop",
+    "TraceContext",
+    "ContextLog",
+    "ShardSample",
+    "ClusterTelemetry",
+    "TelemetryPipeline",
+    "DEFAULT_SLO_SPEC",
+    "SloRule",
+    "SloBreach",
+    "SloEngine",
+    "parse_slo",
+    "FlightRecorder",
 ]

@@ -120,6 +120,11 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format (backslash, newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
     merged = dict(labels)
     if extra:
@@ -143,7 +148,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     lines: List[str] = []
     for name, kind, help_text, children in registry.collect():
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for labels, metric in children:
             if isinstance(metric, (Counter, Gauge)):
@@ -168,6 +173,28 @@ _SAMPLE_RE = re.compile(
 # One label pair; the *name* part is deliberately loose so invalid names
 # are reported as such rather than as an opaque parse failure.
 _LABEL_PAIR_RE = re.compile(r'(?P<name>[^=,{}]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+#: The escape sequences the exposition format defines for quoted label
+#: values; anything else after a backslash is a lint problem.
+_VALID_VALUE_ESCAPES = ("\\", '"', "n")
+
+
+def _lint_escapes(
+    text: str, where: str, lineno: int, problems: List[str],
+    valid: Tuple[str, ...] = _VALID_VALUE_ESCAPES,
+) -> None:
+    """Flag backslash escapes outside the format's defined set."""
+    i = 0
+    while i < len(text):
+        if text[i] == "\\":
+            nxt = text[i + 1] if i + 1 < len(text) else ""
+            if nxt not in valid:
+                problems.append(
+                    f"line {lineno}: invalid escape '\\{nxt}' in {where}"
+                )
+            i += 2
+        else:
+            i += 1
 
 
 def _lint_label_block(
@@ -199,6 +226,9 @@ def _lint_label_block(
         if name in seen:
             problems.append(f"line {lineno}: duplicate label name {name!r}")
         seen.add(name)
+        _lint_escapes(
+            match.group("value"), f"label {name!r}", lineno, problems
+        )
         pairs.append((name, match.group("value")))
         pos = match.end()
         if pos < len(inner):
@@ -211,17 +241,23 @@ def _lint_label_block(
     return tuple(sorted(pairs))
 
 
-def lint_prometheus(text: str) -> List[str]:
+def lint_prometheus(text: str, require_help: bool = False) -> List[str]:
     """Validate Prometheus text exposition; returns a list of problems.
 
     Checks the properties scrapers actually depend on: name syntax, TYPE
     before samples, parseable values, per-series monotone cumulative
-    histogram buckets ending in ``+Inf``, and -- for labelled series --
-    valid, non-reserved, non-repeated label names plus at most one sample
-    per distinct ``(name, labels)`` series.
+    histogram buckets ending in ``+Inf``, valid escape sequences in HELP
+    text and quoted label values, and -- for labelled series -- valid,
+    non-reserved, non-repeated label names plus at most one sample per
+    distinct ``(name, labels)`` series.  With ``require_help=True``,
+    every family that has samples must also carry a ``# HELP`` line
+    (the registry-backed exporters always emit one; hand-written
+    fixtures may not, hence the default stays lenient).
     """
     problems: List[str] = []
     typed: Dict[str, str] = {}
+    helped: set = set()  # names with a HELP line
+    sampled: Dict[str, int] = {}  # base family name -> first sample line
     bucket_state: Dict[str, Tuple[float, float]] = {}  # series -> (last le, last count)
     seen_series: set = set()  # (name, canonical labels) already sampled
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -239,6 +275,13 @@ def lint_prometheus(text: str) -> List[str]:
                     problems.append(f"line {lineno}: bad TYPE {line!r}")
                 else:
                     typed[parts[2]] = parts[3]
+            else:  # HELP
+                helped.add(parts[2])
+                if len(parts) == 4:
+                    _lint_escapes(
+                        parts[3], "HELP text", lineno, problems,
+                        valid=("\\", "n"),
+                    )
             continue
         if line.startswith("#"):
             continue  # free-form comment
@@ -250,6 +293,8 @@ def lint_prometheus(text: str) -> List[str]:
         base = re.sub(r"_(bucket|sum|count)$", "", name)
         if base not in typed and name not in typed:
             problems.append(f"line {lineno}: sample {name!r} before its TYPE")
+        family = base if base in typed else name
+        sampled.setdefault(family, lineno)
         try:
             value = float(match.group("value"))
         except ValueError:
@@ -286,6 +331,12 @@ def lint_prometheus(text: str) -> List[str]:
     for series, (last_le, _count) in bucket_state.items():
         if last_le != float("inf"):
             problems.append(f"series {series}: missing +Inf bucket")
+    if require_help:
+        for family, lineno in sorted(sampled.items(), key=lambda kv: kv[1]):
+            if family not in helped:
+                problems.append(
+                    f"line {lineno}: family {family!r} sampled without HELP"
+                )
     return problems
 
 

@@ -1,0 +1,367 @@
+"""Declarative SLO rules evaluated against telemetry snapshots.
+
+Rules are written in a compact comma-separated spec so they can ride a
+CLI flag or a config line::
+
+    latency:p99<1ms:min=8,errors:budget=2%:burn<5,staleness:lag<32
+
+Three rule kinds:
+
+``latency:pXX<LIMIT[:shard=GLOB][:min=N]``
+    Windowed percentile objective.  ``LIMIT`` accepts ns/us/ms/s units;
+    only p50 and p99 are supported (they are what the log-linear
+    histograms export).  ``min`` suppresses evaluation until the window
+    holds at least N samples so a cold window cannot fire.
+
+``errors:budget=P%[:burn<B][:shard=GLOB][:min=N]``
+    Error budget with burn-rate alerting: with windowed error rate
+    ``e`` and budget ``p``, the burn rate is ``e / p`` and the rule
+    breaches when it exceeds ``B`` (default 1.0 -- i.e. the budget
+    itself is being consumed faster than allotted).
+
+``staleness:lag<N[:shard=GLOB]``
+    Replication staleness bound: the slowest live backup may trail the
+    primary by at most N records.
+
+``shard=GLOB`` uses :func:`fnmatch.fnmatch` so ``shard=shard-*`` or an
+exact name both work; the default ``*`` matches every shard.  The
+:class:`SloEngine` evaluates every rule against every published
+:class:`~repro.obs.telemetry.ClusterTelemetry` snapshot, returning the
+*new* breaches from that tick and accumulating all of them for the
+final report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_SLO_SPEC",
+    "SloRule",
+    "SloBreach",
+    "SloEngine",
+    "parse_slo",
+]
+
+#: Sensible defaults for the modelled cluster: sub-millisecond p99 once
+#: eight samples exist, a 2% error budget burning no faster than 5x,
+#: and backups at most 32 records behind.
+DEFAULT_SLO_SPEC = "latency:p99<1ms:min=8,errors:budget=2%:burn<5,staleness:lag<32"
+
+_UNITS_NS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One parsed objective; ``kind`` decides which fields matter."""
+
+    kind: str  # "latency" | "errors" | "staleness"
+    shard: str = "*"
+    percentile: int = 99  # latency
+    limit_ns: int = 0  # latency
+    budget: float = 0.0  # errors (fraction, e.g. 0.02)
+    burn_limit: float = 1.0  # errors
+    lag_limit: int = 0  # staleness
+    min_samples: int = 1  # latency / errors
+
+    @property
+    def name(self) -> str:
+        """Stable short name used in reports and breach records."""
+        if self.kind == "latency":
+            core = f"latency:p{self.percentile}<{self.limit_ns}ns"
+        elif self.kind == "errors":
+            core = f"errors:budget={self.budget:g}:burn<{self.burn_limit:g}"
+        else:
+            core = f"staleness:lag<{self.lag_limit}"
+        if self.shard != "*":
+            core += f":shard={self.shard}"
+        return core
+
+    def matches(self, shard: str) -> bool:
+        """Whether this rule applies to ``shard``."""
+        return fnmatch(shard, self.shard)
+
+
+@dataclass
+class SloBreach:
+    """One rule violated by one shard at one tick, with evidence."""
+
+    tick: int
+    t_ns: int
+    rule: str
+    kind: str
+    shard: str
+    value: float
+    limit: float
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-shaped view for reports and flight-recorder dumps."""
+        return {
+            "tick": self.tick,
+            "t_ns": self.t_ns,
+            "rule": self.rule,
+            "kind": self.kind,
+            "shard": self.shard,
+            "value": self.value,
+            "limit": self.limit,
+            "evidence": dict(self.evidence),
+        }
+
+    def describe(self) -> str:
+        """One-line human rendering."""
+        if self.kind == "latency":
+            return (
+                f"tick {self.tick}: {self.shard} p{self.evidence.get('percentile', '?')}"
+                f"={self.value / 1e6:.3f}ms > {self.limit / 1e6:.3f}ms "
+                f"(window ops={self.evidence.get('ops')})"
+            )
+        if self.kind == "errors":
+            return (
+                f"tick {self.tick}: {self.shard} burn-rate={self.value:.2f} "
+                f"> {self.limit:g} (error_rate={self.evidence.get('error_rate'):.4f} "
+                f"budget={self.evidence.get('budget'):g})"
+            )
+        return (
+            f"tick {self.tick}: {self.shard} replication lag={self.value:.0f} "
+            f"> {self.limit:.0f}"
+        )
+
+
+def _parse_duration_ns(text: str) -> int:
+    for unit, scale in sorted(_UNITS_NS.items(), key=lambda kv: -len(kv[0])):
+        if text.endswith(unit):
+            number = text[: -len(unit)]
+            try:
+                return int(float(number) * scale)
+            except ValueError:
+                break
+    raise ConfigurationError(
+        f"bad duration {text!r}: expected e.g. 500us, 1ms, 2s"
+    )
+
+
+def _split_fields(parts: List[str], rule_text: str) -> Dict[str, str]:
+    fields: Dict[str, str] = {}
+    for part in parts:
+        if "=" in part:
+            key, _, value = part.partition("=")
+        elif "<" in part:
+            key, _, value = part.partition("<")
+        else:
+            raise ConfigurationError(
+                f"bad SLO clause {part!r} in rule {rule_text!r}"
+            )
+        if not key or not value:
+            raise ConfigurationError(
+                f"bad SLO clause {part!r} in rule {rule_text!r}"
+            )
+        if key in fields:
+            raise ConfigurationError(
+                f"duplicate clause {key!r} in rule {rule_text!r}"
+            )
+        fields[key] = value
+    return fields
+
+
+def _take(fields: Dict[str, str], key: str) -> Optional[str]:
+    return fields.pop(key, None)
+
+
+def parse_slo(spec: str) -> List[SloRule]:
+    """Parse a comma-separated SLO spec into rules.
+
+    Raises :class:`~repro.errors.ConfigurationError` on any malformed
+    rule so a bad ``--slo`` flag fails fast with exit code 2.
+    """
+    rules: List[SloRule] = []
+    for rule_text in (piece.strip() for piece in spec.split(",")):
+        if not rule_text:
+            continue
+        parts = rule_text.split(":")
+        kind = parts[0]
+        fields = _split_fields(parts[1:], rule_text)
+        shard = _take(fields, "shard") or "*"
+        if kind == "latency":
+            target = None
+            for pct in (50, 99):
+                value = _take(fields, f"p{pct}")
+                if value is not None:
+                    if target is not None:
+                        raise ConfigurationError(
+                            f"rule {rule_text!r} names two percentiles"
+                        )
+                    target = (pct, value)
+            if target is None:
+                raise ConfigurationError(
+                    f"latency rule {rule_text!r} needs p50<... or p99<..."
+                )
+            min_text = _take(fields, "min")
+            rule = SloRule(
+                kind="latency",
+                shard=shard,
+                percentile=target[0],
+                limit_ns=_parse_duration_ns(target[1]),
+                min_samples=int(min_text) if min_text else 1,
+            )
+        elif kind == "errors":
+            budget_text = _take(fields, "budget")
+            if not budget_text or not budget_text.endswith("%"):
+                raise ConfigurationError(
+                    f"errors rule {rule_text!r} needs budget=N%"
+                )
+            try:
+                budget = float(budget_text[:-1]) / 100.0
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad budget {budget_text!r} in rule {rule_text!r}"
+                )
+            if budget <= 0:
+                raise ConfigurationError(
+                    f"budget must be positive in rule {rule_text!r}"
+                )
+            burn_text = _take(fields, "burn")
+            min_text = _take(fields, "min")
+            rule = SloRule(
+                kind="errors",
+                shard=shard,
+                budget=budget,
+                burn_limit=float(burn_text) if burn_text else 1.0,
+                min_samples=int(min_text) if min_text else 1,
+            )
+        elif kind == "staleness":
+            lag_text = _take(fields, "lag")
+            if lag_text is None:
+                raise ConfigurationError(
+                    f"staleness rule {rule_text!r} needs lag<N"
+                )
+            rule = SloRule(
+                kind="staleness", shard=shard, lag_limit=int(lag_text)
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown SLO rule kind {kind!r} in {rule_text!r}"
+            )
+        if fields:
+            raise ConfigurationError(
+                f"unknown clause(s) {sorted(fields)} in rule {rule_text!r}"
+            )
+        rules.append(rule)
+    if not rules:
+        raise ConfigurationError(f"SLO spec {spec!r} contains no rules")
+    return rules
+
+
+class SloEngine:
+    """Evaluates parsed rules against every telemetry snapshot."""
+
+    def __init__(self, rules: List[SloRule]):
+        if not rules:
+            raise ConfigurationError("SloEngine needs at least one rule")
+        self.rules = list(rules)
+        #: Every breach observed so far, in tick order.
+        self.breaches: List[SloBreach] = []
+        self.ticks_evaluated = 0
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str] = None) -> "SloEngine":
+        """Build an engine from a spec string (default rules when None)."""
+        return cls(parse_slo(spec if spec else DEFAULT_SLO_SPEC))
+
+    @property
+    def ok(self) -> bool:
+        """True while no rule has ever breached."""
+        return not self.breaches
+
+    def evaluate(self, snapshot) -> List[SloBreach]:
+        """Check every rule against ``snapshot``; return new breaches."""
+        self.ticks_evaluated += 1
+        new: List[SloBreach] = []
+        for shard, sample in sorted(snapshot.shards.items()):
+            for rule in self.rules:
+                if not rule.matches(shard):
+                    continue
+                breach = self._check(rule, snapshot, shard, sample)
+                if breach is not None:
+                    new.append(breach)
+        self.breaches.extend(new)
+        return new
+
+    def _check(self, rule, snapshot, shard, sample):
+        if rule.kind == "latency":
+            if sample.ops < rule.min_samples:
+                return None
+            value = sample.p99_ns if rule.percentile == 99 else sample.p50_ns
+            if value <= rule.limit_ns:
+                return None
+            return SloBreach(
+                tick=snapshot.tick,
+                t_ns=snapshot.t_ns,
+                rule=rule.name,
+                kind="latency",
+                shard=shard,
+                value=float(value),
+                limit=float(rule.limit_ns),
+                evidence={
+                    "percentile": rule.percentile,
+                    "p50_ns": sample.p50_ns,
+                    "p99_ns": sample.p99_ns,
+                    "ops": sample.ops,
+                    "window_ticks": snapshot.window_ticks,
+                },
+            )
+        if rule.kind == "errors":
+            if sample.ops < rule.min_samples:
+                return None
+            burn = sample.error_rate / rule.budget
+            if burn <= rule.burn_limit:
+                return None
+            return SloBreach(
+                tick=snapshot.tick,
+                t_ns=snapshot.t_ns,
+                rule=rule.name,
+                kind="errors",
+                shard=shard,
+                value=burn,
+                limit=rule.burn_limit,
+                evidence={
+                    "error_rate": sample.error_rate,
+                    "budget": rule.budget,
+                    "errors": sample.errors,
+                    "ops": sample.ops,
+                    "window_ticks": snapshot.window_ticks,
+                },
+            )
+        # staleness
+        if sample.replication_lag <= rule.lag_limit:
+            return None
+        return SloBreach(
+            tick=snapshot.tick,
+            t_ns=snapshot.t_ns,
+            rule=rule.name,
+            kind="staleness",
+            shard=shard,
+            value=float(sample.replication_lag),
+            limit=float(rule.lag_limit),
+            evidence={"replication_lag": sample.replication_lag},
+        )
+
+    def report(self) -> str:
+        """Multi-line text report of all breaches (or a clean bill)."""
+        lines = [
+            f"SLO report: {len(self.rules)} rule(s), "
+            f"{self.ticks_evaluated} tick(s) evaluated"
+        ]
+        for rule in self.rules:
+            lines.append(f"  rule {rule.name}")
+        if self.ok:
+            lines.append("  status: OK (no breaches)")
+        else:
+            lines.append(f"  status: BREACHED ({len(self.breaches)})")
+            for breach in self.breaches:
+                lines.append("  " + breach.describe())
+        return "\n".join(lines)

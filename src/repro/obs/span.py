@@ -258,6 +258,21 @@ class Tracer:
         self.dropped_total = 0
         self._ids = itertools.count(1)
         self._local = threading.local()
+        self._obs_dropped = None
+
+    def bind_obs(self, registry) -> None:
+        """Export trace-drop accounting into ``registry`` (idempotent).
+
+        Finished traces evicted because the buffer hit ``capacity`` were
+        previously invisible truncation; after binding they surface as
+        the ``trace_dropped_total`` counter.
+        """
+        self._obs_dropped = registry.counter(
+            "trace_dropped_total",
+            "finished traces evicted because the tracer hit capacity",
+        )
+        if self.dropped_total:
+            self._obs_dropped.inc(self.dropped_total)
 
     # -- current-trace plumbing -------------------------------------------
 
@@ -293,9 +308,12 @@ class Tracer:
             return
         self.finished_total += 1
         self.finished.append(trace)
-        if len(self.finished) > self.capacity:
-            del self.finished[: len(self.finished) - self.capacity]
-            self.dropped_total += 1
+        overflow = len(self.finished) - self.capacity
+        if overflow > 0:
+            del self.finished[:overflow]
+            self.dropped_total += overflow
+            if self._obs_dropped is not None:
+                self._obs_dropped.inc(overflow)
 
     def abort_current(self) -> None:
         """Abort this thread's active trace, if any (error-path cleanup)."""

@@ -238,6 +238,13 @@ class ReplicaGroup:
             lagging = False
         self._ship_per_contract(lagging)
         self._obs_lag.set(self.lag)
+        self.obs.hop(
+            "replicate",
+            shard=self.name,
+            lsn=record.lsn,
+            mode=self.ack_mode,
+            lag=self.lag,
+        )
 
     def _ship_per_contract(self, lagging: bool) -> None:
         live = self.live_backups()
@@ -380,6 +387,13 @@ class ReplicaGroup:
             resynced=resynced,
         )
         self.last_failover = report
+        self.obs.record_event(
+            "promotion",
+            group=self.name,
+            old_primary=report.old_primary,
+            new_primary=report.new_primary,
+            lost_records=report.lost_records,
+        )
         return report
 
     def rejoin(self) -> int:
@@ -399,6 +413,10 @@ class ReplicaGroup:
             self._applied[backup] = self._last_lsn
         self._truncate(self.live_backups())
         self._obs_lag.set(self.lag)
+        if resynced:
+            self.obs.record_event(
+                "rejoin", group=self.name, resynced=resynced
+            )
         return resynced
 
     def _full_resync(self, backup: PrecursorServer) -> int:

@@ -235,6 +235,9 @@ class ShardedCluster:
         # Called by the migration engine once every key is in place.
         self.shard_map = ShardMap(epoch=epoch, ring=ring)
         self._obs_epoch.set(epoch)
+        self.obs.record_event(
+            "epoch_install", epoch=epoch, shards=list(ring.shards)
+        )
 
     def add_shard(self, name: str = None) -> MigrationReport:
         """Join a new shard: spawn its group, rebalance, bump the epoch.
@@ -248,6 +251,7 @@ class ShardedCluster:
         if name in self._servers:
             raise ConfigurationError(f"shard {name!r} already exists")
         self._spawn_group(name)
+        self.obs.record_event("shard_join", shard=name)
         report = self._engine.rebalance(self.shard_map.ring.with_shard(name))
         # Only a *successful* join changes the testbed shape; a rebalance
         # aborted by a shard failure leaves the old spec authoritative.
@@ -258,6 +262,7 @@ class ShardedCluster:
         """Drain and retire shard ``name`` (its keys spread over the rest)."""
         if name not in self.shard_map.ring:
             raise ConfigurationError(f"shard {name!r} not in the ring")
+        self.obs.record_event("shard_leave", shard=name)
         report = self._engine.rebalance(self.shard_map.ring.without_shard(name))
         retired = self._groups.pop(name)
         self._servers.pop(name)
@@ -295,8 +300,11 @@ class ShardedCluster:
         server = self.server(name)
         if server.crashed:
             raise ConfigurationError(f"shard {name!r} is already down")
+        self.obs.record_event("shard_crash", shard=name)
         server.crash()
         self._promote_if_possible(name)
+        if self.obs.flight is not None:
+            self.obs.flight.trigger("shard_crash", shard=name)
         return server
 
     def _promote_if_possible(self, name: str) -> Optional[FailoverReport]:
@@ -331,6 +339,7 @@ class ShardedCluster:
             raise ShardUnavailableError(
                 f"shard {name!r} was the cluster's last member"
             )
+        self.obs.record_event("route_around", shard=name)
         self._install_map(
             self.shard_map.ring.without_shard(name), self.shard_map.epoch + 1
         )
@@ -369,6 +378,7 @@ class ShardedCluster:
         restored = group.rejoin()
         if name not in self.shard_map.ring:
             self._engine.rebalance(self.shard_map.ring.with_shard(name))
+        self.obs.record_event("shard_restore", shard=name, resynced=restored)
         self.obs.registry.counter(
             "recoveries_total",
             "recovery actions taken",

@@ -87,6 +87,15 @@ class MigrationEngine:
                 if target != source:
                     moves.append((key, source, target))
         report = MigrationReport(epoch=old_map.epoch + 1)
+        obs = cluster.obs
+        obs.record_event(
+            "migration_start",
+            from_epoch=old_map.epoch,
+            planned_moves=len(moves),
+        )
+        # A router operation that raced this rebalance sees the move in
+        # its causal story.
+        obs.hop("migration", epoch=old_map.epoch, planned_moves=len(moves))
         # Copy phase: every misplaced key is exported and installed on its
         # new owner while staying live on the old one.  A shard failure
         # mid-copy (ShardUnavailableError) aborts the rebalance with the
@@ -135,4 +144,7 @@ class MigrationEngine:
                 cluster.server(source).evict_entry(key)
             except KeyNotFoundError:
                 pass  # already evicted by a racing promotion's resync
+        obs.record_event(
+            "migration_done", epoch=report.epoch, moved=report.total_moved
+        )
         return report

@@ -152,6 +152,7 @@ class ShardedClient:
                 # the same object -- plain reconnects keep their session.)
                 self.promotions_followed += 1
                 self._obs_promoted.inc()
+                self.obs.hop("reattach", shard=shard)
                 cached = self._by_server.get(id(current))
                 if cached is not None:
                     # Failing *back* to a member we once held a session
@@ -206,6 +207,7 @@ class ShardedClient:
     def _note_stale(self) -> None:
         self.stale_retries += 1
         self._obs_stale.inc()
+        self.obs.hop("stale_retry", epoch=self._map.epoch)
 
     def _route(self, key: bytes, fenced: bool) -> Tuple[PrecursorClient, str]:
         """Pick the shard for ``key``; fence writes against stale epochs."""
@@ -222,6 +224,9 @@ class ShardedClient:
             )
             self._obs_routed[shard] = counter
         counter.inc()
+        self.obs.hop(
+            "route", shard=shard, epoch=self._map.epoch, fenced=fenced
+        )
         return self._client(shard), shard
 
     # -- failover ----------------------------------------------------------
@@ -232,6 +237,7 @@ class ShardedClient:
         self.refresh_map()
         self.failovers += 1
         self._obs_failover.inc()
+        self.obs.hop("failover", shard=shard)
 
     def _failover_retry(self, key: bytes, fenced: bool, fn):
         """Run ``fn(client)`` against ``key``'s owner, surviving its death.
@@ -267,10 +273,12 @@ class ShardedClient:
                 # Failover fence: a backup was promoted under a bumped
                 # epoch; pick it up and re-route.
                 self.refresh_map()
+                self.obs.hop("promotion_follow", shard=shard)
             elif current.crashed:
                 self._failover(shard)
             else:
                 self.refresh_map()
+                self.obs.hop("revive", shard=shard)
                 client.revive()
             with self.obs.tracer.stage("router.route"):
                 client, _shard = self._route(key, fenced=fenced)
@@ -286,6 +294,33 @@ class ShardedClient:
             return None
         return tracer.start(op, client_id=self.client_id, routed=True)
 
+    def _begin_context(self, op: str):
+        """Mint the causal trace context for one routed operation.
+
+        Mirrors :meth:`_start_trace`: only when tracing is on and no
+        context is already active on this thread (so a caller running
+        under its own context keeps it -- the hops nest there).
+        """
+        if not self._trace_ops:
+            return None
+        ctxlog = self.obs.ctxlog
+        if ctxlog.current is not None:
+            return None
+        return ctxlog.begin(op, client_id=self.client_id)
+
+    def _end_context(self, context, status: str) -> None:
+        """Seal the context minted by :meth:`_begin_context`, if any."""
+        if context is not None:
+            self.obs.ctxlog.end(status)
+
+    def _observe(self, key: bytes, op: str, t0_ns: int, ok: bool) -> None:
+        """Feed the routed operation's latency to the telemetry pipeline."""
+        pipeline = self.obs.telemetry
+        if pipeline is None:
+            return
+        latency = self.obs.tracer.clock.now_ns() - t0_ns
+        pipeline.observe(self._map.owner(key), op, latency, ok=ok)
+
     # -- key-value API -----------------------------------------------------
 
     def _check_absent(self, key: bytes) -> None:
@@ -300,19 +335,25 @@ class ShardedClient:
     def put(self, key: bytes, value: bytes) -> None:
         """Store ``value`` under ``key`` on its owning shard (epoch-fenced)."""
         trace = self._start_trace("put")
+        context = self._begin_context("put")
+        t0_ns = self.obs.tracer.clock.now_ns()
         try:
             mac = self._failover_retry(key, True, lambda c: c.put(key, value))
             if self.freshness is not None:
                 self.freshness.note_write(key, mac)
             self.operations += 1
-        except BaseException:
+        except BaseException as exc:
             if self.freshness is not None:
                 # Unknown outcome: this key can no longer anchor a
                 # staleness claim.
                 self.freshness.forget(key)
+            self._observe(key, "put", t0_ns, ok=False)
+            self._end_context(context, f"error:{type(exc).__name__}")
             if trace is not None:
                 trace.abort()
             raise
+        self._observe(key, "put", t0_ns, ok=True)
+        self._end_context(context, "ok")
         if trace is not None:
             trace.finish()
 
@@ -325,6 +366,8 @@ class ShardedClient:
         :class:`~repro.errors.StaleReadError`.
         """
         trace = self._start_trace("get")
+        context = self._begin_context("get")
+        t0_ns = self.obs.tracer.clock.now_ns()
 
         def fetch(client: PrecursorClient):
             fetched = client.get(key)
@@ -348,10 +391,14 @@ class ShardedClient:
             if self.freshness is not None:
                 self.freshness.check_read(key, mac)
             self.operations += 1
-        except BaseException:
+        except BaseException as exc:
+            self._observe(key, "get", t0_ns, ok=False)
+            self._end_context(context, f"error:{type(exc).__name__}")
             if trace is not None:
                 trace.abort()
             raise
+        self._observe(key, "get", t0_ns, ok=True)
+        self._end_context(context, "ok")
         if trace is not None:
             trace.finish()
         return value
@@ -359,6 +406,8 @@ class ShardedClient:
     def delete(self, key: bytes) -> None:
         """Delete ``key``, retrying once after an epoch bump."""
         trace = self._start_trace("delete")
+        context = self._begin_context("delete")
+        t0_ns = self.obs.tracer.clock.now_ns()
         try:
             try:
                 self._failover_retry(key, False, lambda c: c.delete(key))
@@ -377,16 +426,22 @@ class ShardedClient:
             if self.freshness is not None:
                 self.freshness.note_delete(key)
             self.operations += 1
-        except KeyNotFoundError:
+        except KeyNotFoundError as exc:
+            self._observe(key, "delete", t0_ns, ok=False)
+            self._end_context(context, f"error:{type(exc).__name__}")
             if trace is not None:
                 trace.abort()
             raise
-        except BaseException:
+        except BaseException as exc:
             if self.freshness is not None:
                 self.freshness.forget(key)
+            self._observe(key, "delete", t0_ns, ok=False)
+            self._end_context(context, f"error:{type(exc).__name__}")
             if trace is not None:
                 trace.abort()
             raise
+        self._observe(key, "delete", t0_ns, ok=True)
+        self._end_context(context, "ok")
         if trace is not None:
             trace.finish()
 

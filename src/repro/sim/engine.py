@@ -212,6 +212,26 @@ class Simulator:
         """Spawn several processes at once; returns them in order."""
         return [self.spawn(g) for g in gens]
 
+    def attach_telemetry(self, pipeline, every_ns: int) -> Process:
+        """Tick a telemetry pipeline every ``every_ns`` of simulated time.
+
+        The deterministic-tick contract of
+        :class:`~repro.obs.telemetry.TelemetryPipeline`: snapshots land
+        at exact simulated timestamps, so two runs of the same model
+        publish identical telemetry.  Returns the ticking process.
+        """
+        if every_ns <= 0:
+            raise SimulationError(
+                f"telemetry tick interval must be positive: {every_ns}"
+            )
+
+        def ticker():
+            while True:
+                yield Timeout(every_ns)
+                pipeline.tick()
+
+        return self.spawn(ticker())
+
     def run(self, until: Optional[int] = None) -> int:
         """Drain the event heap, optionally stopping at time ``until``.
 

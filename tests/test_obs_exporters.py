@@ -109,6 +109,50 @@ class TestPrometheus:
     def test_empty_registry(self):
         assert lint_prometheus(prometheus_text(MetricsRegistry())) == []
 
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("tricky_total", "line one\nline \\ two").inc()
+        text = prometheus_text(reg)
+        help_line = next(
+            line for line in text.splitlines() if line.startswith("# HELP")
+        )
+        assert "\\n" in help_line and "\\\\" in help_line
+        assert "\n" not in help_line  # HELP stays on one physical line
+        assert lint_prometheus(text) == []
+
+    def test_lint_flags_invalid_label_escape(self):
+        bad = (
+            "# TYPE ops_total counter\n"
+            'ops_total{op="a\\qb"} 1\n'  # \q is not a valid escape
+        )
+        problems = lint_prometheus(bad)
+        assert any("escape" in p for p in problems)
+        good = (
+            "# TYPE ops_total counter\n"
+            'ops_total{op="a\\\\b\\nc\\"d"} 1\n'  # all three valid escapes
+        )
+        assert lint_prometheus(good) == []
+
+    def test_lint_flags_invalid_help_escape(self):
+        bad = (
+            '# HELP ops_total has a stray \\t tab escape\n'
+            "# TYPE ops_total counter\n"
+            "ops_total 1\n"
+        )
+        assert any("escape" in p for p in lint_prometheus(bad))
+
+    def test_require_help_flags_headerless_families(self):
+        headerless = "# TYPE ops_total counter\nops_total 1\n"
+        # Default stays lenient: TYPE-only output (fixtures, hand-rolled
+        # dumps) lints clean.
+        assert lint_prometheus(headerless) == []
+        problems = lint_prometheus(headerless, require_help=True)
+        assert any("without HELP" in p for p in problems)
+
+    def test_require_help_accepts_full_output(self):
+        text = prometheus_text(self.make_registry())
+        assert lint_prometheus(text, require_help=True) == []
+
 
 class TestStageTables:
     def test_breakdown_grouping(self):

@@ -1,0 +1,150 @@
+"""SLO spec grammar and windowed rule evaluation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_SLO_SPEC,
+    ClusterTelemetry,
+    ShardSample,
+    SloEngine,
+    parse_slo,
+)
+
+
+def snapshot(tick=1, t_ns=1_000, window_ticks=3, **samples):
+    shards = {
+        name: ShardSample(shard=name, **fields)
+        for name, fields in samples.items()
+    }
+    return ClusterTelemetry(
+        tick=tick,
+        t_ns=t_ns,
+        window_ticks=window_ticks,
+        shards=shards,
+        faults={},
+    )
+
+
+class TestParseSlo:
+    def test_default_spec_parses(self):
+        rules = parse_slo(DEFAULT_SLO_SPEC)
+        assert [r.kind for r in rules] == ["latency", "errors", "staleness"]
+        latency, errors, staleness = rules
+        assert latency.percentile == 99
+        assert latency.limit_ns == 1_000_000
+        assert latency.min_samples == 8
+        assert errors.budget == pytest.approx(0.02)
+        assert errors.burn_limit == pytest.approx(5.0)
+        assert staleness.lag_limit == 32
+
+    def test_duration_units(self):
+        assert parse_slo("latency:p99<500ns")[0].limit_ns == 500
+        assert parse_slo("latency:p99<500us")[0].limit_ns == 500_000
+        assert parse_slo("latency:p99<1.5ms")[0].limit_ns == 1_500_000
+        assert parse_slo("latency:p50<2s")[0].limit_ns == 2_000_000_000
+
+    def test_shard_glob_and_matching(self):
+        rule = parse_slo("latency:p99<1ms:shard=shard-1*")[0]
+        assert rule.matches("shard-1")
+        assert rule.matches("shard-12")
+        assert not rule.matches("shard-2")
+        assert parse_slo("latency:p99<1ms")[0].matches("anything")
+
+    def test_rule_names_stable(self):
+        assert parse_slo("latency:p99<1ms")[0].name == "latency:p99<1000000ns"
+        assert (
+            parse_slo("errors:budget=2%:burn<5")[0].name
+            == "errors:budget=0.02:burn<5"
+        )
+        assert parse_slo("staleness:lag<8")[0].name == "staleness:lag<8"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "latency",  # missing percentile clause
+            "latency:p99<1ms:p50<1ms",  # two percentiles
+            "latency:p99<fast",  # bad duration
+            "latency:p99<1ms:p99<2ms",  # duplicate clause
+            "latency:p99<1ms:bogus=1",  # unknown clause
+            "errors:budget=2",  # budget without %
+            "errors:budget=-1%",  # non-positive budget
+            "errors:burn<5",  # budget missing entirely
+            "staleness",  # lag missing
+            "throughput:min=1",  # unknown kind
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_slo(bad)
+
+
+class TestSloEngine:
+    def test_latency_breach_names_shard_with_evidence(self):
+        engine = SloEngine.from_spec("latency:p99<1ms")
+        snap = snapshot(
+            hot=dict(ops=50, p50_ns=500_000, p99_ns=4_000_000),
+            cold=dict(ops=50, p50_ns=100_000, p99_ns=200_000),
+        )
+        new = engine.evaluate(snap)
+        assert len(new) == 1
+        breach = new[0]
+        assert breach.shard == "hot" and breach.kind == "latency"
+        assert breach.value == 4_000_000.0
+        assert breach.evidence["ops"] == 50
+        assert "p99=4.000ms" in breach.describe()
+        assert not engine.ok
+
+    def test_min_samples_suppresses_thin_windows(self):
+        engine = SloEngine.from_spec("latency:p99<1ms:min=8")
+        snap = snapshot(s=dict(ops=3, p99_ns=9_000_000))
+        assert engine.evaluate(snap) == []
+        assert engine.ok
+
+    def test_p50_rule_reads_median(self):
+        engine = SloEngine.from_spec("latency:p50<1ms")
+        snap = snapshot(s=dict(ops=10, p50_ns=2_000_000, p99_ns=500_000))
+        assert len(engine.evaluate(snap)) == 1
+
+    def test_error_budget_burn_rate(self):
+        engine = SloEngine.from_spec("errors:budget=2%:burn<5")
+        # 5% errors against a 2% budget = burn 2.5: under the cap.
+        ok = snapshot(s=dict(ops=100, errors=5))
+        assert engine.evaluate(ok) == []
+        # 20% errors = burn 10: breached.
+        bad = snapshot(tick=2, s=dict(ops=100, errors=20))
+        new = engine.evaluate(bad)
+        assert len(new) == 1
+        assert new[0].value == pytest.approx(10.0)
+        assert new[0].evidence["error_rate"] == pytest.approx(0.2)
+
+    def test_staleness_rule(self):
+        engine = SloEngine.from_spec("staleness:lag<4")
+        assert engine.evaluate(snapshot(s=dict(replication_lag=4))) == []
+        new = engine.evaluate(snapshot(tick=2, s=dict(replication_lag=9)))
+        assert len(new) == 1
+        assert new[0].kind == "staleness" and new[0].value == 9.0
+
+    def test_shard_glob_scopes_rule(self):
+        engine = SloEngine.from_spec("latency:p99<1ms:shard=hot*")
+        snap = snapshot(
+            hot1=dict(ops=10, p99_ns=5_000_000),
+            cold=dict(ops=10, p99_ns=5_000_000),
+        )
+        new = engine.evaluate(snap)
+        assert [b.shard for b in new] == ["hot1"]
+
+    def test_breaches_accumulate_across_ticks(self):
+        engine = SloEngine.from_spec("latency:p99<1ms")
+        for tick in range(1, 4):
+            engine.evaluate(snapshot(tick=tick, s=dict(ops=10, p99_ns=2_000_000)))
+        assert len(engine.breaches) == 3
+        assert engine.ticks_evaluated == 3
+        assert "BREACHED (3)" in engine.report()
+
+    def test_clean_report(self):
+        engine = SloEngine.from_spec(None)  # default spec
+        engine.evaluate(snapshot(s=dict(ops=10, p99_ns=100)))
+        assert "status: OK (no breaches)" in engine.report()
+        assert engine.ok
