@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke traffic-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -53,6 +53,16 @@ health-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli health --shards 2 --replicas 1 --ops 240
 	PYTHONPATH=src $(PYTHON) -m repro.cli flightrec --out bench_reports > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro.cli flightrec --load bench_reports/flightrec.json
+
+# Open-loop traffic smoke (docs/TRAFFIC.md): a short flash-crowd
+# scenario on 2 shards must hold a loose SLO with the correction
+# invariant intact (corrected p99 >= uncorrected p99; exit 1 if either
+# fails), then the quick knee search must pass its omission-gap gates.
+traffic-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli traffic --scenario flash-crowd \
+		--shards 2 --seed 11 --ops 240 \
+		--slo "latency:p99<60ms:min=8,errors:budget=2%:burn<5"
+	PYTHONPATH=src $(PYTHON) -m repro.cli loadknee --quick
 
 # Wall-clock crypto benchmark, reduced: cross-engine parity must hold and
 # the fast engine must beat 5x reference on the 4 KiB payload/transport

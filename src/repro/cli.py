@@ -48,6 +48,15 @@ Telemetry commands (see docs/OBSERVABILITY.md)::
     python -m repro.cli flightrec --out bench_reports  # breach -> JSON dump
     python -m repro.cli flightrec --load bench_reports/flightrec.json \\
         --trace c1-42                           # offline trace replay
+
+Open-loop traffic commands (see docs/TRAFFIC.md)::
+
+    python -m repro.cli traffic                          # steady scenario
+    python -m repro.cli traffic --scenario flash-crowd --shards 2
+    python -m repro.cli traffic --scenario multi-tenant-contention --json
+    python -m repro.cli traffic --rate 3000 --slo 'latency:p99<10ms'
+    python -m repro.cli loadknee --quick                 # knee smoke
+    python -m repro.cli loadknee      # full run -> BENCH_traffic.json
 """
 
 from __future__ import annotations
@@ -79,6 +88,12 @@ def _run_replicate_runner(quick: bool = False):
     return run_replication(quick=quick)
 
 
+def _run_loadknee_runner(quick: bool = False):
+    from repro.bench.loadknee import run_loadknee
+
+    return run_loadknee(quick=quick)
+
+
 _RUNNERS: Dict[str, Callable] = {
     "fig1": experiments.run_fig1,
     "fig4": experiments.run_fig4,
@@ -90,6 +105,7 @@ _RUNNERS: Dict[str, Callable] = {
     "scaleout": _run_scaleout_runner,
     "faulttail": _run_faulttail_runner,
     "replicate": _run_replicate_runner,
+    "loadknee": _run_loadknee_runner,
 }
 
 _DESCRIPTIONS = {
@@ -104,6 +120,8 @@ _DESCRIPTIONS = {
     "faulttail": "get() tail latency vs transport fault rate (retry cost)",
     "replicate": "failover latency + acked-write loss vs replication "
     "ack mode",
+    "loadknee": "SLO-bounded throughput knee + corrected-vs-uncorrected "
+    "tails per shard topology",
 }
 
 
@@ -127,6 +145,20 @@ def _run_one(
         json_name = (
             "BENCH_replication_quick.json" if quick
             else "BENCH_replication.json"
+        )
+        if out_dir is not None:
+            json_path = out_dir / json_name
+        elif quick:
+            json_path = pathlib.Path("bench_reports") / json_name
+        else:
+            json_path = pathlib.Path(json_name)
+        write_json(result, json_path)
+        text += f"\n[measurements saved to {json_path}]"
+    if name == "loadknee":
+        from repro.bench.loadknee import write_json
+
+        json_name = (
+            "BENCH_traffic_quick.json" if quick else "BENCH_traffic.json"
         )
         if out_dir is not None:
             json_path = out_dir / json_name
@@ -625,6 +657,55 @@ def run_cryptobench_cmd(
     return text, result.exit_code
 
 
+def run_traffic_cmd(
+    scenario: str = "steady",
+    seed: int = 11,
+    shards: int = 2,
+    replicas: int = 0,
+    ack_mode: str = "sync",
+    rate: float = None,
+    ops: int = None,
+    schedule: str = "",
+    slo: str = None,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Open-loop scenario run; returns ``(text, exit_code)``.
+
+    Runs one named scenario from the registry
+    (:mod:`repro.traffic.scenarios`) and prints corrected vs.
+    uncorrected latency side by side.  Exit code 0 means the run-level
+    SLO held and the correction invariant (corrected p99 >= uncorrected
+    p99) was intact; 1 means a breach or a broken invariant; 2 means
+    the configuration was invalid (unknown scenario, bad SLO spec, bad
+    fault schedule).
+    """
+    import json
+
+    from repro.traffic import run_scenario
+
+    report = run_scenario(
+        scenario,
+        seed=seed,
+        shards=shards,
+        replicas=replicas,
+        ack_mode=ack_mode,
+        rate=rate,
+        ops=ops,
+        schedule=schedule,
+        slo=slo,
+    )
+    if as_json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.report()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        suffix = "json" if as_json else "txt"
+        (out_dir / f"traffic.{suffix}").write_text(text + "\n")
+    return text, report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -638,7 +719,8 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=sorted(_RUNNERS)
         + ["all", "list", "scorecard", "trace", "metrics", "shard",
-           "chaos", "cryptobench", "replica", "health", "flightrec"],
+           "chaos", "cryptobench", "replica", "health", "flightrec",
+           "traffic"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
@@ -648,7 +730,8 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmark, 'replica' for a replicated failover chaos run, "
         "'health' for a windowed SLO report over a deterministic "
         "cluster run, 'flightrec' to produce or replay a "
-        "flight-recorder dump)",
+        "flight-recorder dump, 'traffic' for an open-loop scenario "
+        "with coordinated-omission-corrected tails)",
     )
     parser.add_argument(
         "--quick",
@@ -801,6 +884,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'flightrec --load': reconstruct this trace's causal "
         "hop timeline from the dump",
     )
+    traffic = parser.add_argument_group("open-loop traffic ('traffic' only)")
+    traffic.add_argument(
+        "--scenario",
+        default="steady",
+        metavar="NAME",
+        help="registered scenario name (steady, bursty, diurnal, "
+        "flash-crowd, hot-key-storm, multi-tenant-contention; "
+        "default: steady)",
+    )
+    traffic.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="OPS_S",
+        help="offered arrival rate override in ops/s of simulated time "
+        "(default: the scenario's own rate)",
+    )
     return parser
 
 
@@ -825,6 +925,8 @@ def main(argv=None) -> int:
               "cluster run")
         print("flightrec  breach-triggered flight-recorder dump "
               "(or --load to replay one)")
+        print("traffic    open-loop scenario run with "
+              "coordinated-omission-corrected tails")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -958,6 +1060,28 @@ def main(argv=None) -> int:
                 out_dir=args.out,
             )
         except (ConfigurationError, ObservabilityError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "traffic":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_traffic_cmd(
+                scenario=args.scenario,
+                seed=args.seed,
+                shards=args.shards if args.shards is not None else 2,
+                replicas=args.replicas if args.replicas is not None else 0,
+                ack_mode=args.ack_mode,
+                rate=args.rate,
+                ops=args.ops,
+                schedule=args.schedule if args.schedule is not None else "",
+                slo=args.slo,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(text)

@@ -95,6 +95,60 @@ class LatencyRecorder:
         for value in latencies:
             self.record(value)
 
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other``'s samples into this recorder; returns ``self``.
+
+        Bounded recorders merge histogram-to-histogram (the
+        :meth:`~repro.obs.metrics.Histogram.merge` the telemetry pipeline
+        already relies on), so aggregating per-tenant recorders never
+        materializes raw sample lists.  An *exact* ``other`` folds its
+        samples in one by one.  Merging a bounded recorder into an exact
+        one raises :class:`SimulationError` -- the bounded side's raw
+        samples no longer exist, so the merge would silently change the
+        target's accuracy contract.
+        """
+        if other is self:
+            raise SimulationError("cannot merge a recorder into itself")
+        if self._hist is not None:
+            if other._hist is not None:
+                if other._hist.resolution != self._hist.resolution:
+                    raise SimulationError(
+                        "bucket_resolution mismatch: "
+                        f"{self._hist.resolution} vs {other._hist.resolution}"
+                    )
+                self._hist.merge(other._hist)
+            else:
+                for value in other._samples:
+                    self._hist.record(value)
+            return self
+        if other._hist is not None:
+            raise SimulationError(
+                "cannot merge a bounded recorder into an exact one; "
+                "its raw samples are gone (make the target bounded)"
+            )
+        self._samples.extend(other._samples)
+        if other._samples:
+            self._sorted = False
+        return self
+
+    @classmethod
+    def merge_series(
+        cls,
+        recorders: Iterable["LatencyRecorder"],
+        bucket_resolution: int = 64,
+    ) -> "LatencyRecorder":
+        """Aggregate many recorders into one fresh *bounded* recorder.
+
+        The aggregate is histogram-backed regardless of the inputs'
+        modes, so folding a fleet of per-tenant (or per-shard) recorders
+        stays O(buckets) in memory.  Bounded inputs must share
+        ``bucket_resolution``.
+        """
+        merged = cls(bounded=True, bucket_resolution=bucket_resolution)
+        for recorder in recorders:
+            merged.merge(recorder)
+        return merged
+
     def _ensure_sorted(self) -> List[int]:
         if not self._sorted:
             self._samples.sort()
@@ -235,10 +289,11 @@ class ThroughputMeter:
         if seconds <= 0:
             # close_window already rejects this, but a subclass or a direct
             # attribute poke could still get here -- fail with a real message
-            # instead of a ZeroDivisionError.
+            # instead of a ZeroDivisionError or a negative throughput.
             raise SimulationError(
-                "measurement window has zero duration; "
-                "open_window/close_window were given the same timestamp"
+                "measurement window has zero or negative duration; "
+                "throughput is undefined (check the open_window/"
+                "close_window timestamps before querying)"
             )
         if self._in_window == 0:
             raise SimulationError(

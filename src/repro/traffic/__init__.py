@@ -1,0 +1,60 @@
+"""Open-loop traffic generation with coordinated-omission-corrected reporting.
+
+The package models *offered load* rather than closed-loop request/reply
+cycles: arrival processes (:mod:`~repro.traffic.arrivals`) fix when
+requests want to start, a bounded-memory session model
+(:mod:`~repro.traffic.sessions`) maps millions of logical users onto
+real attested connections, the engine (:mod:`~repro.traffic.engine`)
+replays the schedule deterministically, and the report
+(:mod:`~repro.traffic.report`) shows corrected vs. uncorrected tails
+side by side plus the SLO-bounded throughput knee.  Named scenarios
+live in :mod:`~repro.traffic.scenarios`; ``python -m repro.cli
+traffic`` runs them and ``docs/TRAFFIC.md`` explains the methodology.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    HotKeyStormArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+from repro.traffic.engine import OpenLoopEngine, OpenLoopResult
+from repro.traffic.report import (
+    TRAFFIC_SLO_SPEC,
+    KneeProbe,
+    KneeResult,
+    TrafficReport,
+    find_knee,
+)
+from repro.traffic.scenarios import (
+    SCENARIOS,
+    Scenario,
+    list_scenarios,
+    run_scenario,
+)
+from repro.traffic.sessions import SessionModel, TenantSpec, TokenBucket
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "HotKeyStormArrivals",
+    "OpenLoopEngine",
+    "OpenLoopResult",
+    "TRAFFIC_SLO_SPEC",
+    "TrafficReport",
+    "KneeProbe",
+    "KneeResult",
+    "find_knee",
+    "Scenario",
+    "SCENARIOS",
+    "list_scenarios",
+    "run_scenario",
+    "SessionModel",
+    "TenantSpec",
+    "TokenBucket",
+]

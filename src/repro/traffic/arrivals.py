@@ -1,0 +1,325 @@
+"""Arrival processes: *when requests want to start*, independent of replies.
+
+Closed-loop drivers (the YCSB :class:`~repro.ycsb.driver.WorkloadDriver`)
+let the system set the pace: a slow reply delays the next request, so
+queueing collapse is invisible and tail latency is systematically
+under-reported (coordinated omission).  An *open-loop* run fixes the
+offered rate instead: every operation carries an **intended start
+timestamp** drawn here, on the run's
+:class:`~repro.obs.clock.ManualClock` timeline, and the engine charges
+latency from that intended start no matter how far the system fell
+behind.
+
+Every process is a pure function of ``(parameters, seed)``: the
+timestamps come from one ``random.Random(seed)`` via Lewis-Shedler
+thinning against the process's instantaneous intensity ``rate_at(t)``,
+so two runs with one seed produce identical schedules.  Rates are in
+operations per second of *simulated* time; timestamps are integer
+nanoseconds.
+
+Five shapes cover the scenario suite (:mod:`repro.traffic.scenarios`):
+
+- :class:`PoissonArrivals` -- memoryless steady load;
+- :class:`OnOffArrivals` -- bursty MMPP-style on/off modulation with
+  seeded exponential state holding times;
+- :class:`DiurnalArrivals` -- a sinusoidal day-curve around the mean;
+- :class:`FlashCrowdArrivals` -- ramp/hold/decay rate spike at a fixed
+  offset (the thundering herd);
+- :class:`HotKeyStormArrivals` -- a surge window that also *re-skews
+  key choice*: while :meth:`~ArrivalProcess.in_storm` is true the
+  session model overrides its per-tenant chooser with a high-theta
+  zipfian over a handful of storm keys.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NS_PER_S",
+    "NS_PER_MS",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "HotKeyStormArrivals",
+]
+
+NS_PER_S = 1_000_000_000
+NS_PER_MS = 1_000_000
+
+
+class ArrivalProcess:
+    """Base class: a seeded, possibly non-homogeneous Poisson process.
+
+    Subclasses shape the intensity by overriding :meth:`rate_at` (and
+    :meth:`peak_rate`, the thinning envelope -- it must dominate
+    ``rate_at`` everywhere or the schedule silently under-delivers).
+    """
+
+    kind = "base"
+
+    def __init__(self, rate_ops_s: float, seed: int = 0):
+        if rate_ops_s <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {rate_ops_s}"
+            )
+        self.rate = float(rate_ops_s)
+        self.seed = seed
+
+    # -- intensity ---------------------------------------------------------
+
+    def peak_rate(self) -> float:
+        """Upper bound on :meth:`rate_at` (the thinning envelope)."""
+        return self.rate
+
+    def rate_at(self, t_ns: int) -> float:
+        """Instantaneous intensity (ops/s) at simulated time ``t_ns``."""
+        return self.rate
+
+    # -- storm interface (hot-key scenarios) -------------------------------
+
+    def in_storm(self, t_ns: int) -> bool:
+        """True while the key-skew override is active (default: never)."""
+        return False
+
+    # -- schedule generation -----------------------------------------------
+
+    def schedule(self, max_ops: int) -> List[int]:
+        """The first ``max_ops`` intended-start timestamps, in ns.
+
+        Deterministic under ``seed``; strictly increasing (candidate
+        gaps are at least 1 ns).
+        """
+        if max_ops < 1:
+            raise ConfigurationError(f"max_ops must be >= 1, got {max_ops}")
+        rng = random.Random(self.seed)
+        envelope = self.peak_rate()
+        mean_gap_ns = NS_PER_S / envelope
+        out: List[int] = []
+        t = 0.0
+        while len(out) < max_ops:
+            t += max(1.0, rng.expovariate(1.0) * mean_gap_ns)
+            if rng.random() * envelope <= self.rate_at(int(t)):
+                out.append(int(t))
+        return out
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"{self.kind} arrivals at {self.rate:g} ops/s"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rate={self.rate:g}, seed={self.seed})"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant rate (steady open-loop load)."""
+
+    kind = "poisson"
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Bursty MMPP-style arrivals: on/off states modulate the rate.
+
+    State holding times are exponential with the given means, drawn from
+    a dedicated seeded stream so the state timeline is independent of
+    the thinning draws.  ``on_factor``/``off_factor`` scale the base
+    rate inside each state; the long-run mean rate is the duty-weighted
+    mixture, not ``rate`` itself.
+    """
+
+    kind = "on-off"
+
+    def __init__(
+        self,
+        rate_ops_s: float,
+        seed: int = 0,
+        on_factor: float = 3.0,
+        off_factor: float = 0.25,
+        mean_on_ms: float = 40.0,
+        mean_off_ms: float = 80.0,
+    ):
+        super().__init__(rate_ops_s, seed)
+        if on_factor <= 0 or off_factor < 0:
+            raise ConfigurationError(
+                f"bad on/off factors: {on_factor}/{off_factor}"
+            )
+        if mean_on_ms <= 0 or mean_off_ms <= 0:
+            raise ConfigurationError(
+                f"state holding times must be positive: "
+                f"{mean_on_ms}/{mean_off_ms}"
+            )
+        self.on_factor = on_factor
+        self.off_factor = off_factor
+        self.mean_on_ns = mean_on_ms * NS_PER_MS
+        self.mean_off_ns = mean_off_ms * NS_PER_MS
+        self._state_rng = random.Random(seed ^ 0x0F0F_5EED)
+        #: Lazily extended ``(end_ns, on?)`` segments covering [0, ...).
+        self._segments: List[Tuple[int, bool]] = []
+
+    def peak_rate(self) -> float:
+        return self.rate * max(self.on_factor, self.off_factor)
+
+    def _extend_to(self, t_ns: int) -> None:
+        end = self._segments[-1][0] if self._segments else 0
+        on = not self._segments[-1][1] if self._segments else True
+        while end <= t_ns:
+            mean = self.mean_on_ns if on else self.mean_off_ns
+            end += max(1, int(self._state_rng.expovariate(1.0) * mean))
+            self._segments.append((end, on))
+            on = not on
+        # Bound memory: only the tail of the timeline is ever re-read,
+        # because schedule() queries monotonically increasing times.
+        if len(self._segments) > 64:
+            del self._segments[:-8]
+
+    def rate_at(self, t_ns: int) -> float:
+        self._extend_to(t_ns)
+        for end, on in self._segments:
+            if t_ns < end:
+                return self.rate * (self.on_factor if on else self.off_factor)
+        return self.rate * self.on_factor  # unreachable; defensive
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """A sinusoidal day-curve: mean ``rate`` modulated by ``amplitude``.
+
+    ``period_ms`` is the full cycle length (a compressed "day" on the
+    simulated clock); the curve starts at the mean heading into the
+    peak.
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        rate_ops_s: float,
+        seed: int = 0,
+        amplitude: float = 0.6,
+        period_ms: float = 400.0,
+    ):
+        super().__init__(rate_ops_s, seed)
+        if not 0 <= amplitude < 1:
+            raise ConfigurationError(
+                f"amplitude must be in [0, 1), got {amplitude}"
+            )
+        if period_ms <= 0:
+            raise ConfigurationError(
+                f"period must be positive, got {period_ms}"
+            )
+        self.amplitude = amplitude
+        self.period_ns = period_ms * NS_PER_MS
+
+    def peak_rate(self) -> float:
+        return self.rate * (1.0 + self.amplitude)
+
+    def rate_at(self, t_ns: int) -> float:
+        phase = 2.0 * math.pi * (t_ns / self.period_ns)
+        return self.rate * (1.0 + self.amplitude * math.sin(phase))
+
+
+class FlashCrowdArrivals(ArrivalProcess):
+    """Baseline load with a ramp/hold/decay rate spike (flash crowd)."""
+
+    kind = "flash-crowd"
+
+    def __init__(
+        self,
+        rate_ops_s: float,
+        seed: int = 0,
+        spike_at_ms: float = 120.0,
+        spike_factor: float = 5.0,
+        ramp_ms: float = 20.0,
+        hold_ms: float = 60.0,
+        decay_ms: float = 80.0,
+    ):
+        super().__init__(rate_ops_s, seed)
+        if spike_factor < 1.0:
+            raise ConfigurationError(
+                f"spike_factor must be >= 1, got {spike_factor}"
+            )
+        if min(spike_at_ms, ramp_ms, hold_ms, decay_ms) < 0:
+            raise ConfigurationError("spike geometry must be non-negative")
+        self.spike_factor = spike_factor
+        self.spike_at_ns = spike_at_ms * NS_PER_MS
+        self.ramp_ns = ramp_ms * NS_PER_MS
+        self.hold_ns = hold_ms * NS_PER_MS
+        self.decay_ns = decay_ms * NS_PER_MS
+
+    def peak_rate(self) -> float:
+        return self.rate * self.spike_factor
+
+    def rate_at(self, t_ns: int) -> float:
+        t = t_ns - self.spike_at_ns
+        boost = self.spike_factor - 1.0
+        if t < 0:
+            factor = 1.0
+        elif t < self.ramp_ns:
+            factor = 1.0 + boost * (t / self.ramp_ns)
+        elif t < self.ramp_ns + self.hold_ns:
+            factor = self.spike_factor
+        elif t < self.ramp_ns + self.hold_ns + self.decay_ns:
+            into = t - self.ramp_ns - self.hold_ns
+            factor = self.spike_factor - boost * (into / self.decay_ns)
+        else:
+            factor = 1.0
+        return self.rate * factor
+
+
+class HotKeyStormArrivals(ArrivalProcess):
+    """A surge window that also re-skews key popularity.
+
+    During ``[storm_at, storm_at + storm_ms)`` the rate is multiplied by
+    ``surge_factor`` and :meth:`in_storm` turns true -- the session
+    model (:mod:`repro.traffic.sessions`) then overrides each tenant's
+    key chooser with a theta-``storm_theta`` zipfian over the first
+    ``storm_keys`` keys of its keyspace, concentrating load on whichever
+    shards own them.
+    """
+
+    kind = "hot-key-storm"
+
+    def __init__(
+        self,
+        rate_ops_s: float,
+        seed: int = 0,
+        storm_at_ms: float = 100.0,
+        storm_ms: float = 150.0,
+        surge_factor: float = 2.0,
+        storm_theta: float = 0.995,
+        storm_keys: int = 4,
+    ):
+        super().__init__(rate_ops_s, seed)
+        if surge_factor < 1.0:
+            raise ConfigurationError(
+                f"surge_factor must be >= 1, got {surge_factor}"
+            )
+        if not 0 < storm_theta < 1:
+            raise ConfigurationError(
+                f"storm_theta must be in (0, 1), got {storm_theta}"
+            )
+        if storm_keys < 1:
+            raise ConfigurationError(
+                f"storm_keys must be >= 1, got {storm_keys}"
+            )
+        self.storm_at_ns = storm_at_ms * NS_PER_MS
+        self.storm_end_ns = self.storm_at_ns + storm_ms * NS_PER_MS
+        self.surge_factor = surge_factor
+        self.storm_theta = storm_theta
+        self.storm_keys = storm_keys
+
+    def peak_rate(self) -> float:
+        return self.rate * self.surge_factor
+
+    def rate_at(self, t_ns: int) -> float:
+        if self.in_storm(t_ns):
+            return self.rate * self.surge_factor
+        return self.rate
+
+    def in_storm(self, t_ns: int) -> bool:
+        return self.storm_at_ns <= t_ns < self.storm_end_ns

@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.protocol import OpCode
-from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.errors import ConfigurationError, KeyNotFoundError, SimulationError
 from repro.sim.stats import LatencyRecorder
 from repro.ycsb.generator import OperationStream
 from repro.ycsb.workload import WorkloadSpec
@@ -38,9 +38,24 @@ class WorkloadResult:
     @property
     def ops_per_second(self) -> float:
         """Functional-layer throughput (pure-Python crypto; not the
-        simulated numbers the paper's figures are compared against)."""
+        simulated numbers the paper's figures are compared against).
+
+        Raises :class:`~repro.errors.SimulationError` on an empty or
+        zero/negative-duration result -- the same contract as
+        :meth:`~repro.sim.stats.LatencyRecorder.percentile` and
+        :meth:`~repro.sim.stats.ThroughputMeter.kops`, instead of the
+        silent ``0.0`` this used to return.
+        """
+        if self.operations == 0:
+            raise SimulationError(
+                "no operations completed; throughput is undefined "
+                "(check operations before querying)"
+            )
         if self.elapsed_seconds <= 0:
-            return 0.0
+            raise SimulationError(
+                "workload elapsed time is not positive; throughput is "
+                "undefined (the run never consumed wall-clock time)"
+            )
         return self.operations / self.elapsed_seconds
 
 

@@ -1,0 +1,110 @@
+"""CLI surface for the traffic and loadknee commands."""
+
+import json
+
+from repro.cli import build_parser, main
+
+LOOSE_SLO = "latency:p99<500ms:min=8,errors:budget=50%:burn<50"
+
+
+class TestParser:
+    def test_traffic_flags(self):
+        args = build_parser().parse_args(
+            ["traffic", "--scenario", "flash-crowd", "--rate", "900"]
+        )
+        assert args.artifact == "traffic"
+        assert args.scenario == "flash-crowd"
+        assert args.rate == 900.0
+
+    def test_loadknee_is_a_known_artifact(self):
+        args = build_parser().parse_args(["loadknee", "--quick"])
+        assert args.artifact == "loadknee"
+        assert args.quick
+
+
+class TestTrafficCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "traffic",
+                "--scenario",
+                "steady",
+                "--seed",
+                "11",
+                "--ops",
+                "120",
+                "--slo",
+                LOOSE_SLO,
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out
+        assert (tmp_path / "traffic.txt").exists()
+
+    def test_json_output_is_parseable(self, tmp_path, capsys):
+        code = main(
+            [
+                "traffic",
+                "--seed",
+                "11",
+                "--ops",
+                "100",
+                "--slo",
+                LOOSE_SLO,
+                "--json",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "traffic.json").read_text())
+        assert payload["scenario"] == "steady"
+        assert payload["counts"]["executed"] > 0
+        assert (
+            payload["corrected"]["p99_ns"]
+            >= payload["uncorrected"]["p99_ns"]
+        )
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["traffic", "--scenario", "rush-hour"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_overload_breach_exits_one(self, capsys):
+        code = main(
+            [
+                "traffic",
+                "--seed",
+                "11",
+                "--ops",
+                "130",
+                "--rate",
+                "8000",
+            ]
+        )
+        assert code == 1
+
+    def test_list_mentions_traffic_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out
+        assert "loadknee" in out
+
+
+class TestLoadKneeCommand:
+    def test_quick_writes_measurements(self, tmp_path, capsys):
+        code = main(["loadknee", "--quick", "--out", str(tmp_path)])
+        assert code == 0
+        payload = json.loads(
+            (tmp_path / "BENCH_traffic_quick.json").read_text()
+        )
+        assert payload["benchmark"] == "loadknee"
+        assert payload["ok"] is True
+        shard_counts = [t["shards"] for t in payload["topologies"]]
+        assert shard_counts == sorted(shard_counts)
+        for topo in payload["topologies"]:
+            assert topo["knee_ops_s"] > 0
+            assert topo["overload"]["omission_gap_p99"] >= 2.0
+            assert topo["half"]["omission_gap_p99"] <= 1.10

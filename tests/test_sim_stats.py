@@ -215,3 +215,98 @@ class TestMergeSeries:
     def test_length_mismatch(self):
         with pytest.raises(SimulationError):
             merge_series(["a"], [[1, 2]])
+
+
+class TestRecorderMerge:
+    def test_bounded_into_bounded(self):
+        a = LatencyRecorder(bounded=True)
+        b = LatencyRecorder(bounded=True)
+        a.extend([100, 200, 300])
+        b.extend([400, 500])
+        a.merge(b)
+        assert a.count == 5
+        assert a.max_ns() == 500
+
+    def test_exact_into_bounded(self):
+        bounded = LatencyRecorder(bounded=True)
+        exact = LatencyRecorder()
+        exact.extend([1000, 2000])
+        bounded.merge(exact)
+        assert bounded.count == 2
+        assert bounded.max_ns() == 2000
+
+    def test_exact_into_exact(self):
+        a = LatencyRecorder()
+        b = LatencyRecorder()
+        a.extend([30, 10])
+        b.extend([20])
+        a.merge(b)
+        assert a.count == 3
+        assert a.median() == 20
+
+    def test_bounded_into_exact_rejected(self):
+        exact = LatencyRecorder()
+        bounded = LatencyRecorder(bounded=True)
+        bounded.record(100)
+        with pytest.raises(SimulationError):
+            exact.merge(bounded)
+
+    def test_self_merge_rejected(self):
+        rec = LatencyRecorder(bounded=True)
+        rec.record(100)
+        with pytest.raises(SimulationError):
+            rec.merge(rec)
+
+    def test_resolution_mismatch_rejected(self):
+        a = LatencyRecorder(bounded=True, bucket_resolution=64)
+        b = LatencyRecorder(bounded=True, bucket_resolution=32)
+        a.record(100)
+        b.record(100)
+        with pytest.raises(SimulationError):
+            a.merge(b)
+
+    def test_merge_returns_self_for_chaining(self):
+        a = LatencyRecorder(bounded=True)
+        b = LatencyRecorder(bounded=True)
+        b.record(100)
+        assert a.merge(b) is a
+
+    def test_merge_matches_flat_distribution(self):
+        # Merging per-tenant bounded recorders must answer the same
+        # quantiles as one recorder fed everything (identical buckets).
+        parts = [LatencyRecorder(bounded=True) for _ in range(4)]
+        flat = LatencyRecorder(bounded=True)
+        for i, part in enumerate(parts):
+            for value in range(100 * (i + 1), 100 * (i + 1) + 50):
+                part.record(value)
+                flat.record(value)
+        merged = LatencyRecorder.merge_series(parts)
+        assert merged.count == flat.count
+        for pct in (50, 90, 99):
+            assert merged.percentile(pct) == flat.percentile(pct)
+
+    def test_merge_series_accepts_mixed_modes(self):
+        exact = LatencyRecorder()
+        exact.extend([10, 20])
+        bounded = LatencyRecorder(bounded=True)
+        bounded.extend([30, 40])
+        merged = LatencyRecorder.merge_series([exact, bounded])
+        assert merged.bounded
+        assert merged.count == 4
+
+    def test_merge_series_empty_iterable(self):
+        merged = LatencyRecorder.merge_series([])
+        assert merged.is_empty
+        assert merged.bounded
+
+
+class TestThroughputDurationGuard:
+    def test_negative_window_rejected_with_message(self):
+        meter = ThroughputMeter()
+        meter.open_window(1_000)
+        meter.record_completion()
+        # close_window rejects non-positive spans up front; poke the
+        # attribute to model a subclass bypassing it.
+        meter._window_end = 500
+        with pytest.raises(SimulationError, match="zero or negative"):
+            meter.kops()

@@ -1,0 +1,180 @@
+"""Session model and open-loop engine unit tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import ManualClock, ObsContext
+from repro.shard.cluster import ShardedCluster
+from repro.traffic.arrivals import NS_PER_S, PoissonArrivals
+from repro.traffic.engine import OpenLoopEngine
+from repro.traffic.sessions import SessionModel, TenantSpec, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate_ops_s=10.0, burst=3.0)
+        allowed = [bucket.allow(0) for _ in range(5)]
+        assert allowed == [True, True, True, False, False]
+
+    def test_refills_with_simulated_time(self):
+        bucket = TokenBucket(rate_ops_s=10.0, burst=1.0)
+        assert bucket.allow(0)
+        assert not bucket.allow(0)
+        # 10 ops/s refills one token every 100 ms.
+        assert bucket.allow(NS_PER_S // 10)
+
+    def test_rejects_backwards_time(self):
+        bucket = TokenBucket(rate_ops_s=10.0, burst=1.0)
+        bucket.allow(1_000_000)
+        with pytest.raises(ConfigurationError):
+            bucket.allow(999_999)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_ops_s=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_ops_s=5.0, burst=0.0)
+
+
+class TestTenantSpec:
+    def test_defaults_are_valid(self):
+        spec = TenantSpec(name="t")
+        assert spec.sessions == 1_000_000
+        assert spec.to_dict()["name"] == "t"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"weight": 0.0},
+            {"sessions": 0},
+            {"keyspace": 0},
+            {"read_fraction": 1.5},
+            {"distribution": "pareto"},
+            {"connections": 0},
+        ],
+    )
+    def test_rejects_bad_fields(self, overrides):
+        with pytest.raises(ConfigurationError):
+            TenantSpec(**{"name": "t", **overrides})
+
+
+def _small_model(shards=1, seed=9, **spec_overrides):
+    clock = ManualClock()
+    obs = ObsContext.create(clock=clock)
+    cluster = ShardedCluster(shards=shards, seed=seed, obs=obs)
+    spec = dict(name="t", sessions=100_000, keyspace=8, connections=4)
+    spec.update(spec_overrides)
+    model = SessionModel(cluster, [TenantSpec(**spec)], seed=seed)
+    return clock, cluster, model
+
+
+class TestSessionModel:
+    def test_millions_of_sessions_bounded_connections(self):
+        _, _, model = _small_model(sessions=3_000_000, connections=4)
+        assert model.total_sessions == 3_000_000
+        # Cohort multiplexing: only `connections` live routers exist.
+        assert len(model.all_sessions()) == 4
+
+    def test_rejects_empty_mix_and_duplicate_names(self):
+        clock = ManualClock()
+        obs = ObsContext.create(clock=clock)
+        cluster = ShardedCluster(shards=1, seed=1, obs=obs)
+        with pytest.raises(ConfigurationError):
+            SessionModel(cluster, [], seed=1)
+        with pytest.raises(ConfigurationError):
+            SessionModel(
+                cluster,
+                [TenantSpec(name="t"), TenantSpec(name="t")],
+                seed=1,
+            )
+
+    def test_preload_covers_keyspace(self):
+        _, _, model = _small_model(keyspace=8)
+        assert model.preload() == 8
+
+    def test_draw_is_seed_deterministic(self):
+        _, _, model_a = _small_model(seed=21)
+        _, _, model_b = _small_model(seed=21)
+        for t in range(0, 50_000_000, 1_000_000):
+            a = model_a.draw(t)
+            b = model_b.draw(t)
+            assert (a is None) == (b is None)
+            if a is not None:
+                # Same op, same key, same connection slot.
+                assert a[1:] == b[1:]
+
+    def test_rate_limit_throttles(self):
+        _, _, model = _small_model(
+            rate_limit_ops_s=100.0, burst=2.0
+        )
+        # 50 arrivals within one microsecond: only the burst passes.
+        admitted = sum(
+            1 for t in range(50) if model.draw(t * 20) is not None
+        )
+        assert admitted == 2
+        state = model.tenants[0]
+        assert state.offered == 50
+        assert state.throttled == 48
+
+
+class TestOpenLoopEngine:
+    def test_run_invariants(self):
+        clock, _, model = _small_model(seed=5)
+        model.preload()
+        process = PoissonArrivals(800.0, seed=5)
+        engine = OpenLoopEngine(model, process, clock, seed=5)
+        result = engine.run(120)
+
+        assert result.offered == 120
+        assert result.admitted == result.offered - result.throttled
+        assert result.executed + result.errors == result.admitted
+        assert result.corrected.count == result.executed
+        assert result.uncorrected.count == result.executed
+        # Coordinated-omission contract: intended <= send for every op,
+        # so the corrected tail can never beat the uncorrected one.
+        assert (
+            result.corrected.percentile(99)
+            >= result.uncorrected.percentile(99)
+        )
+        assert result.corrected.max_ns() >= result.uncorrected.max_ns()
+        assert result.duration_ns > 0
+        assert result.throughput_ops_s > 0
+
+    def test_per_shard_recorders_partition_the_run(self):
+        clock, cluster, model = _small_model(shards=2, seed=6)
+        model.preload()
+        engine = OpenLoopEngine(
+            model, PoissonArrivals(600.0, seed=6), clock, seed=6
+        )
+        result = engine.run(100)
+        assert set(result.per_shard) <= set(cluster.shards)
+        assert (
+            sum(rec.count for rec in result.per_shard.values())
+            == result.executed
+        )
+
+    def test_storm_inflates_service_demand_determinism(self):
+        clock, _, model = _small_model(seed=7)
+        model.preload()
+        engine = OpenLoopEngine(
+            model, PoissonArrivals(700.0, seed=7), clock, seed=7
+        )
+        first = engine.run(80)
+
+        clock2, _, model2 = _small_model(seed=7)
+        model2.preload()
+        engine2 = OpenLoopEngine(
+            model2, PoissonArrivals(700.0, seed=7), clock2, seed=7
+        )
+        second = engine2.run(80)
+        assert first.corrected.percentile(99) == second.corrected.percentile(99)
+        assert first.duration_ns == second.duration_ns
+
+    def test_rejects_bad_parameters(self):
+        clock, _, model = _small_model()
+        process = PoissonArrivals(500.0)
+        with pytest.raises(ConfigurationError):
+            OpenLoopEngine(model, process, clock, tick_every_ns=0)
+        with pytest.raises(ConfigurationError):
+            OpenLoopEngine(model, process, clock, jitter_service_ns=0)

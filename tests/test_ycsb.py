@@ -185,3 +185,36 @@ class TestDriver:
         )
         with pytest.raises(ConfigurationError):
             driver.run(0)
+
+
+class TestThroughputGuards:
+    def test_zero_operations_raise(self):
+        from repro.errors import SimulationError
+        from repro.ycsb.driver import WorkloadResult
+
+        result = WorkloadResult(
+            operations=0, reads=0, updates=0, misses=0, elapsed_seconds=1.0
+        )
+        with pytest.raises(SimulationError, match="no operations"):
+            result.ops_per_second
+
+    def test_zero_elapsed_raises(self):
+        from repro.errors import SimulationError
+        from repro.ycsb.driver import WorkloadResult
+
+        result = WorkloadResult(
+            operations=10, reads=5, updates=5, misses=0, elapsed_seconds=0.0
+        )
+        with pytest.raises(SimulationError, match="not positive"):
+            result.ops_per_second
+
+    def test_negative_elapsed_raises(self):
+        from repro.errors import SimulationError
+        from repro.ycsb.driver import WorkloadResult
+
+        result = WorkloadResult(
+            operations=10, reads=5, updates=5, misses=0,
+            elapsed_seconds=-0.5,
+        )
+        with pytest.raises(SimulationError):
+            result.ops_per_second
