@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke traffic-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke traffic-smoke batch-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -69,6 +69,16 @@ traffic-smoke:
 # checkpoints (docs/PERFORMANCE.md).  Exits 1 on either failure.
 cryptobench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli cryptobench --quick --floor 5
+
+# Batched request pipeline gate (docs/BATCHING.md): the equivalence and
+# chaos suites must hold at every tested K, then the reduced benchmark
+# must keep its identity self-check green and clear a relaxed speedup
+# floor at K=16 (the committed artifact BENCH_batching.json holds the
+# full-run numbers against the 1.3x acceptance floor).
+batch-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_batch_equivalence.py \
+		tests/test_batch_chaos.py tests/test_batch_pipeline_units.py
+	PYTHONPATH=src $(PYTHON) -m repro.cli batchbench --quick --floor 1.05
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -28,6 +28,12 @@ Crypto-benchmark command (see docs/PERFORMANCE.md)::
     python -m repro.cli cryptobench --quick --floor 5   # CI smoke
     python -m repro.cli cryptobench --json
 
+Batching benchmark (see docs/BATCHING.md)::
+
+    python -m repro.cli batchbench           # full run -> BENCH_batching.json
+    python -m repro.cli batchbench --quick --floor 1.05   # CI smoke
+    python -m repro.cli batchbench --json
+
 Fault-injection commands (see docs/FAULTS.md)::
 
     python -m repro.cli chaos --seed 7       # seeded chaos + verification
@@ -657,6 +663,46 @@ def run_cryptobench_cmd(
     return text, result.exit_code
 
 
+def run_batchbench_cmd(
+    quick: bool = False,
+    floor: float = 1.3,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Batched-pipeline benchmark; returns ``(text, exit_code)``.
+
+    Measurements land in ``BENCH_batching.json`` (full run, repo root)
+    or ``bench_reports/BENCH_batching_quick.json`` (quick run) -- same
+    split as cryptobench, so CI smoke runs never clobber the committed
+    full trajectory.  Exit code 0 when the K=0/K=1/K=16
+    behavioural-identity gate held and the K=16 speedup floor was met;
+    1 otherwise.
+    """
+    import json
+
+    from repro.bench.batching import run_batchbench, write_json
+    from repro.errors import ConfigurationError
+
+    if floor < 0:
+        raise ConfigurationError(
+            f"--floor must be non-negative, got {floor}"
+        )
+    result = run_batchbench(quick=quick, floor=floor)
+    name = "BENCH_batching_quick.json" if quick else "BENCH_batching.json"
+    if out_dir is not None:
+        path = out_dir / name
+    elif quick:
+        path = pathlib.Path("bench_reports") / name
+    else:
+        path = pathlib.Path(name)
+    write_json(result, path)
+    if as_json:
+        text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = result.report() + f"\n[measurements saved to {path}]"
+    return text, result.exit_code
+
+
 def run_traffic_cmd(
     scenario: str = "steady",
     seed: int = 11,
@@ -719,15 +765,17 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=sorted(_RUNNERS)
         + ["all", "list", "scorecard", "trace", "metrics", "shard",
-           "chaos", "cryptobench", "replica", "health", "flightrec",
-           "traffic"],
+           "chaos", "cryptobench", "batchbench", "replica", "health",
+           "flightrec", "traffic"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
         "'shard' for a functional sharded-cluster run, 'chaos' for a "
         "seeded fault-injection run with shadow verification, "
         "'cryptobench' for the wall-clock reference-vs-fast crypto "
-        "benchmark, 'replica' for a replicated failover chaos run, "
+        "benchmark, 'batchbench' for the serial-vs-batched request "
+        "pipeline benchmark, 'replica' for a replicated failover chaos "
+        "run, "
         "'health' for a windowed SLO report over a deterministic "
         "cluster run, 'flightrec' to produce or replay a "
         "flight-recorder dump, 'traffic' for an open-loop scenario "
@@ -801,15 +849,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic seed for ring placement + workload "
         "(default: 11)",
     )
-    bench = parser.add_argument_group("crypto benchmark ('cryptobench' only)")
+    bench = parser.add_argument_group(
+        "benchmarks ('cryptobench'/'batchbench')"
+    )
     bench.add_argument(
         "--floor",
         type=float,
-        default=5.0,
+        default=None,
         metavar="X",
-        help="minimum accepted fast/reference speedup on the 4 KiB "
-        "payload and transport checkpoints (default: 5.0; exit code 1 "
-        "below it)",
+        help="minimum accepted speedup: fast/reference on the 4 KiB "
+        "crypto checkpoints for 'cryptobench' (default: 5.0), K=16 over "
+        "K=1 for 'batchbench' (default: 1.3); exit code 1 below it",
     )
     chaos = parser.add_argument_group("fault injection ('chaos'/'replica')")
     chaos.add_argument(
@@ -919,6 +969,8 @@ def main(argv=None) -> int:
               "verification")
         print("cryptobench  wall-clock reference-vs-fast crypto engine "
               "benchmark")
+        print("batchbench  serial-vs-batched request pipeline benchmark "
+              "(K-frame drain)")
         print("replica    replicated failover chaos run (promotion + "
               "client loss detection)")
         print("health     windowed SLO report over a deterministic "
@@ -1092,7 +1144,22 @@ def main(argv=None) -> int:
         try:
             text, code = run_cryptobench_cmd(
                 quick=args.quick,
-                floor=args.floor,
+                floor=args.floor if args.floor is not None else 5.0,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "batchbench":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_batchbench_cmd(
+                quick=args.quick,
+                floor=args.floor if args.floor is not None else 1.3,
                 as_json=args.json,
                 out_dir=args.out,
             )

@@ -20,7 +20,7 @@ consumer never needs to zero memory.
 from __future__ import annotations
 
 import struct
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.rdma.memory import MemoryRegion
@@ -72,9 +72,13 @@ class RingProducer:
         self,
         layout: RingLayout,
         write_remote: Callable[[int, bytes], None],
+        write_remote_many: Optional[
+            Callable[[Sequence[Tuple[int, bytes]]], None]
+        ] = None,
     ):
         self.layout = layout
         self._write_remote = write_remote
+        self._write_remote_many = write_remote_many
         self._sequence = 0
         self._consumed = 0  # consumer's progress, updated via credits
 
@@ -106,6 +110,54 @@ class RingProducer:
         offset = self.layout.slot_offset(seq - 1)
         self._write_remote(offset, _HEADER.pack(len(frame), seq) + frame)
         return seq
+
+    def produce_many(self, frames: Iterable[bytes]) -> List[int]:
+        """Write several frames with one coalesced transport operation.
+
+        The batched reply path of the server: slot *contents* are exactly
+        what ``len(frames)`` individual :meth:`produce` calls would have
+        written (same slots, same headers, same sequence numbers), but
+        the bytes travel as a single gather write when the transport
+        supports it (``write_remote_many``).  Credits are checked for the
+        whole batch up front, so the write is all-or-nothing from the
+        producer's point of view.
+
+        A batch of zero or one frames falls back to :meth:`produce`, so
+        the wire behaviour -- including any fault-injection judgement
+        sequence -- is indistinguishable from the serial path.
+        """
+        staged = list(frames)
+        if len(staged) <= 1:
+            return [self.produce(frame) for frame in staged]
+        for frame in staged:
+            if len(frame) > self.layout.max_frame:
+                raise CapacityError(
+                    f"frame of {len(frame)} B exceeds slot payload "
+                    f"{self.layout.max_frame} B"
+                )
+        if self.free_slots < len(staged):
+            raise CapacityError(
+                f"ring cannot take {len(staged)} frames: only "
+                f"{self.free_slots} credits free"
+            )
+        seqs: List[int] = []
+        writes: List[Tuple[int, bytes]] = []
+        for frame in staged:
+            self._sequence += 1
+            seq = self._sequence
+            seqs.append(seq)
+            writes.append(
+                (
+                    self.layout.slot_offset(seq - 1),
+                    _HEADER.pack(len(frame), seq) + frame,
+                )
+            )
+        if self._write_remote_many is not None:
+            self._write_remote_many(writes)
+        else:
+            for offset, payload in writes:
+                self._write_remote(offset, payload)
+        return seqs
 
     def credit_update(self, consumed: int) -> None:
         """Apply a credit write from the consumer (monotonic)."""
@@ -167,14 +219,29 @@ class RingConsumer:
             frames.append(frame)
         return frames
 
-    def pending(self, limit: int = 64) -> int:
+    def pending(self, limit: Optional[int] = None) -> int:
         """Count ready-but-unconsumed frames without consuming them.
 
         The telemetry pipeline's queue-depth probe: scans headers from
         the read cursor forward, stopping at the first slot that is not
         ready (or looks like garbage), leaving the cursor untouched.
+
+        ``limit=None`` (the default) scans the whole ring.  The scan is
+        always capped at ``slot_count``: a ring can never hold more
+        ready frames than it has slots, and scanning further would wrap
+        back onto slots already counted.  (An earlier version silently
+        capped at 64 regardless of geometry, so partially-drained rings
+        larger than 64 slots under-reported their queue depth.)
+
+        A garbage slot (rogue length field) stops the scan: the frames
+        behind it are invisible to telemetry until the consumer's next
+        poll skips the slot and re-exposes them.  That is deliberately
+        conservative -- depth never counts frames the consumer might not
+        actually reach on its next drain.
         """
         layout = self.layout
+        if limit is None or limit > layout.slot_count:
+            limit = layout.slot_count
         count = 0
         seq = self._next_seq
         while count < limit:

@@ -114,6 +114,13 @@ class ServerConfig:
     #: entry.  The "traditional access control schemes on top" the paper's
     #: per-pair key design enables (§3.3).
     tenant_isolation: bool = False
+    #: Control messages per batched enclave transition.  0 (the default)
+    #: keeps the original serial request path.  K >= 1 routes polling
+    #: through the batched pipeline (:mod:`repro.core.batch`): drain up
+    #: to K frames per cycle, one modeled enclave entry per cycle,
+    #: phase-grouped GCM open/seal across the cycle and one gather reply
+    #: write per cycle.  K=1 is byte-identical to the serial path.
+    ecall_batch: int = 0
 
 
 @dataclass
@@ -284,6 +291,20 @@ class PrecursorServer:
         #: by a modelled per-shard service latency, which is what makes
         #: deterministic hot-shard p99 experiments possible.
         self.service_hook: Optional[Callable[[], None]] = None
+        #: Reply staging seam for the batched pipeline: when set (to a
+        #: list), :meth:`_send_response` appends ``(channel, control,
+        #: payload)`` instead of sealing and writing inline; the pipeline
+        #: seals the whole cycle in dispatch order afterwards.  The
+        #: duplicate-reply cache still updates at staging time, so
+        #: cache-before-write semantics are untouched.
+        self._reply_sink: Optional[list] = None
+        #: The batched polling engine; ``None`` keeps the serial path.
+        if cfg.ecall_batch:
+            from repro.core.batch import BatchPipeline
+
+            self._batcher = BatchPipeline(self, cfg.ecall_batch)
+        else:
+            self._batcher = None
 
     # -- ecall implementations (trusted side) ------------------------------
 
@@ -437,6 +458,9 @@ class PrecursorServer:
             write_remote=lambda offset, data, ch=channel: self._rdma_write(
                 ch, ch.reply_rkey, offset, data
             ),
+            write_remote_many=lambda writes, ch=channel: self._rdma_write_gather(
+                ch, ch.reply_rkey, writes
+            ),
         )
         self._channels[client_id] = channel
         return request_region.rkey, layout
@@ -480,6 +504,9 @@ class PrecursorServer:
             layout,
             write_remote=lambda offset, data, ch=channel: self._rdma_write(
                 ch, ch.reply_rkey, offset, data
+            ),
+            write_remote_many=lambda writes, ch=channel: self._rdma_write_gather(
+                ch, ch.reply_rkey, writes
             ),
         )
         old = self._channels.get(client_id)
@@ -533,6 +560,41 @@ class PrecursorServer:
             ),
         )
 
+    def _rdma_write_gather(
+        self,
+        channel: _ClientChannel,
+        rkey: int,
+        writes: Iterable[Tuple[int, bytes]],
+    ) -> None:
+        """Post one gather WRITE landing several ``(offset, data)`` slices.
+
+        The coalesced-reply transport of the batched pipeline: one WQE,
+        one doorbell, K reply slots.  A single-entry list degenerates to
+        the plain write so the wire behaviour (and the fault-injection
+        judgement sequence) of a batch of one matches the serial path.
+        """
+        writes = list(writes)
+        if len(writes) == 1:
+            offset, data = writes[0]
+            self._rdma_write(channel, rkey, offset, data)
+            return
+        data = b"".join(payload for _offset, payload in writes)
+        self.fabric.post_send(
+            channel.qp,
+            WorkRequest(
+                wr_id=channel.client_id,
+                opcode=RdmaOpcode.RDMA_WRITE,
+                data=data,
+                remote_rkey=rkey,
+                remote_offset=writes[0][0],
+                signaled=False,
+                inline=len(data) <= channel.qp.max_inline,
+                segments=tuple(
+                    (offset, len(payload)) for offset, payload in writes
+                ),
+            ),
+        )
+
     # -- the polling loop ------------------------------------------------------
 
     def process_client(self, client_id: int, batch: int = 64) -> int:
@@ -541,7 +603,13 @@ class PrecursorServer:
         The paper assigns each trusted thread a *subset* of the client
         rings (§3.8); :class:`~repro.core.threading.ServerThreadPool`
         partitions clients over threads by calling this.
+
+        With ``config.ecall_batch >= 1`` the batched pipeline
+        (:mod:`repro.core.batch`) services the ring instead, draining it
+        in cycles of K frames per modeled enclave transition.
         """
+        if self._batcher is not None:
+            return self._batcher.process_client(client_id, batch)
         self._check_alive()
         channel = self._channel(client_id)
         if channel.revoked:
@@ -566,6 +634,8 @@ class PrecursorServer:
         Returns the number of requests handled.  In the real system this
         loop runs forever inside the enclave; in-process callers pump it.
         """
+        if self._batcher is not None:
+            return self._batcher.process_pending(batch)
         self._check_alive()
         if not self._started:
             raise ConfigurationError("server not started")
@@ -894,6 +964,19 @@ class PrecursorServer:
         control: ResponseControl,
         payload: Optional[EncryptedPayload] = None,
     ) -> None:
+        sink = self._reply_sink
+        if sink is not None:
+            # Batched pipeline: stage the reply for the cycle's seal
+            # phase.  The duplicate-reply cache updates here -- the same
+            # logical point the serial path updates it (before any reply
+            # bytes can be lost in transit), and early enough that a
+            # retransmission arriving later in the *same* cycle sees it.
+            if control.status is not Status.REPLAY:
+                channel.last_oid = control.oid
+                channel.last_reply_control = control
+                channel.last_reply_payload = payload
+            sink.append((channel, control, payload))
+            return
         session = self._sessions[channel.client_id]
         aad = b"resp" + struct.pack(">I", channel.client_id)
         with self.obs.tracer.stage("server.seal_reply"):

@@ -37,16 +37,26 @@ class ServerThreadPool:
         server: PrecursorServer,
         threads: int = 4,
         idle_sleep_s: float = 20e-6,
+        max_idle_sleep_s: float = 1e-3,
     ):
         if threads < 1:
             raise ConfigurationError(f"need at least one thread: {threads}")
+        if max_idle_sleep_s < idle_sleep_s:
+            raise ConfigurationError(
+                f"max_idle_sleep_s ({max_idle_sleep_s}) must be >= "
+                f"idle_sleep_s ({idle_sleep_s})"
+            )
         self.server = server
         self.thread_count = threads
         self.idle_sleep_s = idle_sleep_s
+        #: Ceiling of the adaptive idle backoff (see :meth:`_run`).
+        self.max_idle_sleep_s = max_idle_sleep_s
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         #: Requests handled per thread (diagnostics).
         self.handled: List[int] = [0] * threads
+        #: Idle sleeps taken per thread (diagnostics for the backoff).
+        self.idle_sleeps: List[int] = [0] * threads
 
     def _client_ids_for(self, index: int) -> List[int]:
         # Snapshot: the admission path may add clients concurrently.
@@ -58,16 +68,25 @@ class ServerThreadPool:
 
     def _run(self, index: int) -> None:
         server = self.server
+        # Adaptive poll/sleep: poll hard while frames arrive, back off
+        # exponentially (doubling per empty pass, capped) once the rings
+        # go quiet, and snap back to hot polling on the first frame.  A
+        # busy server never sleeps; an idle one stops burning the GIL.
+        sleep_s = self.idle_sleep_s
         while not self._stop.is_set():
             busy = 0
             # Re-list each pass: clients may connect while we run.
             for client_id in self._client_ids_for(index):
                 busy += server.process_client(client_id)
             self.handled[index] += busy
-            if busy == 0:
+            if busy:
+                sleep_s = self.idle_sleep_s
+            else:
                 # A real trusted thread spins; in-process we yield the GIL
                 # so client threads can make progress.
-                time.sleep(self.idle_sleep_s)
+                self.idle_sleeps[index] += 1
+                time.sleep(sleep_s)
+                sleep_s = min(sleep_s * 2, self.max_idle_sleep_s)
 
     def start(self) -> None:
         """Start the polling threads (idempotent)."""

@@ -287,4 +287,35 @@ def parity_check(seed: int = 2021, rounds: int = 8) -> List[str]:
                 failures.append(f"reference gcm misdecrypts fast at {size} B")
         except Exception as exc:  # pragma: no cover - parity failure detail
             failures.append(f"cross-engine gcm open raised at {size} B: {exc}")
+
+        # Batch APIs: the fused fast kernels must match both the
+        # reference loop and their own per-call outputs, and a tampered
+        # entry must fail alone (None) without touching its batch-mates.
+        batch = [
+            (rand(tag + b"bi%d" % j, 12), rand(tag + b"bd%d" % j, size), aad)
+            for j in range(3)
+        ]
+        sealed_many_ref = ref.gcm(key16).seal_many(batch)
+        sealed_many_fast = fast.gcm(key16).seal_many(batch)
+        if sealed_many_ref != sealed_many_fast:
+            failures.append(f"gcm seal_many differs at {size} B")
+        percall = [fast.gcm(key16).seal(*entry) for entry in batch]
+        if sealed_many_fast != percall:
+            failures.append(f"fast seal_many != per-call seal at {size} B")
+        opened = [
+            (biv, blob, baad)
+            for (biv, _bd, baad), blob in zip(batch, sealed_many_fast)
+        ]
+        tampered = list(opened)
+        blob = bytearray(tampered[1][1])
+        blob[0] ^= 0x01
+        tampered[1] = (tampered[1][0], bytes(blob), tampered[1][2])
+        for engine in (ref, fast):
+            plains = engine.gcm(key16).open_many(tampered)
+            expected = [batch[0][1], None, batch[2][1]]
+            if plains != expected:
+                failures.append(
+                    f"{engine.name} open_many tamper isolation broke "
+                    f"at {size} B"
+                )
     return failures

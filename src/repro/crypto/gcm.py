@@ -123,3 +123,30 @@ class AesGcm:
         if diff != 0:
             raise GcmFailure("authentication tag mismatch")
         return self._ctr(iv, ciphertext)
+
+    def seal_many(self, items) -> list:
+        """Seal a batch of ``(iv, plaintext, aad)`` triples, in order.
+
+        The specification engine just loops -- the batch API exists so
+        callers can hand a drained frame set to either engine; the fast
+        engine's fused kernels (:meth:`FastAesGcm.seal_many`) are where
+        batching actually pays.  Outputs are byte-identical to calling
+        :meth:`seal` per item.
+        """
+        return [self.seal(iv, plaintext, aad) for iv, plaintext, aad in items]
+
+    def open_many(self, items) -> list:
+        """Open a batch of ``(iv, sealed, aad)`` triples, in order.
+
+        Returns one entry per input: the plaintext, or ``None`` when
+        that message failed authentication.  A tampered message never
+        raises out of the batch -- its batch-mates still decrypt -- which
+        is the isolation contract the batched server path relies on.
+        """
+        out = []
+        for iv, sealed, aad in items:
+            try:
+                out.append(self.open(iv, sealed, aad))
+            except GcmFailure:
+                out.append(None)
+        return out

@@ -47,7 +47,7 @@ from typing import Dict, List, Optional
 
 from repro.core.client import PrecursorClient
 from repro.core.persistence import CheckpointManager
-from repro.core.server import PrecursorServer
+from repro.core.server import PrecursorServer, ServerConfig
 from repro.crypto.keys import KeyGenerator
 from repro.errors import (
     ConfigurationError,
@@ -163,6 +163,7 @@ class _ChaosRun:
         obs: Optional[ObsContext],
         replicas: int = 0,
         ack_mode: str = "sync",
+        ecall_batch: int = 0,
     ):
         if replicas and shards is None:
             raise ConfigurationError(
@@ -191,9 +192,12 @@ class _ChaosRun:
         self.uncertain: set = set()
         self.down: Dict[str, int] = {}  # shard name -> restore-at op index
 
+        server_config = (
+            ServerConfig(ecall_batch=ecall_batch) if ecall_batch else None
+        )
         if shards is None:
             self.cluster = None
-            self.server = PrecursorServer(obs=self.obs)
+            self.server = PrecursorServer(obs=self.obs, config=server_config)
             self.manager = CheckpointManager()
             self.target = PrecursorClient(
                 self.server,
@@ -214,6 +218,7 @@ class _ChaosRun:
                 obs=self.obs,
                 replicas=replicas,
                 ack_mode=ack_mode,
+                config=server_config,
             )
             self.manager = self.cluster.checkpoints
             self.target = ShardedClient(
@@ -595,6 +600,7 @@ def run_chaos(
     obs: Optional[ObsContext] = None,
     replicas: int = 0,
     ack_mode: str = "sync",
+    ecall_batch: int = 0,
 ) -> ChaosReport:
     """Run one seeded chaos workload; see the module docstring.
 
@@ -620,5 +626,6 @@ def run_chaos(
         obs=obs,
         replicas=replicas,
         ack_mode=ack_mode,
+        ecall_batch=ecall_batch,
     )
     return run.run()

@@ -280,7 +280,17 @@ class Fabric:
             return b""
         region = remote_pd.lookup(wr.remote_rkey)
         if wr.opcode is Opcode.RDMA_WRITE:
-            region.remote_write(wr.remote_offset, wr.data)
+            if wr.segments:
+                # Gather write: land each slice of the wire payload at
+                # its own remote offset.  A CORRUPT fault flipped one
+                # byte of ``wr.data`` above, so exactly one segment
+                # arrives poisoned -- its batch-mates are untouched.
+                cursor = 0
+                for offset, length in wr.segments:
+                    region.remote_write(offset, wr.data[cursor:cursor + length])
+                    cursor += length
+            else:
+                region.remote_write(wr.remote_offset, wr.data)
             return b""
         if wr.opcode is Opcode.RDMA_READ:
             return region.remote_read(wr.remote_offset, wr.length)

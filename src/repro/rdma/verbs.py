@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -51,6 +51,13 @@ class WorkRequest:
         signaling posts mostly unsignaled requests).
     inline:
         Whether the payload travels inline in the WQE.
+    segments:
+        Optional gather list for RDMA_WRITE: ``(remote_offset, length)``
+        pairs tiling ``data`` in order.  One posted request then lands
+        each slice at its own remote offset -- the coalesced-reply shape
+        of the batched server path (one WQE, one doorbell, K frames).
+        The wire payload is still the single ``data`` buffer, so
+        in-flight tamper flips exactly one byte of exactly one segment.
     """
 
     wr_id: int
@@ -61,6 +68,7 @@ class WorkRequest:
     length: int = 0
     signaled: bool = True
     inline: bool = False
+    segments: Optional[Tuple[Tuple[int, int], ...]] = None
 
     def __post_init__(self) -> None:
         if self.opcode in (Opcode.SEND, Opcode.RDMA_WRITE):
@@ -71,6 +79,29 @@ class WorkRequest:
                 raise ConfigurationError("RDMA_READ requires a positive length")
             if self.inline:
                 raise ConfigurationError("RDMA_READ cannot be inline")
+        if self.segments is not None:
+            if self.opcode is not Opcode.RDMA_WRITE:
+                raise ConfigurationError(
+                    "gather segments are only valid on RDMA_WRITE"
+                )
+            if not self.segments:
+                raise ConfigurationError("gather list must not be empty")
+            total = 0
+            for offset, length in self.segments:
+                if length <= 0:
+                    raise ConfigurationError(
+                        f"gather segment length must be positive: {length}"
+                    )
+                if offset < 0:
+                    raise ConfigurationError(
+                        f"gather segment offset must be >= 0: {offset}"
+                    )
+                total += length
+            if total != len(self.data):
+                raise ConfigurationError(
+                    f"gather segments cover {total} bytes but data "
+                    f"holds {len(self.data)}"
+                )
 
     @property
     def byte_len(self) -> int:

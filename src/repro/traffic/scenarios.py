@@ -249,6 +249,7 @@ def run_scenario(
     slo: Optional[str] = None,
     tick_every_ms: float = 5.0,
     window_ticks: int = 3,
+    ecall_batch: int = 0,
 ) -> TrafficReport:
     """Run one registered scenario end to end; returns its report.
 
@@ -256,7 +257,10 @@ def run_scenario(
     probes ``steady`` this way); ``schedule`` arms a
     :class:`~repro.faults.engine.FaultEngine` with ``kind:rate`` syntax
     *after* the preload, so warm-up writes are fault-free and the fault
-    log fingerprints deterministically.  Raises
+    log fingerprints deterministically.  ``ecall_batch`` routes every
+    shard server through the batched request pipeline
+    (``docs/BATCHING.md``); 0 keeps the serial path and K=1 must produce
+    a byte-identical report.  Raises
     :class:`~repro.errors.ConfigurationError` for unknown names or bad
     parameters.
     """
@@ -277,8 +281,13 @@ def run_scenario(
         raise ConfigurationError(f"ops must be >= 1, got {ops}")
     slo_spec = slo if slo else TRAFFIC_SLO_SPEC
 
+    from repro.core.server import ServerConfig
     from repro.shard.cluster import ShardedCluster
 
+    if ecall_batch < 0:
+        raise ConfigurationError(
+            f"ecall_batch must be >= 0, got {ecall_batch}"
+        )
     clock = ManualClock()
     obs = ObsContext.create(clock=clock)
     cluster = ShardedCluster(
@@ -287,6 +296,9 @@ def run_scenario(
         obs=obs,
         replicas=replicas,
         ack_mode=ack_mode,
+        config=(
+            ServerConfig(ecall_batch=ecall_batch) if ecall_batch else None
+        ),
     )
     mix = scenario.mix()
     model = SessionModel(cluster, mix, seed=seed)

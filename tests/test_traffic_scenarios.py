@@ -134,6 +134,70 @@ class TestDeterminism:
         assert _dumps(first) != _dumps(second)
 
 
+class TestBatchingDeterminism:
+    """The batched pipeline must not perturb scenario reports.
+
+    The sha256 constants were captured on the pre-batching serial
+    request path (seed=11, shards=2, ops=120, LOOSE_SLO): K=0 pins
+    the serial path against regressions, K=1 pins the batched
+    pipeline's degenerate window to byte-identical behaviour, and
+    K=16 shows real batching leaves the (simulated-clock) report
+    untouched too.
+    """
+
+    PINNED = {
+        "steady": (
+            "fd77a2ace0f5e4d27e0a73f0a0f4af8ffa071923557c69351f851901"
+            "daba70c2"
+        ),
+        "hot-key-storm": (
+            "0c91c71d39b1e6007640e16dfb7851e50485f2c9fdfe97d9aea64c06"
+            "1f326084"
+        ),
+    }
+
+    @staticmethod
+    def _digest(report):
+        import hashlib
+
+        return hashlib.sha256(_dumps(report).encode()).hexdigest()
+
+    @pytest.mark.parametrize("name", sorted(PINNED))
+    @pytest.mark.parametrize("k", [0, 1, 16])
+    def test_report_matches_pre_batching_capture(self, name, k):
+        report = run_scenario(
+            name, seed=11, shards=2, ops=120, slo=LOOSE_SLO, ecall_batch=k
+        )
+        assert self._digest(report) == self.PINNED[name]
+
+    def test_batched_run_is_reproducible(self):
+        kwargs = dict(
+            seed=5, shards=2, ops=120, slo=LOOSE_SLO, ecall_batch=16
+        )
+        first = run_scenario("hot-key-storm", **kwargs)
+        second = run_scenario("hot-key-storm", **kwargs)
+        assert _dumps(first) == _dumps(second)
+
+    def test_batched_chaos_scenario_is_reproducible(self):
+        kwargs = dict(
+            seed=5,
+            shards=2,
+            ops=120,
+            schedule="drop:0.02,delay:0.03",
+            slo=LOOSE_SLO,
+            ecall_batch=16,
+        )
+        first = run_scenario("flash-crowd", **kwargs)
+        second = run_scenario("flash-crowd", **kwargs)
+        assert first.fault_fingerprint
+        assert first.fault_fingerprint == second.fault_fingerprint
+        assert _dumps(first) == _dumps(second)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario("steady", ecall_batch=-1)
+
+
 class TestKneeFinder:
     def _probe(self, rate):
         return run_scenario("steady", seed=13, shards=1, ops=80, rate=float(rate))
