@@ -33,6 +33,11 @@ same single-frame reply writes (``produce_many`` falls back to
 to the pre-batching server, fault-injection judgements included.
 ``tests/test_batch_equivalence.py`` holds this to store digests, raw
 reply-ring bytes and duplicate-reply-cache contents at every tested K.
+The identity covers wire bytes and protocol behaviour, not modeled cost
+telemetry: the batched path records one modeled ecall per cycle where
+the serial path records none (its thread entered once via
+``start_polling``), and ``server_handle_ns`` spans dispatch only -- both
+asymmetries are spelled out in ``docs/BATCHING.md``.
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.protocol import Request
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
 
 __all__ = ["BatchPipeline"]
 
@@ -224,11 +229,18 @@ class BatchPipeline:
     def _dispatch_phase(self, channel, parsed: List[_ParsedFrame]) -> None:
         """Run the serial dispatch per frame, replies staged not sealed.
 
-        Mirrors :meth:`PrecursorServer._handle_frame` exactly: every
+        Follows :meth:`PrecursorServer._handle_frame`'s sequence: every
         drained frame -- including ones rejected in earlier phases --
         gets its service hook call and its ``server_handle_ns`` sample,
         in frame order, so modeled-latency harnesses observe the same
-        per-frame sequence the serial loop produces.
+        per-frame event sequence the serial loop produces.  One timing
+        caveat: the batched sample spans *dispatch only* -- frame
+        decode, the credit update and the GCM open already happened in
+        the parse/open phases, outside this timed region (they are
+        covered by the cycle's ``server.unseal_batch`` tracer stage
+        instead), whereas the serial sample includes them.  At K=1 the
+        behaviour is still byte-identical; the per-frame latency *split*
+        is not (``docs/BATCHING.md``).
         """
         server = self.server
         clock = server.obs.tracer.clock
@@ -247,29 +259,58 @@ class BatchPipeline:
                     max(0, clock.now_ns() - entered_ns)
                 )
 
-    def _reply_phase(self, channel, staged) -> None:
+    def _reply_phase(self, cycle_channel, staged) -> None:
         """Seal staged replies in dispatch order; coalesce the writes.
 
         Session IVs are drawn in exactly the order the serial path's
         per-reply seals would have drawn them, so every reply ring slot
         receives byte-identical contents at any K; only the transport is
-        coalesced (one gather work request for the whole cycle).
+        coalesced (one gather work request per channel per cycle).
+
+        Seal keys and reply rings are per-channel state, so both are
+        keyed off each staged entry's *own* channel, never the cycle
+        argument: today's dispatch paths always reply on the cycle
+        channel (one group, one gather write), but an entry staged for a
+        different channel must never be sealed under the wrong session
+        or land in the wrong ring.
         """
+        del cycle_channel  # sealing is keyed per staged entry, see above
         if not staged:
             return
         server = self.server
         from repro.core.protocol import Response
 
-        session = server._sessions[channel.client_id]
-        aad = b"resp" + struct.pack(">I", channel.client_id)
-        with server.obs.tracer.stage("server.seal_batch"):
-            sealed = server.provider.transport_seal_many(
-                session,
-                [(control.encode(), aad) for _ch, control, _pl in staged],
-            )
-        encoded = [
-            Response(sealed_control=blob, payload=payload).encode()
-            for (_ch, _control, payload), blob in zip(staged, sealed)
-        ]
-        with server.obs.tracer.stage("server.reply_write"):
-            channel.reply_producer.produce_many(encoded)
+        # Group by entry channel, preserving dispatch order within each
+        # group and first-appearance order across groups.
+        groups: List[Tuple[object, List[Tuple[object, object]]]] = []
+        slots = {}
+        for entry_channel, control, payload in staged:
+            slot = slots.get(id(entry_channel))
+            if slot is None:
+                slot = len(groups)
+                slots[id(entry_channel)] = slot
+                groups.append((entry_channel, []))
+            groups[slot][1].append((control, payload))
+        for entry_channel, entries in groups:
+            session = server._sessions[entry_channel.client_id]
+            aad = b"resp" + struct.pack(">I", entry_channel.client_id)
+            with server.obs.tracer.stage("server.seal_batch"):
+                sealed = server.provider.transport_seal_many(
+                    session,
+                    [(control.encode(), aad) for control, _pl in entries],
+                )
+            encoded = [
+                Response(sealed_control=blob, payload=payload).encode()
+                for (_control, payload), blob in zip(entries, sealed)
+            ]
+            with server.obs.tracer.stage("server.reply_write"):
+                try:
+                    entry_channel.reply_producer.produce_many(encoded)
+                except CapacityError:
+                    # produce_many is all-or-nothing and raises before
+                    # writing anything, so replay the group per frame:
+                    # the leading replies that fit are delivered and the
+                    # failure surfaces on the same frame the serial
+                    # per-reply path would have failed on.
+                    for blob in encoded:
+                        entry_channel.reply_producer.produce(blob)

@@ -120,7 +120,12 @@ class RingProducer:
         the bytes travel as a single gather write when the transport
         supports it (``write_remote_many``).  Credits are checked for the
         whole batch up front, so the write is all-or-nothing from the
-        producer's point of view.
+        producer's point of view: :class:`CapacityError` is raised
+        *before* any slot is written or any sequence number consumed,
+        which lets a caller that wants serial-style partial delivery
+        (the server's batched reply phase does) fall back to per-frame
+        :meth:`produce` and fail on the same frame the serial path
+        would.
 
         A batch of zero or one frames falls back to :meth:`produce`, so
         the wire behaviour -- including any fault-injection judgement

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -291,13 +292,15 @@ class PrecursorServer:
         #: by a modelled per-shard service latency, which is what makes
         #: deterministic hot-shard p99 experiments possible.
         self.service_hook: Optional[Callable[[], None]] = None
-        #: Reply staging seam for the batched pipeline: when set (to a
-        #: list), :meth:`_send_response` appends ``(channel, control,
-        #: payload)`` instead of sealing and writing inline; the pipeline
-        #: seals the whole cycle in dispatch order afterwards.  The
-        #: duplicate-reply cache still updates at staging time, so
-        #: cache-before-write semantics are untouched.
-        self._reply_sink: Optional[list] = None
+        #: Reply staging seam for the batched pipeline (exposed as the
+        #: thread-local :attr:`_reply_sink` property): when a cycle
+        #: installs a staging list, :meth:`_send_response` appends
+        #: ``(channel, control, payload)`` instead of sealing and
+        #: writing inline; the pipeline seals the whole cycle in
+        #: dispatch order afterwards.  The duplicate-reply cache still
+        #: updates at staging time, so cache-before-write semantics are
+        #: untouched.
+        self._reply_staging = threading.local()
         #: The batched polling engine; ``None`` keeps the serial path.
         if cfg.ecall_batch:
             from repro.core.batch import BatchPipeline
@@ -957,6 +960,27 @@ class PrecursorServer:
             h.update(payload.ciphertext)
             h.update(payload.mac)
         return h.digest()
+
+    @property
+    def _reply_sink(self) -> Optional[list]:
+        """The *calling thread's* reply staging list (or ``None``).
+
+        Thread-local on purpose: :class:`~repro.core.threading.ServerThreadPool`
+        runs :meth:`process_client` from several trusted threads at
+        once, and with batching enabled each worker stages the replies
+        of its own drain cycle.  A process-wide attribute would let one
+        thread's cycle capture (and, via its ``finally`` clause, then
+        discard) replies another thread's dispatch was staging, sealing
+        them under the wrong session and writing them into the wrong
+        reply ring.  Per-thread sinks keep every cycle's staging
+        private; per-channel state stays single-owner because the pool
+        partitions clients over threads.
+        """
+        return getattr(self._reply_staging, "sink", None)
+
+    @_reply_sink.setter
+    def _reply_sink(self, sink: Optional[list]) -> None:
+        self._reply_staging.sink = sink
 
     def _send_response(
         self,

@@ -57,6 +57,12 @@ class ServerThreadPool:
         self.handled: List[int] = [0] * threads
         #: Idle sleeps taken per thread (diagnostics for the backoff).
         self.idle_sleeps: List[int] = [0] * threads
+        #: Exceptions that killed a worker.  A trusted polling thread
+        #: has nobody above it to report to, so a raising
+        #: ``process_client`` (ring overrun, crashed shard) previously
+        #: died silently and read as a stall; harnesses can now assert
+        #: ``pool.errors == []`` or inspect why a worker stopped.
+        self.errors: List[BaseException] = []
 
     def _client_ids_for(self, index: int) -> List[int]:
         # Snapshot: the admission path may add clients concurrently.
@@ -73,20 +79,25 @@ class ServerThreadPool:
         # go quiet, and snap back to hot polling on the first frame.  A
         # busy server never sleeps; an idle one stops burning the GIL.
         sleep_s = self.idle_sleep_s
-        while not self._stop.is_set():
-            busy = 0
-            # Re-list each pass: clients may connect while we run.
-            for client_id in self._client_ids_for(index):
-                busy += server.process_client(client_id)
-            self.handled[index] += busy
-            if busy:
-                sleep_s = self.idle_sleep_s
-            else:
-                # A real trusted thread spins; in-process we yield the GIL
-                # so client threads can make progress.
-                self.idle_sleeps[index] += 1
-                time.sleep(sleep_s)
-                sleep_s = min(sleep_s * 2, self.max_idle_sleep_s)
+        try:
+            while not self._stop.is_set():
+                busy = 0
+                # Re-list each pass: clients may connect while we run.
+                for client_id in self._client_ids_for(index):
+                    busy += server.process_client(client_id)
+                self.handled[index] += busy
+                if busy:
+                    sleep_s = self.idle_sleep_s
+                else:
+                    # A real trusted thread spins; in-process we yield the
+                    # GIL so client threads can make progress.
+                    self.idle_sleeps[index] += 1
+                    time.sleep(sleep_s)
+                    sleep_s = min(sleep_s * 2, self.max_idle_sleep_s)
+        except Exception as exc:
+            # The worker still dies (matching a real trusted thread that
+            # faulted), but the cause is recorded instead of swallowed.
+            self.errors.append(exc)
 
     def start(self) -> None:
         """Start the polling threads (idempotent)."""
@@ -94,6 +105,7 @@ class ServerThreadPool:
             return
         self.server.start()
         self._stop.clear()
+        self.errors.clear()
         for index in range(self.thread_count):
             thread = threading.Thread(
                 target=self._run,
