@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke traffic-smoke batch-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke traffic-smoke batch-smoke cache-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -79,6 +79,15 @@ batch-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_batch_equivalence.py \
 		tests/test_batch_chaos.py tests/test_batch_pipeline_units.py
 	PYTHONPATH=src $(PYTHON) -m repro.cli batchbench --quick --floor 1.05
+
+# Near-cache gate (docs/CACHING.md): the cache/offload unit, router and
+# chaos suites must hold, then the reduced benchmark must clear the
+# knee-shift, primary-shed and state-equivalence gates (the committed
+# artifact BENCH_nearcache.json holds the full-run numbers).
+cache-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_nearcache_units.py \
+		tests/test_nearcache_router.py tests/test_nearcache_chaos.py
+	PYTHONPATH=src $(PYTHON) -m repro.cli nearcachebench --quick
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

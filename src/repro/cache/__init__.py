@@ -1,0 +1,14 @@
+"""Client-side caching: the near-cache the router serves hot reads from.
+
+See :mod:`repro.cache.nearcache` for the trust argument and
+``docs/CACHING.md`` for the design.
+"""
+
+from repro.cache.nearcache import (
+    DEFAULT_CAPACITY,
+    DEFAULT_LEASE_NS,
+    CacheEntry,
+    NearCache,
+)
+
+__all__ = ["CacheEntry", "NearCache", "DEFAULT_CAPACITY", "DEFAULT_LEASE_NS"]

@@ -63,6 +63,13 @@ Open-loop traffic commands (see docs/TRAFFIC.md)::
     python -m repro.cli traffic --rate 3000 --slo 'latency:p99<10ms'
     python -m repro.cli loadknee --quick                 # knee smoke
     python -m repro.cli loadknee      # full run -> BENCH_traffic.json
+
+Near-cache commands (see docs/CACHING.md)::
+
+    python -m repro.cli nearcache --cache --offload      # cached scenario
+    python -m repro.cli nearcache --cache --scenario hot-key-storm --json
+    python -m repro.cli nearcachebench --quick           # cache smoke
+    python -m repro.cli nearcachebench  # full run -> BENCH_nearcache.json
 """
 
 from __future__ import annotations
@@ -100,6 +107,12 @@ def _run_loadknee_runner(quick: bool = False):
     return run_loadknee(quick=quick)
 
 
+def _run_nearcachebench_runner(quick: bool = False):
+    from repro.bench.nearcache import run_nearcachebench
+
+    return run_nearcachebench(quick=quick)
+
+
 _RUNNERS: Dict[str, Callable] = {
     "fig1": experiments.run_fig1,
     "fig4": experiments.run_fig4,
@@ -112,6 +125,7 @@ _RUNNERS: Dict[str, Callable] = {
     "faulttail": _run_faulttail_runner,
     "replicate": _run_replicate_runner,
     "loadknee": _run_loadknee_runner,
+    "nearcachebench": _run_nearcachebench_runner,
 }
 
 _DESCRIPTIONS = {
@@ -128,6 +142,8 @@ _DESCRIPTIONS = {
     "ack mode",
     "loadknee": "SLO-bounded throughput knee + corrected-vs-uncorrected "
     "tails per shard topology",
+    "nearcachebench": "near-cache + backup-read-offload knee shift, "
+    "primary-GET shed and state-equivalence gates",
 }
 
 
@@ -136,7 +152,13 @@ def _run_one(
     quick: bool,
     out_dir: pathlib.Path = None,
     csv: bool = False,
-) -> str:
+) -> "tuple":
+    """Run one registered artifact; returns ``(text, exit_code)``.
+
+    Artifacts whose results carry gates (``loadknee``,
+    ``nearcachebench``) surface them through ``exit_code``; everything
+    else exits 0.
+    """
     runner = _RUNNERS[name]
     if name in ("fig1", "fig8"):
         result = runner()  # analytic, no quick knob
@@ -174,6 +196,21 @@ def _run_one(
             json_path = pathlib.Path(json_name)
         write_json(result, json_path)
         text += f"\n[measurements saved to {json_path}]"
+    if name == "nearcachebench":
+        from repro.bench.nearcache import write_json
+
+        json_name = (
+            "BENCH_nearcache_quick.json" if quick
+            else "BENCH_nearcache.json"
+        )
+        if out_dir is not None:
+            json_path = out_dir / json_name
+        elif quick:
+            json_path = pathlib.Path("bench_reports") / json_name
+        else:
+            json_path = pathlib.Path(json_name)
+        write_json(result, json_path)
+        text += f"\n[measurements saved to {json_path}]"
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         (out_dir / f"{name}.txt").write_text(text + "\n")
@@ -181,7 +218,7 @@ def _run_one(
             from repro.bench.export import to_csv
 
             (out_dir / f"{name}.csv").write_text(to_csv(result))
-    return text
+    return text, getattr(result, "exit_code", 0)
 
 
 def _obs_workload(op: str, value_size: int, ops: int):
@@ -752,6 +789,72 @@ def run_traffic_cmd(
     return text, report.exit_code
 
 
+def run_nearcache_cmd(
+    scenario: str = "hot-key-storm",
+    seed: int = 11,
+    shards: int = 2,
+    replicas: int = 1,
+    ack_mode: str = "sync",
+    rate: float = None,
+    ops: int = None,
+    cache: bool = False,
+    offload: bool = False,
+    cache_entries: int = 256,
+    cache_lease_ms: float = 25.0,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Open-loop scenario with the near-cache; returns ``(text, exit_code)``.
+
+    A front-end over :func:`~repro.traffic.scenarios.run_scenario` that
+    turns on the client-verified near-cache (``--cache``) and/or the
+    freshness-token backup-read offload (``--offload``) on every pooled
+    connection; the report grows a near-cache section (hits, misses,
+    revalidations, offloaded reads, primary/backup GET split).  Exit
+    code 0 means the run-level SLO held with the correction invariant
+    intact; 1 means a breach; 2 means the configuration was invalid --
+    including asking for neither feature (use 'traffic' for that) or
+    for ``--offload`` without any backups to offload onto.
+    """
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.traffic import run_scenario
+
+    if not cache and not offload:
+        raise ConfigurationError(
+            "'nearcache' needs --cache and/or --offload "
+            "(plain runs: use the 'traffic' command)"
+        )
+    if offload and replicas < 1:
+        raise ConfigurationError(
+            f"--offload needs --replicas >= 1 to have backups to read "
+            f"from, got {replicas}"
+        )
+    report = run_scenario(
+        scenario,
+        seed=seed,
+        shards=shards,
+        replicas=replicas,
+        ack_mode=ack_mode,
+        rate=rate,
+        ops=ops,
+        near_cache=cache,
+        read_offload=offload,
+        cache_entries=cache_entries,
+        cache_lease_ms=cache_lease_ms,
+    )
+    if as_json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.report()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        suffix = "json" if as_json else "txt"
+        (out_dir / f"nearcache.{suffix}").write_text(text + "\n")
+    return text, report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -766,7 +869,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_RUNNERS)
         + ["all", "list", "scorecard", "trace", "metrics", "shard",
            "chaos", "cryptobench", "batchbench", "replica", "health",
-           "flightrec", "traffic"],
+           "flightrec", "traffic", "nearcache"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
@@ -779,7 +882,9 @@ def build_parser() -> argparse.ArgumentParser:
         "'health' for a windowed SLO report over a deterministic "
         "cluster run, 'flightrec' to produce or replay a "
         "flight-recorder dump, 'traffic' for an open-loop scenario "
-        "with coordinated-omission-corrected tails)",
+        "with coordinated-omission-corrected tails, 'nearcache' for the "
+        "same with the client-verified near-cache and/or backup-read "
+        "offload enabled)",
     )
     parser.add_argument(
         "--quick",
@@ -934,14 +1039,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'flightrec --load': reconstruct this trace's causal "
         "hop timeline from the dump",
     )
-    traffic = parser.add_argument_group("open-loop traffic ('traffic' only)")
+    traffic = parser.add_argument_group(
+        "open-loop traffic ('traffic'/'nearcache')"
+    )
     traffic.add_argument(
         "--scenario",
-        default="steady",
+        default=None,
         metavar="NAME",
         help="registered scenario name (steady, bursty, diurnal, "
         "flash-crowd, hot-key-storm, multi-tenant-contention; "
-        "default: steady)",
+        "'traffic' default: steady, 'nearcache' default: hot-key-storm)",
     )
     traffic.add_argument(
         "--rate",
@@ -950,6 +1057,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OPS_S",
         help="offered arrival rate override in ops/s of simulated time "
         "(default: the scenario's own rate)",
+    )
+    cache = parser.add_argument_group("near-cache ('nearcache' only)")
+    cache.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the client-verified near-cache on every pooled "
+        "connection",
+    )
+    cache.add_argument(
+        "--offload",
+        action="store_true",
+        help="enable freshness-token GET offload to replica backups "
+        "(needs --replicas >= 1)",
+    )
+    cache.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="per-connection near-cache capacity (default: 256)",
+    )
+    cache.add_argument(
+        "--lease-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="near-cache lease length in simulated milliseconds "
+        "(default: 25)",
     )
     return parser
 
@@ -979,6 +1114,8 @@ def main(argv=None) -> int:
               "(or --load to replay one)")
         print("traffic    open-loop scenario run with "
               "coordinated-omission-corrected tails")
+        print("nearcache  open-loop scenario with the client-verified "
+              "near-cache / backup-read offload")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -1121,7 +1258,9 @@ def main(argv=None) -> int:
 
         try:
             text, code = run_traffic_cmd(
-                scenario=args.scenario,
+                scenario=args.scenario
+                if args.scenario is not None
+                else "steady",
                 seed=args.seed,
                 shards=args.shards if args.shards is not None else 2,
                 replicas=args.replicas if args.replicas is not None else 0,
@@ -1130,6 +1269,32 @@ def main(argv=None) -> int:
                 ops=args.ops,
                 schedule=args.schedule if args.schedule is not None else "",
                 slo=args.slo,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "nearcache":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_nearcache_cmd(
+                scenario=args.scenario
+                if args.scenario is not None
+                else "hot-key-storm",
+                seed=args.seed,
+                shards=args.shards if args.shards is not None else 2,
+                replicas=args.replicas if args.replicas is not None else 1,
+                ack_mode=args.ack_mode,
+                rate=args.rate,
+                ops=args.ops,
+                cache=args.cache,
+                offload=args.offload,
+                cache_entries=args.cache_entries,
+                cache_lease_ms=args.lease_ms,
                 as_json=args.json,
                 out_dir=args.out,
             )
@@ -1178,12 +1343,15 @@ def main(argv=None) -> int:
             (args.out / "scorecard.txt").write_text(result.report() + "\n")
         return 0 if result.passed == result.total else 1
     names = sorted(_RUNNERS) if args.artifact == "all" else [args.artifact]
+    worst = 0
     for name in names:
-        print(
-            _run_one(name, quick=args.quick, out_dir=args.out, csv=args.csv)
+        text, code = _run_one(
+            name, quick=args.quick, out_dir=args.out, csv=args.csv
         )
+        print(text)
         print()
-    return 0
+        worst = max(worst, code)
+    return worst
 
 
 if __name__ == "__main__":

@@ -60,7 +60,7 @@ from repro.errors import (
 from repro.faults.engine import FaultEngine
 from repro.faults.recovery import crash_restart
 from repro.faults.schedule import FaultKind, FaultSchedule
-from repro.obs import FlightRecorder, ObsContext
+from repro.obs import FlightRecorder, ManualClock, ObsContext
 
 __all__ = ["ChaosReport", "run_chaos"]
 
@@ -100,6 +100,14 @@ class ChaosReport:
     #: Acked log records the groups report lost at promotions (ground
     #: truth for tests: every one must be matched by client detections).
     lost_records: int = 0
+    #: Near-cache / backup-offload configuration and counters (the new
+    #: read paths run under the same shadow verification as everything
+    #: else; the section is only serialized when a feature was on).
+    near_cache: bool = False
+    read_offload: bool = False
+    cache_stats: Optional[dict] = None
+    offload_served: int = 0
+    offload_fallbacks: int = 0
     #: Flight-recorder dump triggered by the run's violations, if any.
     flight_dump: Optional[dict] = None
 
@@ -115,7 +123,7 @@ class ChaosReport:
 
     def to_dict(self) -> dict:
         """JSON-shaped view of the report (the ``--json`` CLI output)."""
-        return {
+        out = {
             "seed": self.seed,
             "schedule": self.schedule,
             "ops": self.ops,
@@ -138,6 +146,15 @@ class ChaosReport:
             "lost_records": self.lost_records,
             "flight_dump_recorded": self.flight_dump is not None,
         }
+        if self.near_cache or self.read_offload:
+            out["near_cache"] = self.near_cache
+            out["read_offload"] = self.read_offload
+            out["cache_stats"] = (
+                dict(self.cache_stats) if self.cache_stats else None
+            )
+            out["offload_served"] = self.offload_served
+            out["offload_fallbacks"] = self.offload_fallbacks
+        return out
 
 
 def _workload_key(index: int) -> bytes:
@@ -164,10 +181,17 @@ class _ChaosRun:
         replicas: int = 0,
         ack_mode: str = "sync",
         ecall_batch: int = 0,
+        near_cache: bool = False,
+        read_offload: bool = False,
     ):
         if replicas and shards is None:
             raise ConfigurationError(
                 "replicas require a sharded cluster (pass shards >= 1)"
+            )
+        if (near_cache or read_offload) and shards is None:
+            raise ConfigurationError(
+                "the near-cache and the read offload live in the routing "
+                "client (pass shards >= 1)"
             )
         self.ops = ops
         self.keyspace = keyspace
@@ -187,6 +211,8 @@ class _ChaosRun:
             shards=shards,
             replicas=replicas,
             ack_mode=ack_mode if shards is not None else None,
+            near_cache=near_cache,
+            read_offload=read_offload,
         )
         self.shadow: Dict[bytes, bytes] = {}
         self.uncertain: set = set()
@@ -197,6 +223,7 @@ class _ChaosRun:
         )
         if shards is None:
             self.cluster = None
+            self.cache_clock = None
             self.server = PrecursorServer(obs=self.obs, config=server_config)
             self.manager = CheckpointManager()
             self.target = PrecursorClient(
@@ -221,6 +248,13 @@ class _ChaosRun:
                 config=server_config,
             )
             self.manager = self.cluster.checkpoints
+            # The near-cache lease must tick on *logical* time here: on
+            # the wall clock, whether a lease survives until the next
+            # read of its key depends on host speed, which would make
+            # the wire-fault stream -- and the fingerprint -- flaky.
+            # One millisecond per workload op keeps the default 25 ms
+            # lease meaningful (entries expire ~25 ops after fill).
+            self.cache_clock = ManualClock() if near_cache else None
             self.target = ShardedClient(
                 self.cluster,
                 keygen=KeyGenerator(seed),
@@ -229,6 +263,9 @@ class _ChaosRun:
                 # The client-centric failover check: losses must be caught
                 # by the client's own MAC record, not the shadow oracle.
                 track_freshness=replicas > 0,
+                near_cache=near_cache,
+                cache_clock=self.cache_clock,
+                read_offload=read_offload,
             )
             fabrics = [
                 self.cluster.server(name).fabric for name in self.cluster.shards
@@ -520,6 +557,12 @@ class _ChaosRun:
             del self.down[name]
         self.engine.disarm()
         self.engine.flush_delayed()
+        # The readback is the store's word, not the client's memory of
+        # it: drop the near-cache so at-rest tamper injected after a
+        # key's last (legitimately cached) read still gets detected.
+        drop_cache = getattr(self.target, "drop_cache", None)
+        if drop_cache is not None:
+            drop_cache()
         digest = hashlib.sha256()
         for index in range(self.keyspace):
             key = _workload_key(index)
@@ -568,6 +611,8 @@ class _ChaosRun:
 
     def run(self) -> ChaosReport:
         for op_index in range(self.ops):
+            if self.cache_clock is not None:
+                self.cache_clock.advance(1_000_000)  # 1 ms of lease time
             self._machine_faults(op_index)
             self._one_op(op_index)
         self._final_readback()
@@ -581,6 +626,15 @@ class _ChaosRun:
         if self.cluster is not None:
             report.promotions = self.cluster.promotions
             report.lost_records = self.cluster.lost_records
+        report.near_cache = getattr(self.target, "cache", None) is not None
+        report.read_offload = bool(getattr(self.target, "_offload", False))
+        cache_stats = getattr(self.target, "cache_stats", None)
+        if cache_stats is not None:
+            report.cache_stats = cache_stats()
+        report.offload_served = getattr(self.target, "offload_reads", 0)
+        report.offload_fallbacks = getattr(
+            self.target, "offload_fallbacks", 0
+        )
         if report.violations:
             report.flight_dump = self.obs.flight.trigger(
                 "chaos_violation", violations=list(report.violations)
@@ -601,6 +655,8 @@ def run_chaos(
     replicas: int = 0,
     ack_mode: str = "sync",
     ecall_batch: int = 0,
+    near_cache: bool = False,
+    read_offload: bool = False,
 ) -> ChaosReport:
     """Run one seeded chaos workload; see the module docstring.
 
@@ -611,8 +667,12 @@ def run_chaos(
     ``semi-sync`` an acked write survives any single promotion, while
     ``async`` may lose the unshipped tail -- which the client must then
     *detect* (``losses_detected``) rather than silently absorb.
-    Raises :class:`~repro.errors.ConfigurationError` on a bad schedule
-    or an inconsistent replication configuration.
+    ``near_cache``/``read_offload`` run the workload's reads through the
+    client near-cache and the freshness-token backup path
+    (``docs/CACHING.md``), under the same shadow verification: a cached
+    or offloaded read that returns a wrong value is a violation like any
+    other.  Raises :class:`~repro.errors.ConfigurationError` on a bad
+    schedule or an inconsistent replication configuration.
     """
     parsed = FaultSchedule.parse(schedule)
     run = _ChaosRun(
@@ -627,5 +687,7 @@ def run_chaos(
         replicas=replicas,
         ack_mode=ack_mode,
         ecall_batch=ecall_batch,
+        near_cache=near_cache,
+        read_offload=read_offload,
     )
     return run.run()

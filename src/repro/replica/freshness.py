@@ -15,20 +15,31 @@ staleness detector:
 - a value returned for a key whose delete was acked is a
   **resurrection**.
 
-All three raise :class:`~repro.errors.StaleReadError`.  The tracker is
-deliberately MAC-based rather than value-based: the client never needs
-to retain plaintext, and two writes of identical plaintext still differ
-(fresh one-time key => fresh MAC), so version confusion is impossible.
+In **strict** mode (the default) all three raise
+:class:`~repro.errors.StaleReadError`.  The tracker is deliberately
+MAC-based rather than value-based: the client never needs to retain
+plaintext, and two writes of identical plaintext still differ (fresh
+one-time key => fresh MAC), so version confusion is impossible.
 
-The tracker only speaks for *this* client's acked writes.  Keys written
+Strict mode only speaks for *this* client's acked writes.  Keys written
 by other clients, or whose last mutation failed with an unknown outcome
 (retry budget exhausted mid-flight), must be :meth:`forget`-ten --
 the router does this on any failed mutation.
+
+**Advisory** mode (``strict=False``) exists for multi-writer workloads
+(the traffic engine's pooled connections share tenant keyspaces): a
+contradiction there is indistinguishable from another client's
+legitimate overwrite, so instead of raising, the tracker *adopts* the
+new observation, counts a ``conflict`` and reports the change to the
+caller.  The near-cache consumes exactly that signal -- an advisory
+claim is still a perfectly good cache-validation token (it pins the
+newest version *this client has seen*), it just cannot accuse the
+store of losing data.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import StaleReadError
 
@@ -39,14 +50,36 @@ _TOMBSTONE = None
 
 
 class FreshnessTracker:
-    """Per-key record of the last acknowledged write's payload MAC."""
+    """Per-key record of the last acknowledged write's payload MAC.
 
-    def __init__(self) -> None:
+    ``strict`` picks the contract (raise vs. adopt; see the module
+    docstring); ``on_detection`` is called, with no arguments, every
+    time a strict-mode detection fires -- the router wires a
+    ``client_staleness_detections_total`` counter in there so the bare
+    :attr:`detections` attribute is no longer the only export surface.
+    """
+
+    def __init__(
+        self,
+        strict: bool = True,
+        on_detection: Optional[Callable[[], None]] = None,
+    ) -> None:
         # key -> MAC bytes of the acked value, or _TOMBSTONE for an
         # acked delete.  Absent key == no claim about the store.
         self._acked: Dict[bytes, Optional[bytes]] = {}
+        self.strict = strict
+        self._on_detection = on_detection
         #: Staleness detections raised so far (introspection/metrics).
         self.detections = 0
+        #: Advisory-mode contradictions absorbed by adopting the newer
+        #: observation (multi-writer overwrites, never raised).
+        self.conflicts = 0
+
+    def _detect(self, key: bytes, reason: str) -> None:
+        self.detections += 1
+        if self._on_detection is not None:
+            self._on_detection()
+        raise StaleReadError(key, reason)
 
     # -- recording acknowledgements ---------------------------------------
 
@@ -73,6 +106,31 @@ class FreshnessTracker:
         key = bytes(key)
         return key in self._acked and self._acked[key] is None
 
+    def claim(self, key: bytes) -> Optional[bytes]:
+        """The claimed MAC for ``key`` (None == tombstone *or* no claim).
+
+        Disambiguate with :meth:`expects_value` /
+        :meth:`expects_absence`; the cache only serves under
+        ``expects_value``, where None cannot occur.
+        """
+        return self._acked.get(bytes(key))
+
+    def matches(self, key: bytes, mac: bytes) -> Optional[bool]:
+        """Does ``mac`` equal the claim for ``key``?  None == no claim.
+
+        A pure comparison: unlike :meth:`check_read` it neither raises
+        nor adopts, which is what the backup-read offload needs -- a
+        backup serving an *older* version than the claim is a routing
+        decision (fall back to the primary), not a store accusation.
+        A tombstone claim compares unequal to every MAC (a backup
+        resurrecting a deleted key must never be accepted).
+        """
+        key = bytes(key)
+        if key not in self._acked:
+            return None
+        expected = self._acked[key]
+        return expected is not None and bytes(mac) == expected
+
     @property
     def tracked(self) -> int:
         """Number of keys with an outstanding freshness claim."""
@@ -80,46 +138,66 @@ class FreshnessTracker:
 
     # -- verification ------------------------------------------------------
 
-    def check_read(self, key: bytes, mac: bytes) -> None:
+    def check_read(self, key: bytes, mac: bytes) -> bool:
         """Validate a successful read of ``key`` that returned ``mac``.
 
-        Raises :class:`StaleReadError` when the MAC contradicts the last
-        acked write (old version) or when the key's delete was acked
-        (resurrection).  A read that *passes* refreshes (or creates) the
-        key's claim: a verified read is the same client-side knowledge an
-        ack is -- "the store held this exact MAC" -- so later reads must
-        never regress behind it.  (Single-writer assumption: another
-        client's legitimate overwrite is indistinguishable from a
-        regression; see the class docstring.)
+        In strict mode, raises :class:`StaleReadError` when the MAC
+        contradicts the last acked write (old version) or when the key's
+        delete was acked (resurrection).  In advisory mode the same
+        contradictions adopt the observed MAC instead and count a
+        conflict.  Returns True when the observation *changed* the claim
+        (the caller's cache entry for the key is now invalid), False
+        when it confirmed it.
+
+        A read that passes refreshes (or creates) the key's claim: a
+        verified read is the same client-side knowledge an ack is --
+        "the store held this exact MAC" -- so later reads must never
+        regress behind it.  (Single-writer assumption in strict mode:
+        another client's legitimate overwrite is indistinguishable from
+        a regression; see the class docstring.)
         """
         key = bytes(key)
         mac = bytes(mac)
+        changed = True
         if key in self._acked:
             expected = self._acked[key]
             if expected is None:
-                self.detections += 1
-                raise StaleReadError(
-                    key,
-                    "value returned for a key whose delete was acknowledged",
-                )
-            if mac != expected:
-                self.detections += 1
-                raise StaleReadError(
-                    key,
-                    "payload MAC differs from the last acknowledged write "
-                    "(an older version was served)",
-                )
+                if self.strict:
+                    self._detect(
+                        key,
+                        "value returned for a key whose delete was "
+                        "acknowledged",
+                    )
+                self.conflicts += 1
+            elif mac != expected:
+                if self.strict:
+                    self._detect(
+                        key,
+                        "payload MAC differs from the last acknowledged "
+                        "write (an older version was served)",
+                    )
+                self.conflicts += 1
+            else:
+                changed = False
         self._acked[key] = mac
+        return changed
 
-    def check_absent(self, key: bytes) -> None:
+    def check_absent(self, key: bytes) -> bool:
         """Validate a NOT_FOUND answer for ``key``.
 
-        Raises :class:`StaleReadError` when this client holds an acked
-        value for the key -- the store demonstrably lost a write it
-        acknowledged.
+        Strict mode raises :class:`StaleReadError` when this client
+        holds an acked value for the key -- the store demonstrably lost
+        a write it acknowledged.  Advisory mode drops the claim (another
+        client deleted it) and returns True; False when the answer was
+        consistent all along.
         """
+        key = bytes(key)
         if self.expects_value(key):
-            self.detections += 1
-            raise StaleReadError(
-                bytes(key), "NOT_FOUND for a key with an acknowledged write"
-            )
+            if self.strict:
+                self._detect(
+                    key, "NOT_FOUND for a key with an acknowledged write"
+                )
+            self.conflicts += 1
+            self._acked.pop(key, None)
+            return True
+        return False

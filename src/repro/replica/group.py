@@ -197,6 +197,41 @@ class ReplicaGroup:
         return self._applied.get(backup, 0)
 
     @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record the primary has logged.
+
+        Every acked write's record is logged *before* its ack frame is
+        produced, so a client that just saw an ack can take this value
+        as the ack's piggybacked log position: any backup whose
+        :meth:`applied_lsn` has reached it holds that write.
+        """
+        return self._last_lsn
+
+    def backup_read_target(
+        self, min_lsn: int = 0
+    ) -> Optional[PrecursorServer]:
+        """A live backup whose applied LSN has reached ``min_lsn``.
+
+        The freshness-token read offload's routing primitive: the
+        router asks for a backup at least as applied as its own claimed
+        position for the shard.  A lagging backup (``inject_lag``, an
+        async window, a mid-resync rejoiner) is simply *not offered* --
+        the caller falls back to the primary, it never errors.  Among
+        the qualified, the most-applied backup wins (fewest chances of
+        serving a version older than the client's claim).
+        """
+        best: Optional[PrecursorServer] = None
+        best_lsn = -1
+        for backup in self.backups:
+            if backup.crashed:
+                continue
+            applied = self._applied.get(backup, 0)
+            if applied >= min_lsn and applied > best_lsn:
+                best = backup
+                best_lsn = applied
+        return best
+
+    @property
     def lag(self) -> int:
         """Records the slowest live backup is behind the primary."""
         live = self.live_backups()

@@ -29,12 +29,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache import NearCache
 from repro.core.client import PrecursorClient, allocate_client_id
 from repro.crypto.keys import KeyGenerator
 from repro.errors import (
     AccessError,
+    IntegrityError,
     KeyNotFoundError,
     OperationTimeoutError,
+    PrecursorError,
     ShardUnavailableError,
 )
 from repro.obs import Trace
@@ -61,6 +64,21 @@ class ShardedClient:
     already computes.  The single-writer caveat applies: the tracker only
     speaks for this router's own acked writes, and batched ``put_many``
     keys drop their claims (the batch API does not return per-key MACs).
+
+    ``near_cache`` adds a bounded client-side read cache
+    (:mod:`repro.cache.nearcache`): a ``get`` whose cached entry passes
+    every validity rule -- intact checksum, current ring epoch,
+    unexpired lease, MAC equal to the freshness claim -- is served with
+    no network round trip at all; anything less revalidates over the
+    verified read path.  ``read_offload`` adds freshness-token reads
+    against replica backups: the router picks a live backup whose
+    applied log position has reached its own claimed position for the
+    shard, reads through a dedicated attested session, and serves the
+    result only when the payload MAC equals the claim -- every other
+    outcome (lagging backup, miss, stale version, tamper, dead session)
+    is a *counted fallback* to the primary, never an error.  Both
+    features run the tracker in advisory mode unless ``track_freshness``
+    is also set (strict mode keeps its single-writer contract).
     """
 
     def __init__(
@@ -75,6 +93,11 @@ class ShardedClient:
         retry_backoff_s: float = 0.0002,
         retry_backoff_cap_s: float = 0.01,
         track_freshness: bool = False,
+        near_cache: bool = False,
+        cache_entries: int = 256,
+        cache_lease_ns: Optional[int] = None,
+        cache_clock=None,
+        read_offload: bool = False,
     ):
         self.cluster = cluster
         self.obs = cluster.obs
@@ -103,7 +126,6 @@ class ShardedClient:
         self.failovers = 0
         #: Sessions re-attested because a promotion swapped the primary.
         self.promotions_followed = 0
-        self.freshness = FreshnessTracker() if track_freshness else None
         registry = self.obs.registry
         self._obs_routed = {}
         self._obs_stale = registry.counter(
@@ -119,6 +141,72 @@ class ShardedClient:
             "router_promotion_follows_total",
             "sessions re-attested against a promoted primary",
         )
+        self._obs_detections = registry.counter(
+            "client_staleness_detections_total",
+            "client-side MAC-freshness staleness detections",
+        )
+        self._obs_cache_hits = registry.counter(
+            "client_cache_hits_total",
+            "near-cache hits served without a network read",
+        )
+        self._obs_cache_misses = registry.counter(
+            "client_cache_misses_total",
+            "near-cache lookups that fell through to a network read",
+        )
+        self._obs_cache_reval = registry.counter(
+            "client_cache_revalidations_total",
+            "cached entries refused (checksum/epoch/lease/claim) and "
+            "revalidated over the verified read path",
+        )
+        self._obs_cache_entries = registry.gauge(
+            "client_cache_entries",
+            "live near-cache entries per routing client",
+            {"client": str(self.client_id)},
+        )
+        self._obs_offload_served = registry.counter(
+            "client_offload_reads_total",
+            "backup-offloaded reads by outcome",
+            {"result": "served"},
+        )
+        self._obs_offload = {}
+
+        # The near-cache and the read offload both validate against the
+        # freshness ledger, so enabling either brings the tracker up --
+        # in *advisory* mode unless strict tracking was asked for
+        # (pooled multi-writer workloads must not raise on overwrites).
+        self.freshness: Optional[FreshnessTracker] = None
+        if track_freshness or near_cache or read_offload:
+            self.freshness = FreshnessTracker(
+                strict=track_freshness,
+                on_detection=self._obs_detections.inc,
+            )
+        self.cache: Optional[NearCache] = None
+        if near_cache:
+            # Leases tick on the obs clock by default; deterministic
+            # harnesses (chaos) pass their own logical clock so lease
+            # expiry -- and therefore read routing -- is reproducible.
+            self.cache = NearCache(
+                capacity=cache_entries,
+                **({"lease_ns": cache_lease_ns} if cache_lease_ns else {}),
+                clock=(
+                    cache_clock
+                    if cache_clock is not None
+                    else self.obs.tracer.clock
+                ),
+            )
+        self._offload = bool(read_offload)
+        #: Dedicated attested backup-read sessions, keyed by server
+        #: identity (shared with ``_by_server`` so promotions and
+        #: demotions revive rather than re-attach).
+        self._backup_sessions: Dict[int, PrecursorClient] = {}
+        #: Per-shard log position of this client's last acked mutation
+        #: (the ack's piggybacked LSN): a backup must have applied at
+        #: least this much before it may serve this client's reads.
+        self._claimed_lsn: Dict[str, int] = {}
+        #: Where the last ``get`` was served from: cache|backup|primary.
+        self.last_read_path = "primary"
+        self.offload_reads = 0
+        self.offload_fallbacks = 0
 
     # -- connections -------------------------------------------------------
 
@@ -153,6 +241,14 @@ class ShardedClient:
                 self.promotions_followed += 1
                 self._obs_promoted.inc()
                 self.obs.hop("reattach", shard=shard)
+                # Everything this shard cached was read from the old
+                # primary; the promotion fence (epoch bump) already
+                # refuses it lazily, dropping it eagerly frees the
+                # space and keeps the invariant visible.
+                self._drop_cached_shard(shard)
+                # The promoted member's backup-read session (if any)
+                # graduates to the primary session below.
+                self._backup_sessions.pop(id(current), None)
                 cached = self._by_server.get(id(current))
                 if cached is not None:
                     # Failing *back* to a member we once held a session
@@ -174,20 +270,29 @@ class ShardedClient:
         """Live per-shard sessions (shard name -> client)."""
         return dict(self._clients)
 
+    def _all_sessions(self):
+        """Every distinct underlying session (primary + backup-read)."""
+        seen: Dict[int, PrecursorClient] = {}
+        for client in self._clients.values():
+            seen[id(client)] = client
+        for client in self._backup_sessions.values():
+            seen[id(client)] = client
+        return seen.values()
+
     @property
     def integrity_failures(self) -> int:
-        """MAC verification failures across every shard session."""
-        return sum(c.integrity_failures for c in self._clients.values())
+        """MAC verification failures across every session."""
+        return sum(c.integrity_failures for c in self._all_sessions())
 
     @property
     def retries(self) -> int:
-        """Operation retries across every shard session."""
-        return sum(c.retries for c in self._clients.values())
+        """Operation retries across every session."""
+        return sum(c.retries for c in self._all_sessions())
 
     @property
     def reconnects(self) -> int:
-        """Reconnects (QP + re-attestation) across every shard session."""
-        return sum(c.reconnects for c in self._clients.values())
+        """Reconnects (QP + re-attestation) across every session."""
+        return sum(c.reconnects for c in self._all_sessions())
 
     # -- shard map handling ------------------------------------------------
 
@@ -235,6 +340,7 @@ class ShardedClient:
         """Route around a dead shard: drop it from the ring, refresh."""
         self.cluster.handle_shard_failure(shard)
         self.refresh_map()
+        self._drop_cached_shard(shard)
         self.failovers += 1
         self._obs_failover.inc()
         self.obs.hop("failover", shard=shard)
@@ -321,6 +427,187 @@ class ShardedClient:
         latency = self.obs.tracer.clock.now_ns() - t0_ns
         pipeline.observe(self._map.owner(key), op, latency, ok=ok)
 
+    # -- near-cache --------------------------------------------------------
+
+    def _cache_lookup(self, key: bytes) -> Optional[bytes]:
+        """Serve ``key`` from the near-cache when every rule holds.
+
+        The validation token is the freshness claim and the fence is the
+        *authoritative* ring epoch (not this router's possibly stale
+        snapshot): a promotion that bumped the epoch an instant ago
+        must already refuse the pre-failover entry, even before any
+        operation noticed the bump.
+        """
+        cache = self.cache
+        claim = self.freshness.claim(key)
+        if claim is None:
+            # No claim, or a tombstone: nothing to validate a hit
+            # against -- read through (which establishes a claim).
+            cache.misses += 1
+            self._obs_cache_misses.inc()
+            return None
+        before = cache.revalidations
+        value = cache.lookup(key, self.cluster.shard_map.epoch, claim)
+        if value is not None:
+            self._obs_cache_hits.inc()
+            return value
+        self._obs_cache_misses.inc()
+        if cache.revalidations > before:
+            self._obs_cache_reval.inc()
+        return None
+
+    def _cache_fill(self, key: bytes, value: bytes, mac: bytes) -> None:
+        """Cache a verified read / acked write under the current epoch."""
+        if self.cache is None:
+            return
+        self.cache.fill(
+            key, value, mac,
+            shard=self._map.owner(key),
+            epoch=self.cluster.shard_map.epoch,
+        )
+        self._obs_cache_entries.set(self.cache.entries)
+
+    def _cache_invalidate(self, key: bytes) -> None:
+        if self.cache is not None and self.cache.invalidate(key):
+            self._obs_cache_entries.set(self.cache.entries)
+
+    def _drop_cached_shard(self, shard: str) -> None:
+        if self.cache is not None and self.cache.drop_shard(shard):
+            self._obs_cache_entries.set(self.cache.entries)
+
+    def drop_cache(self) -> int:
+        """Empty the near-cache (forces every next read to the store)."""
+        if self.cache is None:
+            return 0
+        dropped = self.cache.clear()
+        self._obs_cache_entries.set(0)
+        return dropped
+
+    def cache_stats(self) -> Optional[dict]:
+        """Near-cache counter snapshot, or None when caching is off."""
+        return None if self.cache is None else self.cache.stats()
+
+    # -- backup read offload -----------------------------------------------
+
+    def _note_claimed_lsn(self, key: bytes) -> None:
+        """Record the acked mutation's log position for ``key``'s shard.
+
+        Models the ack frame piggybacking its log LSN: the record was
+        logged before the ack existed, so the group's newest LSN at ack
+        time upper-bounds (and here equals) the write's position.
+        """
+        if not self._offload:
+            return
+        shard = self._map.owner(key)
+        try:
+            group = self.cluster.group(shard)
+        except PrecursorError:
+            return
+        self._claimed_lsn[shard] = group.last_lsn
+
+    def _offload_fallback(self, reason: str) -> None:
+        self.offload_fallbacks += 1
+        counter = self._obs_offload.get(reason)
+        if counter is None:
+            counter = self.obs.registry.counter(
+                "client_offload_reads_total",
+                "backup-offloaded reads by outcome",
+                {"result": f"fallback_{reason}"},
+            )
+            self._obs_offload[reason] = counter
+        counter.inc()
+        self.obs.hop("offload_fallback", reason=reason)
+
+    def _backup_client(self, backup) -> Optional[PrecursorClient]:
+        """The attested backup-read session for ``backup``, or None.
+
+        Reuses a session we once held with the member in any role (a
+        demoted ex-primary after a rejoin) via a full revive; otherwise
+        attests fresh.  Returns None when the handshake fails -- the
+        caller falls back to the primary.
+        """
+        session = self._backup_sessions.get(id(backup))
+        if session is not None:
+            return session
+        session = self._by_server.get(id(backup))
+        if session is not None:
+            try:
+                session.revive()
+            except PrecursorError:
+                return None
+            self._backup_sessions[id(backup)] = session
+            return session
+        try:
+            session = PrecursorClient(
+                backup,
+                client_id=self.client_id,
+                keygen=self.keygen,
+                auto_pump=self._auto_pump,
+                expected_measurement=self._expected_measurement,
+                obs=self.obs,
+                trace_ops=False,
+                max_retries=self._max_retries,
+                retry_backoff_s=self._retry_backoff_s,
+                retry_backoff_cap_s=self._retry_backoff_cap_s,
+            )
+        except PrecursorError:
+            return None
+        self._backup_sessions[id(backup)] = session
+        self._by_server[id(backup)] = session
+        return session
+
+    def _offload_read(self, key: bytes):
+        """Try a freshness-token read on a backup; None => use the primary.
+
+        The contract (``docs/CACHING.md``): the client only accepts a
+        backup's answer when (a) the backup's applied log position has
+        reached the client's claimed position for the shard and (b) the
+        returned payload MAC equals the client's freshness claim for the
+        key.  Every other outcome is a counted fallback -- a lagging
+        backup under ``inject_lag`` or an async window degrades to a
+        primary read, it never produces an error or a stale value.
+        """
+        if not self.freshness.expects_value(key):
+            return None  # no token to attach; the primary read adopts one
+        shard = self._map.owner(key)
+        try:
+            group = self.cluster.group(shard)
+        except PrecursorError:
+            return None  # retired/unknown shard: let the normal path route
+        if not group.backups:
+            return None
+        backup = group.backup_read_target(self._claimed_lsn.get(shard, 0))
+        if backup is None:
+            self._offload_fallback("lagging")
+            return None
+        client = self._backup_client(backup)
+        if client is None:
+            self._offload_fallback("session")
+            return None
+        try:
+            value = client.get(key)
+            mac = client.last_payload_mac
+        except KeyNotFoundError:
+            self._offload_fallback("miss")
+            return None
+        except IntegrityError:
+            # A torn/tampered backup record: the MAC check caught it,
+            # the primary still holds the good copy.
+            self._offload_fallback("tamper")
+            return None
+        except PrecursorError:
+            self._offload_fallback("unavailable")
+            self._backup_sessions.pop(id(backup), None)
+            return None
+        if self.freshness.matches(key, mac) is not True:
+            # An older version than the claim (an applied-LSN race or a
+            # resurrection): never accept it, never accuse the backup.
+            self._offload_fallback("stale")
+            return None
+        self.offload_reads += 1
+        self._obs_offload_served.inc()
+        return value, mac
+
     # -- key-value API -----------------------------------------------------
 
     def _check_absent(self, key: bytes) -> None:
@@ -341,12 +628,18 @@ class ShardedClient:
             mac = self._failover_retry(key, True, lambda c: c.put(key, value))
             if self.freshness is not None:
                 self.freshness.note_write(key, mac)
+            # The client holds plaintext + acked MAC right here: an ack
+            # is a free cache fill (and the ack's log position bounds
+            # which backups may serve this client from now on).
+            self._cache_fill(key, value, mac)
+            self._note_claimed_lsn(key)
             self.operations += 1
         except BaseException as exc:
             if self.freshness is not None:
                 # Unknown outcome: this key can no longer anchor a
                 # staleness claim.
                 self.freshness.forget(key)
+            self._cache_invalidate(key)
             self._observe(key, "put", t0_ns, ok=False)
             self._end_context(context, f"error:{type(exc).__name__}")
             if trace is not None:
@@ -364,16 +657,45 @@ class ShardedClient:
         against the last acknowledged write of ``key``; a mismatch (or a
         NOT_FOUND contradicting an acked write) raises
         :class:`~repro.errors.StaleReadError`.
+
+        With the near-cache on, a validated hit short-circuits the
+        network entirely; with the read offload on, a qualifying backup
+        serves the read and the primary is only consulted on fallback.
+        :attr:`last_read_path` records which lane answered
+        (``cache`` | ``backup`` | ``primary``).
         """
         trace = self._start_trace("get")
         context = self._begin_context("get")
         t0_ns = self.obs.tracer.clock.now_ns()
+        self.last_read_path = "primary"
 
         def fetch(client: PrecursorClient):
             fetched = client.get(key)
             return fetched, client.last_payload_mac
 
         try:
+            if self.cache is not None:
+                cached = self._cache_lookup(key)
+                if cached is not None:
+                    self.last_read_path = "cache"
+                    self.operations += 1
+                    self._observe(key, "get", t0_ns, ok=True)
+                    self._end_context(context, "ok")
+                    if trace is not None:
+                        trace.finish()
+                    return cached
+            if self._offload:
+                offloaded = self._offload_read(key)
+                if offloaded is not None:
+                    value, mac = offloaded
+                    self.last_read_path = "backup"
+                    self._cache_fill(key, value, mac)
+                    self.operations += 1
+                    self._observe(key, "get", t0_ns, ok=True)
+                    self._end_context(context, "ok")
+                    if trace is not None:
+                        trace.finish()
+                    return value
             try:
                 value, mac = self._failover_retry(key, False, fetch)
             except KeyNotFoundError:
@@ -390,8 +712,14 @@ class ShardedClient:
                     raise
             if self.freshness is not None:
                 self.freshness.check_read(key, mac)
+            self._cache_fill(key, value, mac)
             self.operations += 1
         except BaseException as exc:
+            # Whatever failed, the cached entry no longer has a story
+            # that ends in a valid hit (detected staleness, a confirmed
+            # miss, an unreachable shard): drop it so the next read
+            # revalidates from the store.
+            self._cache_invalidate(key)
             self._observe(key, "get", t0_ns, ok=False)
             self._end_context(context, f"error:{type(exc).__name__}")
             if trace is not None:
@@ -425,6 +753,8 @@ class ShardedClient:
                     raise
             if self.freshness is not None:
                 self.freshness.note_delete(key)
+            self._cache_invalidate(key)
+            self._note_claimed_lsn(key)
             self.operations += 1
         except KeyNotFoundError as exc:
             self._observe(key, "delete", t0_ns, ok=False)
@@ -435,6 +765,7 @@ class ShardedClient:
         except BaseException as exc:
             if self.freshness is not None:
                 self.freshness.forget(key)
+            self._cache_invalidate(key)
             self._observe(key, "delete", t0_ns, ok=False)
             self._end_context(context, f"error:{type(exc).__name__}")
             if trace is not None:
@@ -466,9 +797,11 @@ class ShardedClient:
             self._note_stale()
         if self.freshness is not None:
             # The batch API returns no per-key MACs; batched keys stop
-            # anchoring staleness claims (single-key puts restore them).
+            # anchoring staleness claims (single-key puts restore them)
+            # and their cached entries die with the claims.
             for key, _value in items:
                 self.freshness.forget(key)
+                self._cache_invalidate(key)
         groups = self._group_by_shard([key for key, _value in items])
         stored = 0
         for shard, indices in groups.items():

@@ -57,6 +57,9 @@ DEFAULT_BASE_SERVICE_NS = 400_000
 DEFAULT_JITTER_SERVICE_NS = 200_000
 #: Fixed wire/verify overhead charged per operation on top of frames.
 DEFAULT_WIRE_NS = 20_000
+#: Modelled cost of a validated near-cache hit (client-local: a digest
+#: lookup, a checksum and a MAC compare -- no wire, no shard queue).
+DEFAULT_CACHE_HIT_NS = 2_000
 
 
 @dataclass
@@ -105,6 +108,7 @@ class OpenLoopEngine:
         base_service_ns: int = DEFAULT_BASE_SERVICE_NS,
         jitter_service_ns: int = DEFAULT_JITTER_SERVICE_NS,
         wire_ns: int = DEFAULT_WIRE_NS,
+        cache_hit_ns: int = DEFAULT_CACHE_HIT_NS,
     ):
         if tick_every_ns < 1:
             raise ConfigurationError(
@@ -112,6 +116,10 @@ class OpenLoopEngine:
             )
         if base_service_ns < 0 or jitter_service_ns < 1 or wire_ns < 0:
             raise ConfigurationError("bad service model parameters")
+        if cache_hit_ns < 0:
+            raise ConfigurationError(
+                f"cache_hit_ns must be >= 0, got {cache_hit_ns}"
+            )
         self.model = model
         self.process = process
         self.clock = clock
@@ -120,6 +128,7 @@ class OpenLoopEngine:
         self.base_service_ns = base_service_ns
         self.jitter_service_ns = jitter_service_ns
         self.wire_ns = wire_ns
+        self.cache_hit_ns = cache_hit_ns
         self._service_rng = random.Random(seed ^ 0x5E2F1CE)
         self._accum_ns = 0
         self._hooked = False
@@ -208,7 +217,6 @@ class OpenLoopEngine:
             queue = queues[conn_key]
             intended, tenant, op, key, value = queue.popleft()
             shard = cluster.owner(key)
-            start = max(send, shard_free.get(shard, 0))
             conn = model.connections[conn_key]
 
             self._accum_ns = 0
@@ -225,10 +233,27 @@ class OpenLoopEngine:
                 result.shard_errors[shard] = (
                     result.shard_errors.get(shard, 0) + 1
                 )
-            service = self._accum_ns + self.wire_ns
-            completion = start + service
+            # Time modelling follows where the router actually served
+            # the read from.  A near-cache hit never leaves the client:
+            # no shard queueing, a fixed local cost.  A backup-served
+            # read queues on the shard's *backup lane* -- its service
+            # frames accrued on the backup's hook -- leaving the primary
+            # free for writes.  Everything else (including all writes
+            # and all errors) queues on the primary exactly as before.
+            path = "primary"
+            if ok and op == "get":
+                path = getattr(conn, "last_read_path", "primary")
+            if path == "cache":
+                start = send
+                service = self.cache_hit_ns
+                completion = start + service
+            else:
+                lane = shard if path != "backup" else f"{shard}@backup"
+                start = max(send, shard_free.get(lane, 0))
+                service = self._accum_ns + self.wire_ns
+                completion = start + service
+                shard_free[lane] = completion
             conn_free[conn_key] = completion
-            shard_free[shard] = completion
             last_completion = max(last_completion, completion)
 
             uncorrected = completion - send

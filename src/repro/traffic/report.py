@@ -108,6 +108,18 @@ class TrafficReport:
     fault_log: List[str] = field(default_factory=list)
     fault_fingerprint: Optional[str] = None
 
+    #: Near-cache / backup-offload configuration and aggregates.  The
+    #: JSON section only appears when a feature was on, so reports from
+    #: default runs keep their exact historical bytes.
+    near_cache: bool = False
+    read_offload: bool = False
+    nearcache: Optional[dict] = None
+    #: GET frames the shard primaries / backups actually handled --
+    #: always populated (bench baselines need the primary count even
+    #: with caching off), only serialized alongside ``nearcache``.
+    primary_gets: int = 0
+    backup_gets: int = 0
+
     # -- distributions -----------------------------------------------------
 
     def corrected_tail(self) -> Dict[str, int]:
@@ -190,7 +202,7 @@ class TrafficReport:
         """JSON-shaped view; stable key order and rounding so one seed
         yields byte-identical serialized reports (the determinism test
         relies on this)."""
-        return {
+        out = {
             "scenario": self.scenario,
             "version": self.version,
             "seed": self.seed,
@@ -233,6 +245,15 @@ class TrafficReport:
             "fault_fingerprint": self.fault_fingerprint,
             "fault_log": list(self.fault_log),
         }
+        if self.near_cache or self.read_offload:
+            out["near_cache"] = self.near_cache
+            out["read_offload"] = self.read_offload
+            out["nearcache"] = dict(
+                dict(self.nearcache or {}),
+                primary_gets=self.primary_gets,
+                backup_gets=self.backup_gets,
+            )
+        return out
 
     def report(self) -> str:
         """Human-readable scenario summary, corrected vs uncorrected."""
@@ -260,6 +281,16 @@ class TrafficReport:
             + "".join(f"{corrected[k]:>13,}" for k in _PCT_KEYS),
             f"omission gap (p99): {self.omission_gap():.2f}x",
         ]
+        if self.near_cache or self.read_offload:
+            stats = self.nearcache or {}
+            lines.append(
+                f"near-cache: hits={stats.get('cache_hits', 0)} "
+                f"misses={stats.get('cache_misses', 0)} "
+                f"offload={stats.get('offload_served', 0)} "
+                f"(fallbacks={stats.get('offload_fallbacks', 0)}) "
+                f"primary_gets={self.primary_gets} "
+                f"backup_gets={self.backup_gets}"
+            )
         if self.tenant_stats:
             lines.append("")
             lines.append("tenants:")

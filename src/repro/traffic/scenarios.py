@@ -250,6 +250,10 @@ def run_scenario(
     tick_every_ms: float = 5.0,
     window_ticks: int = 3,
     ecall_batch: int = 0,
+    near_cache: bool = False,
+    read_offload: bool = False,
+    cache_entries: int = 256,
+    cache_lease_ms: float = 25.0,
 ) -> TrafficReport:
     """Run one registered scenario end to end; returns its report.
 
@@ -260,9 +264,12 @@ def run_scenario(
     log fingerprints deterministically.  ``ecall_batch`` routes every
     shard server through the batched request pipeline
     (``docs/BATCHING.md``); 0 keeps the serial path and K=1 must produce
-    a byte-identical report.  Raises
-    :class:`~repro.errors.ConfigurationError` for unknown names or bad
-    parameters.
+    a byte-identical report.  ``near_cache``/``read_offload`` enable the
+    client-verified near-cache and the freshness-token backup reads
+    (``docs/CACHING.md``) on every pooled connection; both default off
+    and the default report stays byte-identical to before they existed.
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names
+    or bad parameters.
     """
     scenario = SCENARIOS.get(name)
     if scenario is None:
@@ -300,8 +307,20 @@ def run_scenario(
             ServerConfig(ecall_batch=ecall_batch) if ecall_batch else None
         ),
     )
+    if cache_lease_ms <= 0:
+        raise ConfigurationError(
+            f"cache_lease_ms must be positive, got {cache_lease_ms}"
+        )
     mix = scenario.mix()
-    model = SessionModel(cluster, mix, seed=seed)
+    model = SessionModel(
+        cluster,
+        mix,
+        seed=seed,
+        near_cache=near_cache,
+        read_offload=read_offload,
+        cache_entries=cache_entries,
+        cache_lease_ns=int(cache_lease_ms * NS_PER_MS),
+    )
     model.preload()  # before hooks/faults: warm-up is free and clean
 
     # The engine feeds the pipeline corrected latencies itself, so the
@@ -367,4 +386,17 @@ def run_scenario(
     if faults is not None:
         report.fault_log = list(faults.log)
         report.fault_fingerprint = faults.fingerprint()
+    report.near_cache = near_cache
+    report.read_offload = read_offload
+    report.nearcache = model.nearcache_stats()
+    # Which members actually handled GET frames: the primary-shed
+    # measurement (benchmarks compare these across configurations).
+    report.primary_gets = sum(
+        cluster.server(name).stats.gets for name in cluster.shards
+    )
+    report.backup_gets = sum(
+        backup.stats.gets
+        for name in cluster.shards
+        for backup in cluster.group(name).backups
+    )
     return report

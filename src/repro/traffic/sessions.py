@@ -235,7 +235,16 @@ class SessionModel:
     asks it to :meth:`draw` one operation per arrival timestamp.
     """
 
-    def __init__(self, cluster, mix: List[TenantSpec], seed: int = 0):
+    def __init__(
+        self,
+        cluster,
+        mix: List[TenantSpec],
+        seed: int = 0,
+        near_cache: bool = False,
+        read_offload: bool = False,
+        cache_entries: int = 256,
+        cache_lease_ns: Optional[int] = None,
+    ):
         if not mix:
             raise ConfigurationError("tenant mix must not be empty")
         names = [spec.name for spec in mix]
@@ -245,6 +254,8 @@ class SessionModel:
 
         self.cluster = cluster
         self.seed = seed
+        self.near_cache = near_cache
+        self.read_offload = read_offload
         self.tenants: List[TenantState] = [
             TenantState(i, spec, seed) for i, spec in enumerate(mix)
         ]
@@ -264,6 +275,14 @@ class SessionModel:
                     keygen=KeyGenerator(seed),
                     max_retries=4,
                     retry_backoff_s=0.0,
+                    # Pooled connections share tenant keyspaces, so the
+                    # router keeps its tracker advisory: caching must
+                    # bound staleness by lease/epoch, not accuse the
+                    # store of other connections' overwrites.
+                    near_cache=near_cache,
+                    read_offload=read_offload,
+                    cache_entries=cache_entries,
+                    cache_lease_ns=cache_lease_ns,
                 )
 
     @property
@@ -337,3 +356,40 @@ class SessionModel:
         return {
             state.spec.name: state.stats() for state in self.tenants
         }
+
+    def nearcache_stats(self) -> Optional[dict]:
+        """Cache/offload counters summed over every connection.
+
+        None when neither feature is enabled (the report section stays
+        absent and existing artifacts keep their exact bytes).
+        """
+        if not (self.near_cache or self.read_offload):
+            return None
+        out = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_revalidations": 0,
+            "cache_fills": 0,
+            "cache_invalidations": 0,
+            "cache_expirations": 0,
+            "cache_epoch_drops": 0,
+            "cache_claim_mismatches": 0,
+            "cache_evictions": 0,
+            "offload_served": 0,
+            "offload_fallbacks": 0,
+        }
+        for conn in self.connections.values():
+            stats = conn.cache_stats()
+            if stats is not None:
+                out["cache_hits"] += stats["hits"]
+                out["cache_misses"] += stats["misses"]
+                out["cache_revalidations"] += stats["revalidations"]
+                out["cache_fills"] += stats["fills"]
+                out["cache_invalidations"] += stats["invalidations"]
+                out["cache_expirations"] += stats["expirations"]
+                out["cache_epoch_drops"] += stats["epoch_drops"]
+                out["cache_claim_mismatches"] += stats["claim_mismatches"]
+                out["cache_evictions"] += stats["evictions"]
+            out["offload_served"] += conn.offload_reads
+            out["offload_fallbacks"] += conn.offload_fallbacks
+        return out

@@ -1,0 +1,281 @@
+"""Router integration: cached reads, backup offload, failover safety.
+
+The invariant under test everywhere: enabling the near-cache or the
+read offload never changes *what* a ``get`` returns -- only where the
+bytes came from (``last_read_path``).  The promotion regression is the
+sharp end: a read served from cache across a primary crash + backup
+promotion must either revalidate against the new primary or raise, and
+can never silently return the pre-failover value.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.obs import ManualClock, ObsContext
+from repro.obs.exporters import lint_prometheus, prometheus_text
+from repro.shard import ShardedClient, ShardedCluster
+
+LEASE_NS = 1_000_000  # 1 ms of simulated time
+
+
+def _cluster(shards=2, replicas=1, ack_mode="sync", seed=7):
+    clock = ManualClock()
+    obs = ObsContext.create(clock=clock)
+    cluster = ShardedCluster(
+        shards=shards, seed=seed, obs=obs,
+        replicas=replicas, ack_mode=ack_mode,
+    )
+    return cluster, clock
+
+
+def _router(cluster, **kwargs):
+    kwargs.setdefault("trace_ops", False)
+    return ShardedClient(cluster, **kwargs)
+
+
+class TestCachedReads:
+    def test_second_get_served_from_cache(self):
+        cluster, _clock = _cluster()
+        router = _router(cluster, near_cache=True, cache_lease_ns=LEASE_NS)
+        router.put(b"k", b"v1")
+        shard = cluster.owner(b"k")
+        gets_before = cluster.server(shard).stats.gets
+        assert router.get(b"k") == b"v1"  # the acked put filled the cache
+        assert router.last_read_path == "cache"
+        assert cluster.server(shard).stats.gets == gets_before
+        assert router.cache.hits == 1
+
+    def test_lease_expiry_revalidates_over_the_network(self):
+        cluster, clock = _cluster()
+        router = _router(cluster, near_cache=True, cache_lease_ns=LEASE_NS)
+        router.put(b"k", b"v1")
+        clock.advance(LEASE_NS)
+        shard = cluster.owner(b"k")
+        gets_before = cluster.server(shard).stats.gets
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "primary"
+        assert cluster.server(shard).stats.gets == gets_before + 1
+        assert router.cache.expirations == 1
+        # The revalidating read re-filled the entry under a fresh lease.
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "cache"
+
+    def test_own_write_refreshes_and_own_delete_invalidates(self):
+        cluster, _clock = _cluster()
+        router = _router(cluster, near_cache=True, cache_lease_ns=LEASE_NS)
+        router.put(b"k", b"v1")
+        router.put(b"k", b"v2")
+        assert router.get(b"k") == b"v2"
+        assert router.last_read_path == "cache"
+        router.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            router.get(b"k")
+
+    def test_another_writers_update_is_never_masked_past_the_lease(self):
+        # Writer B updates a key A holds cached; A may serve its own
+        # version inside the lease window (bounded staleness), but the
+        # first post-lease read must return B's value.
+        cluster, clock = _cluster()
+        a = _router(cluster, near_cache=True, cache_lease_ns=LEASE_NS)
+        b = _router(cluster)
+        a.put(b"k", b"a-version")
+        b.put(b"k", b"b-version")
+        assert a.get(b"k") == b"a-version"  # within lease: own view
+        clock.advance(LEASE_NS)
+        assert a.get(b"k") == b"b-version"
+        assert a.last_read_path == "primary"
+        # The advisory tracker adopted B's MAC instead of raising.
+        assert a.freshness.conflicts == 1
+
+    def test_cache_entries_bounded_by_capacity(self):
+        cluster, _clock = _cluster()
+        router = _router(
+            cluster, near_cache=True, cache_entries=4,
+            cache_lease_ns=LEASE_NS,
+        )
+        for i in range(10):
+            router.put(b"key-%d" % i, b"v")
+        assert router.cache.entries <= 4
+        assert router.cache.evictions == 6
+
+    def test_invalid_cache_config_raises(self):
+        cluster, _clock = _cluster()
+        with pytest.raises(ConfigurationError):
+            _router(cluster, near_cache=True, cache_entries=0)
+
+
+class TestBackupOffload:
+    def test_offloaded_get_spares_the_primary(self):
+        cluster, _clock = _cluster(ack_mode="sync")
+        router = _router(cluster, read_offload=True)
+        router.put(b"k", b"v1")
+        shard = cluster.owner(b"k")
+        primary_gets = cluster.server(shard).stats.gets
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "backup"
+        assert cluster.server(shard).stats.gets == primary_gets
+        assert router.offload_reads == 1
+        assert sum(b.stats.gets for b in cluster.group(shard).backups) == 1
+
+    def test_lagging_backup_falls_back_counted_not_erroring(self):
+        # Async acks: the write is acknowledged before it ships, so the
+        # backup's applied LSN is behind the claimed LSN -- the offload
+        # must degrade to a primary read (async loss-detection depends
+        # on reads reaching an authoritative member).
+        cluster, _clock = _cluster(ack_mode="async", seed=29)
+        router = _router(cluster, read_offload=True)
+        router.put(b"k", b"v1")
+        shard = cluster.owner(b"k")
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "primary"
+        assert router.offload_fallbacks == 1
+        assert router.offload_reads == 0
+        # Once the group ships the tail, the same read offloads.
+        cluster.group(shard).flush()
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "backup"
+        assert router.offload_reads == 1
+
+    def test_injected_lag_only_defers_offload(self):
+        cluster, _clock = _cluster(ack_mode="async", seed=31)
+        router = _router(cluster, read_offload=True)
+        shard = cluster.owner(b"k")
+        cluster.group(shard).inject_lag(8)
+        router.put(b"k", b"v1")
+        assert router.get(b"k") == b"v1"  # lagging: primary answered
+        assert router.offload_fallbacks >= 1
+        cluster.group(shard).flush()
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "backup"
+
+    def test_unreplicated_cluster_reads_normally(self):
+        cluster, _clock = _cluster(replicas=0)
+        router = _router(cluster, read_offload=True)
+        router.put(b"k", b"v1")
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "primary"
+        assert router.offload_fallbacks == 0  # no backups: not a fallback
+
+    def test_deleted_key_never_resurrected_from_backup(self):
+        # After an acked delete the claim is a tombstone; the offload
+        # must not even attempt a backup read (no value token), and the
+        # primary path must answer NOT_FOUND.
+        cluster, _clock = _cluster(ack_mode="sync")
+        router = _router(cluster, read_offload=True)
+        router.put(b"k", b"v1")
+        router.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            router.get(b"k")
+        assert router.offload_reads == 0
+
+
+class TestPromotionSafety:
+    def test_cached_read_across_promotion_never_serves_pre_failover_value(self):
+        cluster, _clock = _cluster(shards=2, replicas=1, ack_mode="sync")
+        router = _router(cluster, near_cache=True, cache_lease_ns=LEASE_NS)
+        router.put(b"k", b"pre-failover")
+        assert router.get(b"k") == b"pre-failover"
+        assert router.last_read_path == "cache"
+        shard = cluster.owner(b"k")
+        epoch_before = cluster.shard_map.epoch
+        cluster.crash_shard(shard)
+        assert cluster.shard_map.epoch == epoch_before + 1  # the fence
+        # The epoch fence must refuse the cached entry *immediately* --
+        # even before this router has routed anything since the crash --
+        # and the revalidating read lands on the promoted backup.  With
+        # sync replication the value survives; what is forbidden is the
+        # cache answering from before the fence.
+        value = router.get(b"k")
+        assert value == b"pre-failover"
+        assert router.last_read_path == "primary"
+        assert router.cache.epoch_drops >= 1
+        assert router.promotions_followed >= 1
+
+    def test_promotion_drops_the_whole_shards_entries(self):
+        cluster, _clock = _cluster(shards=2, replicas=1)
+        router = _router(cluster, near_cache=True, cache_lease_ns=LEASE_NS)
+        keys = [b"key-%d" % i for i in range(16)]
+        for key in keys:
+            router.put(key, b"v")
+        shard = cluster.shards[0]
+        cached_here = sum(
+            1 for key in keys
+            if router.cache.peek(key) is not None
+            and router.cache.peek(key).shard == shard
+        )
+        assert cached_here > 0
+        cluster.crash_shard(shard)
+        victim = next(key for key in keys if cluster.owner(key) == shard)
+        router.get(victim)  # an op on that shard makes the router notice
+        # Every pre-failover entry for the shard was dropped eagerly; the
+        # only one allowed back is the revalidated read, at the new epoch.
+        survivors = [
+            router.cache.peek(key) for key in keys
+            if router.cache.peek(key) is not None
+            and router.cache.peek(key).shard == shard
+        ]
+        assert [e.key for e in survivors] == [victim]
+        assert survivors[0].epoch == cluster.shard_map.epoch
+
+    def test_migration_epoch_bump_fences_cached_entries(self):
+        cluster, _clock = _cluster(shards=2, replicas=0)
+        router = _router(cluster, near_cache=True, cache_lease_ns=LEASE_NS)
+        router.put(b"k", b"v1")
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "cache"
+        cluster.add_shard()  # live join: migration + epoch bump
+        assert router.get(b"k") == b"v1"
+        assert router.last_read_path == "primary"  # revalidated
+        assert router.cache.epoch_drops == 1
+
+
+class TestMetricsExport:
+    def test_client_metrics_lint_clean(self):
+        cluster, clock = _cluster()
+        router = _router(
+            cluster, near_cache=True, read_offload=True,
+            cache_lease_ns=LEASE_NS,
+        )
+        router.put(b"k", b"v1")
+        router.get(b"k")            # cache hit
+        clock.advance(LEASE_NS)
+        router.get(b"k")            # revalidation (offload or primary)
+        text = prometheus_text(cluster.obs.registry)
+        assert lint_prometheus(text, require_help=True) == []
+        assert "client_cache_hits_total 1" in text
+        assert "client_cache_misses_total" in text
+        assert "client_cache_revalidations_total 1" in text
+        assert "client_staleness_detections_total 0" in text
+        assert 'client_cache_entries{client="' in text
+        assert 'client_offload_reads_total{result="' in text
+
+    def test_offload_outcomes_are_labelled(self):
+        cluster, _clock = _cluster(ack_mode="async", seed=29)
+        router = _router(cluster, read_offload=True)
+        router.put(b"k", b"v1")
+        router.get(b"k")  # lagging fallback
+        shard = cluster.owner(b"k")
+        cluster.group(shard).flush()
+        router.get(b"k")  # served
+        text = prometheus_text(cluster.obs.registry)
+        assert 'client_offload_reads_total{result="served"} 1' in text
+        assert (
+            'client_offload_reads_total{result="fallback_lagging"} 1' in text
+        )
+
+    def test_detections_exported_in_strict_mode(self):
+        from repro.errors import StaleReadError
+
+        cluster, _clock = _cluster(ack_mode="async", seed=29)
+        router = _router(cluster, track_freshness=True)
+        router.put(b"k", b"acked")
+        shard = cluster.owner(b"k")
+        cluster.crash_shard(shard)  # async: the unshipped tail dies
+        with pytest.raises((StaleReadError, KeyNotFoundError)):
+            router.get(b"k")
+        text = prometheus_text(cluster.obs.registry)
+        assert lint_prometheus(text) == []
+        assert (
+            "client_staleness_detections_total "
+            f"{router.freshness.detections}" in text
+        )

@@ -1,0 +1,221 @@
+"""Near-cache unit rules + advisory freshness tracking.
+
+The cache half: every one of the five hit-validity rules
+(``src/repro/cache/nearcache.py``) must individually refuse a lookup --
+missing entry, broken self-checksum, stale ring epoch, expired lease,
+claim mismatch -- with its own counter, and the LRU must stay bounded.
+The tracker half: advisory mode must *adopt* contradictions (counting
+conflicts) where strict mode raises, and the non-adopting accessors
+(``claim``/``matches``) must never mutate the ledger.
+"""
+
+import pytest
+
+from repro.cache import DEFAULT_LEASE_NS, NearCache
+from repro.errors import ConfigurationError, StaleReadError
+from repro.obs import ManualClock
+from repro.replica import FreshnessTracker
+
+KEY = b"account-0001"
+VAL = b"balance=100"
+MAC = b"m" * 16
+MAC2 = b"n" * 16
+
+
+def _filled(clock=None, **kwargs):
+    cache = NearCache(clock=clock, **kwargs)
+    cache.fill(KEY, VAL, MAC, shard="shard-0", epoch=1)
+    return cache
+
+
+class TestConfig:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            NearCache(capacity=0)
+
+    def test_lease_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            NearCache(lease_ns=0)
+
+
+class TestHitRules:
+    def test_valid_hit_serves_value(self):
+        cache = _filled()
+        assert cache.lookup(KEY, 1, MAC) == VAL
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_absent_key_is_a_plain_miss(self):
+        cache = NearCache()
+        assert cache.lookup(KEY, 1, MAC) is None
+        assert cache.misses == 1 and cache.revalidations == 0
+
+    def test_corrupted_value_refused_and_dropped(self):
+        cache = _filled()
+        cache.peek(KEY).value = b"tampered!!!"
+        assert cache.lookup(KEY, 1, MAC) is None
+        assert cache.integrity_drops == 1
+        assert cache.revalidations == 1
+        assert cache.peek(KEY) is None  # dropped, not retried
+
+    def test_corrupted_mac_refused_and_dropped(self):
+        cache = _filled()
+        cache.peek(KEY).mac = MAC2
+        assert cache.lookup(KEY, 1, MAC2) is None
+        assert cache.integrity_drops == 1
+
+    def test_epoch_bump_fences_entry(self):
+        cache = _filled()
+        assert cache.lookup(KEY, 2, MAC) is None
+        assert cache.epoch_drops == 1
+        assert cache.entries == 0
+
+    def test_lease_expiry_on_sim_clock(self):
+        clock = ManualClock()
+        cache = _filled(clock=clock)
+        clock.advance(DEFAULT_LEASE_NS - 1)
+        assert cache.lookup(KEY, 1, MAC) == VAL
+        clock.advance(1)
+        assert cache.lookup(KEY, 1, MAC) is None
+        assert cache.expirations == 1
+
+    def test_hits_never_refresh_the_lease(self):
+        # The lease bounds how long *any* cached version may be served;
+        # a hot key must still revalidate every lease_ns.
+        clock = ManualClock()
+        cache = _filled(clock=clock, lease_ns=1000)
+        clock.advance(999)
+        assert cache.lookup(KEY, 1, MAC) == VAL  # hit near the edge...
+        clock.advance(1)
+        assert cache.lookup(KEY, 1, MAC) is None  # ...does not extend it
+        assert cache.expirations == 1
+
+    def test_fill_grants_a_fresh_lease(self):
+        clock = ManualClock()
+        cache = _filled(clock=clock, lease_ns=1000)
+        clock.advance(900)
+        cache.fill(KEY, VAL, MAC, shard="shard-0", epoch=1)
+        clock.advance(900)  # 1800 > first lease, < refreshed lease
+        assert cache.lookup(KEY, 1, MAC) == VAL
+
+    def test_claim_mismatch_refused(self):
+        cache = _filled()
+        assert cache.lookup(KEY, 1, MAC2) is None
+        assert cache.claim_mismatches == 1
+        assert cache.entries == 0
+
+
+class TestLru:
+    def test_capacity_bound_evicts_oldest(self):
+        cache = NearCache(capacity=2)
+        cache.fill(b"a", VAL, MAC, shard="s", epoch=1)
+        cache.fill(b"b", VAL, MAC, shard="s", epoch=1)
+        cache.fill(b"c", VAL, MAC, shard="s", epoch=1)
+        assert cache.entries == 2
+        assert cache.evictions == 1
+        assert cache.peek(b"a") is None
+
+    def test_hit_refreshes_recency(self):
+        cache = NearCache(capacity=2)
+        cache.fill(b"a", VAL, MAC, shard="s", epoch=1)
+        cache.fill(b"b", VAL, MAC, shard="s", epoch=1)
+        cache.lookup(b"a", 1, MAC)  # a becomes most-recent
+        cache.fill(b"c", VAL, MAC, shard="s", epoch=1)
+        assert cache.peek(b"a") is not None
+        assert cache.peek(b"b") is None
+
+    def test_refill_replaces_without_eviction(self):
+        cache = NearCache(capacity=2)
+        cache.fill(b"a", VAL, MAC, shard="s", epoch=1)
+        cache.fill(b"b", VAL, MAC, shard="s", epoch=1)
+        cache.fill(b"a", VAL, MAC2, shard="s", epoch=1)
+        assert cache.entries == 2 and cache.evictions == 0
+        assert cache.peek(b"a").mac == MAC2
+
+
+class TestInvalidation:
+    def test_invalidate_single_key(self):
+        cache = _filled()
+        assert cache.invalidate(KEY) is True
+        assert cache.invalidate(KEY) is False
+        assert cache.invalidations == 1
+
+    def test_drop_shard_is_selective(self):
+        cache = NearCache()
+        cache.fill(b"a", VAL, MAC, shard="shard-0", epoch=1)
+        cache.fill(b"b", VAL, MAC, shard="shard-1", epoch=1)
+        assert cache.drop_shard("shard-0") == 1
+        assert cache.peek(b"a") is None
+        assert cache.peek(b"b") is not None
+
+    def test_clear_empties_everything(self):
+        cache = _filled()
+        assert cache.clear() == 1
+        assert cache.entries == 0
+
+    def test_stats_snapshot_shape(self):
+        cache = _filled()
+        stats = cache.stats()
+        for field in (
+            "entries", "capacity", "lease_ns", "hits", "misses",
+            "revalidations", "expirations", "epoch_drops",
+            "claim_mismatches", "integrity_drops", "fills",
+            "evictions", "invalidations",
+        ):
+            assert field in stats
+
+
+class TestAdvisoryFreshness:
+    def test_strict_raises_advisory_adopts_on_old_version(self):
+        strict = FreshnessTracker(strict=True)
+        strict.note_write(KEY, MAC)
+        with pytest.raises(StaleReadError):
+            strict.check_read(KEY, MAC2)
+
+        advisory = FreshnessTracker(strict=False)
+        advisory.note_write(KEY, MAC)
+        assert advisory.check_read(KEY, MAC2) is True  # claim changed
+        assert advisory.conflicts == 1
+        assert advisory.detections == 0
+        assert advisory.claim(KEY) == MAC2  # adopted
+
+    def test_confirming_read_changes_nothing(self):
+        advisory = FreshnessTracker(strict=False)
+        advisory.note_write(KEY, MAC)
+        assert advisory.check_read(KEY, MAC) is False
+        assert advisory.conflicts == 0
+
+    def test_advisory_resurrection_adopts(self):
+        advisory = FreshnessTracker(strict=False)
+        advisory.note_delete(KEY)
+        assert advisory.check_read(KEY, MAC) is True
+        assert advisory.conflicts == 1
+        assert advisory.expects_value(KEY)
+
+    def test_advisory_not_found_drops_claim(self):
+        advisory = FreshnessTracker(strict=False)
+        advisory.note_write(KEY, MAC)
+        assert advisory.check_absent(KEY) is True
+        assert advisory.conflicts == 1
+        assert not advisory.expects_value(KEY)
+        assert advisory.check_absent(KEY) is False  # now consistent
+
+    def test_matches_never_mutates(self):
+        tracker = FreshnessTracker(strict=False)
+        assert tracker.matches(KEY, MAC) is None  # no claim
+        tracker.note_write(KEY, MAC)
+        assert tracker.matches(KEY, MAC) is True
+        assert tracker.matches(KEY, MAC2) is False
+        assert tracker.claim(KEY) == MAC  # a False match adopted nothing
+        tracker.note_delete(KEY)
+        # A tombstone claim compares unequal to every MAC: a backup
+        # resurrecting a deleted key must never be accepted.
+        assert tracker.matches(KEY, MAC) is False
+
+    def test_detection_callback_fires_in_strict_mode(self):
+        fired = []
+        strict = FreshnessTracker(strict=True, on_detection=lambda: fired.append(1))
+        strict.note_write(KEY, MAC)
+        with pytest.raises(StaleReadError):
+            strict.check_read(KEY, MAC2)
+        assert fired == [1]
+        assert strict.detections == 1
