@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke traffic-smoke batch-smoke cache-smoke examples lint clean
+.PHONY: install test bench bench-quick scorecard shard-smoke chaos-smoke cryptobench-smoke replica-smoke health-smoke traffic-smoke batch-smoke cache-smoke autoscale-smoke examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -88,6 +88,18 @@ cache-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_nearcache_units.py \
 		tests/test_nearcache_router.py tests/test_nearcache_chaos.py
 	PYTHONPATH=src $(PYTHON) -m repro.cli nearcachebench --quick
+
+# Elastic autoscaler gate (docs/AUTOSCALING.md): the policy, actuator,
+# scenario, chaos and topology-event suites must hold, then the reduced
+# benchmark must clear its gates -- exit 1 on any flapping, a failed
+# SLO-recovery phase, a non-deterministic decision log, or a chaos run
+# with the controller live going red (the committed artifact
+# BENCH_autoscale.json holds the full-run numbers).
+autoscale-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_autoscale_policy.py \
+		tests/test_autoscale_actuator.py tests/test_autoscale_scenarios.py \
+		tests/test_autoscale_chaos.py tests/test_topology_events.py
+	PYTHONPATH=src $(PYTHON) -m repro.cli autoscalebench --quick
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

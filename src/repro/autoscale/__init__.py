@@ -1,0 +1,36 @@
+"""SLO-driven elastic autoscaler (see ``docs/AUTOSCALING.md``).
+
+A deterministic sim-clock control plane in three layers:
+
+- :mod:`repro.autoscale.signals` -- windowed telemetry reduced to
+  smoothed per-shard pressure scores;
+- :mod:`repro.autoscale.policy` -- a declarative threshold grammar in
+  the SLO-grammar family, evaluated into action proposals;
+- :mod:`repro.autoscale.controller` -- the stability guard and the
+  actuator driving :class:`~repro.shard.ShardedCluster` join/leave and
+  :class:`~repro.replica.ReplicaGroup` grow/shrink, logging every
+  decision (applied or refused) canonically.
+"""
+
+from repro.autoscale.controller import AutoScaler, Decision, StabilityGuard
+from repro.autoscale.policy import (
+    DEFAULT_POLICY_SPEC,
+    PolicyEngine,
+    PolicyRule,
+    Proposal,
+    parse_policy,
+)
+from repro.autoscale.signals import SignalPlane, ShardPressure
+
+__all__ = [
+    "AutoScaler",
+    "Decision",
+    "StabilityGuard",
+    "DEFAULT_POLICY_SPEC",
+    "PolicyEngine",
+    "PolicyRule",
+    "Proposal",
+    "parse_policy",
+    "SignalPlane",
+    "ShardPressure",
+]

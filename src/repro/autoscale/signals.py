@@ -1,0 +1,109 @@
+"""Signal plane: windowed telemetry -> smoothed per-shard pressure.
+
+The controller never reads raw telemetry.  Each published
+:class:`~repro.obs.telemetry.ClusterTelemetry` snapshot is reduced to
+one scalar *pressure score* per shard:
+
+``raw = max(p99/p99_ref, queue/queue_ref, epc/epc_ref, lag/lag_ref)``
+
+where the references are the policy's scale-out thresholds (so a score
+of 1.0 means "exactly at the point the policy wants another shard").
+Raw scores are then smoothed with an exponentially weighted moving
+average, ``score = alpha * raw + (1 - alpha) * prev``, which is what
+the ``util`` metric in scale-in rules reads.  Smoothing plus the
+policy's ``for=N`` streaks are the first half of the stability story;
+the guard's cooldowns are the second.
+
+Everything here is pure float arithmetic over sim-clock snapshots, so
+two runs with the same seed produce bit-identical score trajectories
+-- the property the byte-identical decision-log gate leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.obs.telemetry import ClusterTelemetry
+
+__all__ = ["ShardPressure", "SignalPlane", "DEFAULT_REFERENCES"]
+
+#: Fallback normalizers when the policy has no scale-out rule for a
+#: metric.  Chosen at the same order of magnitude as the traffic SLO
+#: (p99 < 5 ms) and typical sim queue/EPC scales.
+DEFAULT_REFERENCES: Dict[str, float] = {
+    "p99": 2_000_000.0,  # 2 ms in ns
+    "queue": 16.0,  # ring entries
+    "epc": 8.0 * 1024 * 1024,  # 8 MiB working set
+    "lag": 24.0,  # replication-log records
+}
+
+
+@dataclass(frozen=True)
+class ShardPressure:
+    """One shard's pressure for one tick."""
+
+    shard: str
+    components: Mapping[str, float]  # per-metric normalized ratios
+    raw: float  # max of components this tick
+    score: float  # EWMA-smoothed raw
+
+    @property
+    def driver(self) -> str:
+        """The metric contributing the max component (ties: name order)."""
+        return max(sorted(self.components), key=lambda k: self.components[k])
+
+
+class SignalPlane:
+    """Turns telemetry snapshots into smoothed pressure scores."""
+
+    def __init__(
+        self,
+        references: Optional[Mapping[str, float]] = None,
+        alpha: float = 0.5,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        refs = dict(DEFAULT_REFERENCES)
+        if references:
+            for metric, limit in references.items():
+                if limit > 0:
+                    refs[metric] = float(limit)
+        self.references = refs
+        self.alpha = alpha
+        self._scores: Dict[str, float] = {}
+
+    def update(self, snapshot: ClusterTelemetry) -> Dict[str, ShardPressure]:
+        """Fold one snapshot into the EWMA state; return fresh views.
+
+        Shards absent from the snapshot (migrated away and drained)
+        are dropped from the smoothing state so a re-joined shard of
+        the same name starts cold instead of inheriting stale history.
+        """
+        refs = self.references
+        views: Dict[str, ShardPressure] = {}
+        for name in sorted(snapshot.shards):
+            sample = snapshot.shards[name]
+            components = {
+                "p99": sample.p99_ns / refs["p99"],
+                "queue": sample.queue_depth / refs["queue"],
+                "epc": sample.epc_bytes / refs["epc"],
+                "lag": sample.replication_lag / refs["lag"],
+            }
+            raw = max(components.values())
+            prev = self._scores.get(name)
+            if prev is None:
+                score = raw
+            else:
+                score = self.alpha * raw + (1.0 - self.alpha) * prev
+            self._scores[name] = score
+            views[name] = ShardPressure(
+                shard=name, components=components, raw=raw, score=score
+            )
+        for stale in [n for n in self._scores if n not in views]:
+            del self._scores[stale]
+        return views
+
+    def scores(self) -> Dict[str, float]:
+        """Current smoothed score per shard (copy)."""
+        return dict(self._scores)

@@ -248,6 +248,27 @@ class NearCache:
         self.invalidations += len(victims)
         return len(victims)
 
+    def drop_moved(self, owner_of) -> int:
+        """Drop every entry whose key's owner is no longer its fill shard.
+
+        The voluntary-migration counterpart of :meth:`drop_shard`: on a
+        shard join/leave the epoch fence already refuses *every*
+        pre-change entry lazily, but entries whose keys actually moved
+        should not sit in the LRU waiting to fail validation one by
+        one.  ``owner_of`` maps a key to its owner under the *new* map;
+        entries are kept with their full key bytes precisely so this
+        recheck is possible.
+        """
+        victims = [
+            digest
+            for digest, entry in self._entries.items()
+            if owner_of(entry.key) != entry.shard
+        ]
+        for digest in victims:
+            del self._entries[digest]
+        self.invalidations += len(victims)
+        return len(victims)
+
     def clear(self) -> int:
         """Drop everything (harness readbacks bypass the cache this way)."""
         dropped = len(self._entries)

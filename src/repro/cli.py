@@ -70,6 +70,15 @@ Near-cache commands (see docs/CACHING.md)::
     python -m repro.cli nearcache --cache --scenario hot-key-storm --json
     python -m repro.cli nearcachebench --quick           # cache smoke
     python -m repro.cli nearcachebench  # full run -> BENCH_nearcache.json
+
+Autoscaler commands (see docs/AUTOSCALING.md)::
+
+    python -m repro.cli autoscale                        # elastic flash crowd
+    python -m repro.cli autoscale --max-shards 6 --json
+    python -m repro.cli autoscale --policy 'scale-out:p99>1ms:for=2'
+    python -m repro.cli chaos --shards 3 --replicas 1 --autoscale
+    python -m repro.cli autoscalebench --quick           # elasticity smoke
+    python -m repro.cli autoscalebench  # full run -> BENCH_autoscale.json
 """
 
 from __future__ import annotations
@@ -113,6 +122,12 @@ def _run_nearcachebench_runner(quick: bool = False):
     return run_nearcachebench(quick=quick)
 
 
+def _run_autoscalebench_runner(quick: bool = False):
+    from repro.bench.autoscale import run_autoscalebench
+
+    return run_autoscalebench(quick=quick)
+
+
 _RUNNERS: Dict[str, Callable] = {
     "fig1": experiments.run_fig1,
     "fig4": experiments.run_fig4,
@@ -126,6 +141,7 @@ _RUNNERS: Dict[str, Callable] = {
     "replicate": _run_replicate_runner,
     "loadknee": _run_loadknee_runner,
     "nearcachebench": _run_nearcachebench_runner,
+    "autoscalebench": _run_autoscalebench_runner,
 }
 
 _DESCRIPTIONS = {
@@ -144,6 +160,8 @@ _DESCRIPTIONS = {
     "tails per shard topology",
     "nearcachebench": "near-cache + backup-read-offload knee shift, "
     "primary-GET shed and state-equivalence gates",
+    "autoscalebench": "elastic-vs-static knee grid, flash-crowd SLO "
+    "recovery, shard-ms dividend + zero-flapping gates",
 }
 
 
@@ -156,8 +174,8 @@ def _run_one(
     """Run one registered artifact; returns ``(text, exit_code)``.
 
     Artifacts whose results carry gates (``loadknee``,
-    ``nearcachebench``) surface them through ``exit_code``; everything
-    else exits 0.
+    ``nearcachebench``, ``autoscalebench``) surface them through
+    ``exit_code``; everything else exits 0.
     """
     runner = _RUNNERS[name]
     if name in ("fig1", "fig8"):
@@ -202,6 +220,21 @@ def _run_one(
         json_name = (
             "BENCH_nearcache_quick.json" if quick
             else "BENCH_nearcache.json"
+        )
+        if out_dir is not None:
+            json_path = out_dir / json_name
+        elif quick:
+            json_path = pathlib.Path("bench_reports") / json_name
+        else:
+            json_path = pathlib.Path(json_name)
+        write_json(result, json_path)
+        text += f"\n[measurements saved to {json_path}]"
+    if name == "autoscalebench":
+        from repro.bench.autoscale import write_json
+
+        json_name = (
+            "BENCH_autoscale_quick.json" if quick
+            else "BENCH_autoscale.json"
         )
         if out_dir is not None:
             json_path = out_dir / json_name
@@ -396,6 +429,8 @@ def run_chaos_cmd(
     as_json: bool = False,
     out_dir: pathlib.Path = None,
     out_name: str = "chaos",
+    autoscale: bool = False,
+    autoscale_policy: str = None,
 ) -> "tuple":
     """Seeded chaos run; returns ``(text, exit_code)``.
 
@@ -404,7 +439,9 @@ def run_chaos_cmd(
     (lost acked write, silent corruption, resurrection).  Under a
     ``sync``/``semi-sync`` replicated cluster any acked loss at a
     promotion is itself a contract violation, so client-detected losses
-    and group-reported lost records also flip the exit code.
+    and group-reported lost records also flip the exit code.  With
+    ``autoscale`` the elastic controller runs live during the schedule
+    (``docs/AUTOSCALING.md``) and any flapping also forces exit 1.
     """
     import json
 
@@ -417,6 +454,8 @@ def run_chaos_cmd(
         shards=shards,
         replicas=replicas,
         ack_mode=ack_mode,
+        autoscale=autoscale,
+        autoscale_policy=autoscale_policy,
     )
     contract_broken = (
         replicas > 0
@@ -470,8 +509,14 @@ def run_chaos_cmd(
             f"client-detected={report.losses_detected}",
             f"fault fingerprint {report.fault_fingerprint[:16]}...",
             f"state digest      {report.state_digest[:16]}...",
-            f"verdict           {verdict}",
         ]
+        if report.autoscale:
+            lines.append(
+                f"autoscale         decisions={report.autoscale_decisions} "
+                f"applied={report.autoscale_applied} "
+                f"flapping={report.autoscale_flapping}"
+            )
+        lines.append(f"verdict           {verdict}")
         text = "\n".join(lines)
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -484,6 +529,8 @@ def run_chaos_cmd(
             )
     code = report.exit_code
     if contract_broken and code == 0:
+        code = 1
+    if report.autoscale and report.autoscale_flapping and code == 0:
         code = 1
     return text, code
 
@@ -855,6 +902,72 @@ def run_nearcache_cmd(
     return text, report.exit_code
 
 
+def run_autoscale_cmd(
+    scenario: str = "flash-crowd",
+    seed: int = 11,
+    shards: int = 1,
+    replicas: int = 1,
+    ack_mode: str = "sync",
+    rate: float = None,
+    ops: int = None,
+    policy: str = None,
+    max_shards: int = 4,
+    slo: str = None,
+    as_json: bool = False,
+    out_dir: pathlib.Path = None,
+) -> "tuple":
+    """Open-loop scenario with the autoscaler; returns ``(text, exit_code)``.
+
+    A front-end over :func:`~repro.traffic.scenarios.run_scenario` that
+    attaches the SLO-driven elastic control plane
+    (:mod:`repro.autoscale`, ``docs/AUTOSCALING.md``) to the telemetry
+    pipeline: the cluster starts at ``--shards`` and the controller
+    splits/joins shards and grows/shrinks replica groups up to
+    ``--max-shards`` under the declarative ``--policy``.  The report
+    grows an autoscale section (every decision -- applied *and*
+    refused -- plus the canonical decision log and its fingerprint).
+    Exit code 0 means the run-level SLO held *and* the controller never
+    flapped; 1 means an SLO breach, a broken correction invariant or
+    observed flapping; 2 means the configuration was invalid (unknown
+    scenario, malformed policy spec, bad bounds).
+    """
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.traffic import run_scenario
+
+    if max_shards < shards:
+        raise ConfigurationError(
+            f"--max-shards ({max_shards}) must be >= --shards ({shards})"
+        )
+    report = run_scenario(
+        scenario,
+        seed=seed,
+        shards=shards,
+        replicas=replicas,
+        ack_mode=ack_mode,
+        rate=rate,
+        ops=ops,
+        slo=slo,
+        autoscale=True,
+        autoscale_policy=policy,
+        autoscale_max_shards=max_shards,
+    )
+    if as_json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.report()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        suffix = "json" if as_json else "txt"
+        (out_dir / f"autoscale.{suffix}").write_text(text + "\n")
+    code = report.exit_code
+    summary = report.autoscale_summary or {}
+    if summary.get("flapping", 0) and code == 0:
+        code = 1
+    return text, code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -869,7 +982,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_RUNNERS)
         + ["all", "list", "scorecard", "trace", "metrics", "shard",
            "chaos", "cryptobench", "batchbench", "replica", "health",
-           "flightrec", "traffic", "nearcache"],
+           "flightrec", "traffic", "nearcache", "autoscale"],
         help="which figure/table to regenerate ('all' for everything, "
         "'list' to enumerate, 'scorecard' for pass/fail vs the paper, "
         "'trace'/'metrics' to exercise the observability subsystem, "
@@ -884,7 +997,8 @@ def build_parser() -> argparse.ArgumentParser:
         "flight-recorder dump, 'traffic' for an open-loop scenario "
         "with coordinated-omission-corrected tails, 'nearcache' for the "
         "same with the client-verified near-cache and/or backup-read "
-        "offload enabled)",
+        "offload enabled, 'autoscale' for the same with the SLO-driven "
+        "elastic control plane live)",
     )
     parser.add_argument(
         "--quick",
@@ -1086,6 +1200,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="near-cache lease length in simulated milliseconds "
         "(default: 25)",
     )
+    scaler = parser.add_argument_group("autoscaler ('autoscale'/'chaos')")
+    scaler.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="'chaos' only: run the elastic controller live during the "
+        "fault schedule (requires --shards; exit 1 on any flapping)",
+    )
+    scaler.add_argument(
+        "--policy",
+        default=None,
+        metavar="SPEC",
+        help="comma-separated policy rules, e.g. "
+        "'scale-out:p99>2ms:for=2,scale-in:util<25%%:for=8' "
+        "(default: the built-in policy)",
+    )
+    scaler.add_argument(
+        "--max-shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="upper bound the stability guard enforces on shard count "
+        "(default: 4)",
+    )
     return parser
 
 
@@ -1116,6 +1253,8 @@ def main(argv=None) -> int:
               "coordinated-omission-corrected tails")
         print("nearcache  open-loop scenario with the client-verified "
               "near-cache / backup-read offload")
+        print("autoscale  open-loop scenario with the SLO-driven "
+              "elastic control plane live")
         return 0
     if args.artifact in ("trace", "metrics") and args.value_size < 0:
         print(
@@ -1175,6 +1314,8 @@ def main(argv=None) -> int:
                 ack_mode=args.ack_mode,
                 as_json=args.json,
                 out_dir=args.out,
+                autoscale=args.autoscale,
+                autoscale_policy=args.policy,
             )
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -1295,6 +1436,31 @@ def main(argv=None) -> int:
                 offload=args.offload,
                 cache_entries=args.cache_entries,
                 cache_lease_ms=args.lease_ms,
+                as_json=args.json,
+                out_dir=args.out,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return code
+    if args.artifact == "autoscale":
+        from repro.errors import ConfigurationError
+
+        try:
+            text, code = run_autoscale_cmd(
+                scenario=args.scenario
+                if args.scenario is not None
+                else "flash-crowd",
+                seed=args.seed,
+                shards=args.shards if args.shards is not None else 1,
+                replicas=args.replicas if args.replicas is not None else 1,
+                ack_mode=args.ack_mode,
+                rate=args.rate,
+                ops=args.ops,
+                policy=args.policy,
+                max_shards=args.max_shards,
+                slo=args.slo,
                 as_json=args.json,
                 out_dir=args.out,
             )

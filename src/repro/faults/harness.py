@@ -67,6 +67,23 @@ __all__ = ["ChaosReport", "run_chaos"]
 #: Ops a dead shard stays down before the harness restores it.
 _OUTAGE_SPAN = 3
 
+#: Workload ops between telemetry ticks when the autoscaler is live.
+_AUTOSCALE_EVERY = 10
+
+#: Default chaos-mode policy: latency windows are empty here (the
+#: harness drives no open-loop load), so pressure comes from the
+#: probes -- the EPC working set crossing a split point (the working
+#: set is bucket-granular: ~208 KiB for an idle enclave, ~258 KiB once
+#: its table pages are touched, so 230 KiB sits exactly between the
+#: steps), and replication lag opened up by injected lag faults (only
+#: visible above the contract: run ``semi-sync``/``async`` to exercise
+#: the replica rules).  Deliberately aggressive so topology actually
+#: churns within a short chaos run; the guard still brackets the churn.
+_CHAOS_POLICY = (
+    "scale-out:epc>230KiB:for=2,scale-in:util<20%:for=6,"
+    "replica-out:lag>3:for=1,replica-in:lag<1:for=4"
+)
+
 
 @dataclass
 class ChaosReport:
@@ -110,6 +127,12 @@ class ChaosReport:
     offload_fallbacks: int = 0
     #: Flight-recorder dump triggered by the run's violations, if any.
     flight_dump: Optional[dict] = None
+    #: Elastic-controller section (only serialized when it was live).
+    autoscale: bool = False
+    autoscale_decisions: int = 0
+    autoscale_applied: int = 0
+    autoscale_flapping: int = 0
+    autoscale_log: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -154,6 +177,14 @@ class ChaosReport:
             )
             out["offload_served"] = self.offload_served
             out["offload_fallbacks"] = self.offload_fallbacks
+        if self.autoscale:
+            out["autoscale"] = {
+                "enabled": True,
+                "decisions": self.autoscale_decisions,
+                "applied": self.autoscale_applied,
+                "flapping": self.autoscale_flapping,
+                "log": list(self.autoscale_log),
+            }
         return out
 
 
@@ -183,7 +214,13 @@ class _ChaosRun:
         ecall_batch: int = 0,
         near_cache: bool = False,
         read_offload: bool = False,
+        autoscale: bool = False,
+        autoscale_policy: Optional[str] = None,
     ):
+        if autoscale and shards is None:
+            raise ConfigurationError(
+                "the autoscaler steers a sharded cluster (pass shards >= 1)"
+            )
         if replicas and shards is None:
             raise ConfigurationError(
                 "replicas require a sharded cluster (pass shards >= 1)"
@@ -273,6 +310,39 @@ class _ChaosRun:
             sessions = list(self.target.sessions.values())
         self.engine.install(fabrics=fabrics, clients=sessions)
 
+        self.scale_clock: Optional[ManualClock] = None
+        self.pipeline = None
+        self.controller = None
+        if autoscale:
+            from repro.autoscale import AutoScaler, StabilityGuard
+            from repro.obs import TelemetryPipeline
+
+            # The controller runs between workload ops on its own
+            # logical clock (same reasoning as the cache clock: wall
+            # time would make decision timing host-dependent).
+            self.scale_clock = ManualClock()
+            self.pipeline = TelemetryPipeline(
+                clock=self.scale_clock,
+                window_ticks=2,
+                registry=self.obs.registry,
+            )
+            self.pipeline.attach_cluster(self.cluster)
+            guard = StabilityGuard(
+                min_shards=max(1, shards - 1),
+                max_shards=shards + 2,
+                min_replicas=replicas,
+                max_replicas=replicas + 1,
+                cooldown_ticks=3,
+                shard_cooldown_ticks=6,
+            )
+            self.controller = AutoScaler(
+                self.cluster,
+                policy=autoscale_policy or _CHAOS_POLICY,
+                guard=guard,
+                obs=self.obs,
+            )
+            self.pipeline.attach_controller(self.controller)
+
     # -- bookkeeping -------------------------------------------------------
 
     def _outcome(self, kind: str) -> None:
@@ -308,10 +378,13 @@ class _ChaosRun:
 
     def _machine_faults(self, op_index: int) -> None:
         # Restore shards whose outage span elapsed (replicated groups
-        # rejoin their dead ex-primary as a backup).
+        # rejoin their dead ex-primary as a backup).  A shard the
+        # autoscaler retired meanwhile has nothing left to restore --
+        # its keys already migrated to the survivors.
         for name in [n for n, due in self.down.items() if op_index >= due]:
-            self.cluster.restore_shard(name)
-            self.report.crash_restarts += 1
+            if name in self.cluster._groups:
+                self.cluster.restore_shard(name)
+                self.report.crash_restarts += 1
             del self.down[name]
 
         for kind in self.engine.schedule.harness_kinds():
@@ -552,8 +625,9 @@ class _ChaosRun:
 
     def _final_readback(self) -> None:
         for name in list(self.down):
-            self.cluster.restore_shard(name)
-            self.report.crash_restarts += 1
+            if name in self.cluster._groups:
+                self.cluster.restore_shard(name)
+                self.report.crash_restarts += 1
             del self.down[name]
         self.engine.disarm()
         self.engine.flush_delayed()
@@ -613,6 +687,12 @@ class _ChaosRun:
         for op_index in range(self.ops):
             if self.cache_clock is not None:
                 self.cache_clock.advance(1_000_000)  # 1 ms of lease time
+            if self.scale_clock is not None:
+                self.scale_clock.advance(1_000_000)
+                if (op_index + 1) % _AUTOSCALE_EVERY == 0:
+                    # Controller actions land *between* workload ops,
+                    # exactly like the scenario wiring.
+                    self.pipeline.tick()
             self._machine_faults(op_index)
             self._one_op(op_index)
         self._final_readback()
@@ -635,6 +715,12 @@ class _ChaosRun:
         report.offload_fallbacks = getattr(
             self.target, "offload_fallbacks", 0
         )
+        if self.controller is not None:
+            report.autoscale = True
+            report.autoscale_decisions = len(self.controller.decisions)
+            report.autoscale_applied = len(self.controller.applied())
+            report.autoscale_flapping = self.controller.flap_count()
+            report.autoscale_log = self.controller.log_lines()
         if report.violations:
             report.flight_dump = self.obs.flight.trigger(
                 "chaos_violation", violations=list(report.violations)
@@ -657,6 +743,8 @@ def run_chaos(
     ecall_batch: int = 0,
     near_cache: bool = False,
     read_offload: bool = False,
+    autoscale: bool = False,
+    autoscale_policy: Optional[str] = None,
 ) -> ChaosReport:
     """Run one seeded chaos workload; see the module docstring.
 
@@ -671,8 +759,14 @@ def run_chaos(
     client near-cache and the freshness-token backup path
     (``docs/CACHING.md``), under the same shadow verification: a cached
     or offloaded read that returns a wrong value is a violation like any
-    other.  Raises :class:`~repro.errors.ConfigurationError` on a bad
-    schedule or an inconsistent replication configuration.
+    other.  ``autoscale`` puts the elastic controller
+    (``docs/AUTOSCALING.md``) live under the fault schedule: telemetry
+    ticks every few ops, and the controller may split/join shards and
+    grow/shrink replica groups *while* faults fire -- the shadow
+    verification and state digest then gate that autoscaler-initiated
+    migrations and promotions never lose or corrupt acked state.
+    Raises :class:`~repro.errors.ConfigurationError` on a bad schedule
+    or an inconsistent replication configuration.
     """
     parsed = FaultSchedule.parse(schedule)
     run = _ChaosRun(
@@ -689,5 +783,7 @@ def run_chaos(
         ecall_batch=ecall_batch,
         near_cache=near_cache,
         read_offload=read_offload,
+        autoscale=autoscale,
+        autoscale_policy=autoscale_policy,
     )
     return run.run()

@@ -485,6 +485,7 @@ class TelemetryPipeline:
         self._cluster = None
         self._slo = None
         self._flight = None
+        self._controller = None
         self._registry = registry
         self._last_fault_totals: Dict[str, int] = {}
         self._obs_ticks = None
@@ -507,6 +508,16 @@ class TelemetryPipeline:
     def attach_flight(self, recorder) -> None:
         """Trigger a flight-recorder dump when a tick breaches the SLO."""
         self._flight = recorder
+
+    def attach_controller(self, controller) -> None:
+        """Hand every published snapshot to an autoscale control loop.
+
+        ``controller.on_snapshot(snapshot)`` runs at the very end of
+        :meth:`tick`, after SLO evaluation -- so the controller sees
+        exactly what the operator's dashboards see, and any topology
+        change it actuates lands *between* windows, never inside one.
+        """
+        self._controller = controller
 
     @property
     def slo(self):
@@ -580,6 +591,9 @@ class TelemetryPipeline:
     def tick(self) -> ClusterTelemetry:
         """Close the tick, publish a snapshot, evaluate the SLO rules."""
         self.ticks += 1
+        members = (
+            set(self._cluster.shards) if self._cluster is not None else None
+        )
         shards: Dict[str, ShardSample] = {}
         for shard in self._shard_names():
             window = self._windows.get(shard)
@@ -595,6 +609,17 @@ class TelemetryPipeline:
                 merged.merge(bucket.hist)
                 ops += bucket.ops
                 errors += bucket.errors
+            if (
+                members is not None
+                and shard not in members
+                and all(bucket is None for bucket in window)
+            ):
+                # A departed shard stays visible while its window drains
+                # (late samples still aggregate), then drops out instead
+                # of publishing zeros forever -- essential once an
+                # autoscaler retires shards mid-run.
+                del self._windows[shard]
+                continue
             probes = self._probe(shard)
             shards[shard] = ShardSample(
                 shard=shard,
@@ -623,6 +648,8 @@ class TelemetryPipeline:
                     tick=snapshot.tick,
                     breaches=[b.to_dict() for b in breaches],
                 )
+        if self._controller is not None:
+            self._controller.on_snapshot(snapshot)
         return snapshot
 
     def _export(self, shards: Dict[str, ShardSample]) -> None:

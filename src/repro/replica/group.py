@@ -342,6 +342,82 @@ class ReplicaGroup:
         if self._log and self._log[0].lsn <= floor:
             self._log = [r for r in self._log if r.lsn > floor]
 
+    # -- elastic membership --------------------------------------------------
+
+    def add_backup(self, backup: PrecursorServer) -> int:
+        """Fold a fresh server into the group as a caught-up backup.
+
+        The joiner arrives empty (a just-spawned machine) or stale (a
+        rejoining survivor); either way it gets the same treatment as a
+        promotion survivor: a full state transfer from the primary, so
+        by the time this returns the backup participates in the ack
+        contract at the primary's exact state.  Returns the number of
+        entries resynced in.
+        """
+        if backup is self.primary or backup in self.backups:
+            raise ConfigurationError(
+                f"{backup.shard_name!r} is already a member of "
+                f"group {self.name!r}"
+            )
+        if backup.enclave.measurement != self.primary.enclave.measurement:
+            raise ConfigurationError(
+                f"backup {backup.shard_name!r} runs a different "
+                "enclave binary"
+            )
+        self.backups.append(backup)
+        self._applied[backup] = 0
+        shipped = self._full_resync(backup)
+        self._applied[backup] = self._last_lsn
+        self._truncate(self.live_backups())
+        self._obs_lag.set(self.lag)
+        self.obs.record_event(
+            "backup_join",
+            group=self.name,
+            backup=backup.shard_name,
+            resynced=shipped,
+        )
+        return shipped
+
+    def remove_backup(
+        self, backup: Optional[PrecursorServer] = None
+    ) -> PrecursorServer:
+        """Retire one backup from the group and return it.
+
+        With no explicit victim the cheapest member goes: a crashed
+        backup first (dead weight awaiting a resync nobody asked for),
+        otherwise the least-applied live backup (losing it can only
+        *shrink* the group's lag).  List order breaks ties, which keeps
+        the choice deterministic.  The caller owns the floor policy --
+        the group happily shrinks to zero backups, at which point acks
+        stop waiting on anyone (the ``replicas=0`` contract); the
+        autoscaler's guard is what pins ``min_replicas`` above that.
+        """
+        if not self.backups:
+            raise ConfigurationError(
+                f"group {self.name!r} has no backup to remove"
+            )
+        if backup is None:
+            crashed = [b for b in self.backups if b.crashed]
+            if crashed:
+                backup = crashed[0]
+            else:
+                backup = min(
+                    self.backups, key=lambda b: self._applied.get(b, 0)
+                )
+        elif backup not in self.backups:
+            raise ConfigurationError(
+                f"{backup.shard_name!r} is not a backup of "
+                f"group {self.name!r}"
+            )
+        self.backups.remove(backup)
+        self._applied.pop(backup, None)
+        self._truncate(self.live_backups())
+        self._obs_lag.set(self.lag)
+        self.obs.record_event(
+            "backup_leave", group=self.name, backup=backup.shard_name
+        )
+        return backup
+
     # -- operator / chaos controls ------------------------------------------
 
     def inject_lag(self, records: int) -> None:

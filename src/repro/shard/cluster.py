@@ -115,6 +115,12 @@ class ShardedCluster:
         for name in names:
             self._spawn_group(name)
         self.shard_map = ShardMap(epoch=1, ring=HashRing(names, vnodes, seed))
+        # Epoch 1 goes through the event ring like every later install,
+        # so an offline reconstruction of a flight dump sees the full
+        # topology history from the founding membership onward.
+        self.obs.record_event(
+            "epoch_install", epoch=1, shards=list(self.shard_map.ring.shards)
+        )
         self._engine = MigrationEngine(self)
         #: Sealed persistence for *explicit operator snapshots*, shared
         #: cluster-wide: every shard runs the same measurement, so one
@@ -279,6 +285,39 @@ class ShardedCluster:
                 )
         self.testbed = sharded_testbed(len(self.shards), self.replicas)
         return report
+
+    def add_replica(self, name: str) -> PrecursorServer:
+        """Grow shard ``name``'s replica group by one fresh backup.
+
+        The backup is a full machine (own fabric, NIC, enclave) spawned
+        under the next migration-IV ordinal, folded in via the group's
+        full state transfer -- it participates in the ack contract from
+        the moment this returns.  No ring or epoch change: replica
+        membership is invisible to routing.
+        """
+        group = self.group(name)
+        backup = self._spawn_server(f"{name}/b{self._next_index}")
+        group.add_backup(backup)
+        self.obs.record_event(
+            "replica_join", shard=name, backup=backup.shard_name
+        )
+        return backup
+
+    def remove_replica(self, name: str) -> PrecursorServer:
+        """Shrink shard ``name``'s replica group by one backup.
+
+        The group picks the cheapest victim (crashed first, then
+        least-applied); see :meth:`ReplicaGroup.remove_backup`.  The
+        caller is responsible for not shrinking below the ack
+        contract's floor -- the autoscaler's stability guard enforces
+        ``min_replicas`` for exactly this reason.
+        """
+        group = self.group(name)
+        victim = group.remove_backup()
+        self.obs.record_event(
+            "replica_leave", shard=name, backup=victim.shard_name
+        )
+        return victim
 
     # -- failures and recovery ----------------------------------------------
 

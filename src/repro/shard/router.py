@@ -163,6 +163,11 @@ class ShardedClient:
             "live near-cache entries per routing client",
             {"client": str(self.client_id)},
         )
+        self._obs_cache_migration_drops = registry.counter(
+            "client_cache_migration_drops_total",
+            "cached entries dropped because a shard-map change moved "
+            "their key's owner",
+        )
         self._obs_offload_served = registry.counter(
             "client_offload_reads_total",
             "backup-offloaded reads by outcome",
@@ -307,7 +312,30 @@ class ShardedClient:
         if current.epoch == self._map.epoch:
             return False
         self._map = current
+        self._drop_moved_entries(current)
         return True
+
+    def _drop_moved_entries(self, current) -> None:
+        """Eagerly drop cached entries whose keys changed owner.
+
+        Voluntary joins/leaves move key ranges without any promotion, so
+        the re-attestation drop path never fires -- yet the moved keys'
+        entries are now filled against the wrong shard.  The epoch fence
+        would refuse them lazily one lookup at a time; dropping them the
+        moment the router adopts the new map keeps the LRU honest under
+        autoscaler-driven churn.
+        """
+        if self.cache is None:
+            return
+        dropped = self.cache.drop_moved(current.owner)
+        if dropped:
+            self._obs_cache_migration_drops.inc(dropped)
+            self._obs_cache_entries.set(self.cache.entries)
+            self.obs.hop(
+                "cache_migration_drop",
+                epoch=current.epoch,
+                dropped=dropped,
+            )
 
     def _note_stale(self) -> None:
         self.stale_retries += 1

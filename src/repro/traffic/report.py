@@ -120,6 +120,13 @@ class TrafficReport:
     primary_gets: int = 0
     backup_gets: int = 0
 
+    #: Elastic-controller section, serialized only when the autoscaler
+    #: was live so default reports keep their historical bytes.
+    autoscale: bool = False
+    autoscale_decisions: List[dict] = field(default_factory=list)
+    autoscale_log: List[str] = field(default_factory=list)
+    autoscale_summary: Optional[dict] = None
+
     # -- distributions -----------------------------------------------------
 
     def corrected_tail(self) -> Dict[str, int]:
@@ -253,6 +260,13 @@ class TrafficReport:
                 primary_gets=self.primary_gets,
                 backup_gets=self.backup_gets,
             )
+        if self.autoscale:
+            out["autoscale"] = {
+                "enabled": True,
+                "summary": dict(self.autoscale_summary or {}),
+                "decisions": list(self.autoscale_decisions),
+                "log": list(self.autoscale_log),
+            }
         return out
 
     def report(self) -> str:
@@ -291,6 +305,24 @@ class TrafficReport:
                 f"primary_gets={self.primary_gets} "
                 f"backup_gets={self.backup_gets}"
             )
+        if self.autoscale:
+            summary = self.autoscale_summary or {}
+            actions = summary.get("actions", {})
+            acted = (
+                " ".join(
+                    f"{kind}={actions[kind]}" for kind in sorted(actions)
+                )
+                or "none"
+            )
+            lines.append(
+                f"autoscale: decisions={summary.get('decisions', 0)} "
+                f"applied={summary.get('applied', 0)} "
+                f"refused={summary.get('refused', 0)} "
+                f"flapping={summary.get('flapping', 0)} "
+                f"final_shards={summary.get('final_shards', self.shards)} "
+                f"shard_ms={summary.get('shard_ms', 0)}"
+            )
+            lines.append(f"  actions: {acted}")
         if self.tenant_stats:
             lines.append("")
             lines.append("tenants:")

@@ -254,6 +254,9 @@ def run_scenario(
     read_offload: bool = False,
     cache_entries: int = 256,
     cache_lease_ms: float = 25.0,
+    autoscale: bool = False,
+    autoscale_policy: Optional[str] = None,
+    autoscale_max_shards: int = 4,
 ) -> TrafficReport:
     """Run one registered scenario end to end; returns its report.
 
@@ -268,8 +271,17 @@ def run_scenario(
     client-verified near-cache and the freshness-token backup reads
     (``docs/CACHING.md``) on every pooled connection; both default off
     and the default report stays byte-identical to before they existed.
-    Raises :class:`~repro.errors.ConfigurationError` for unknown names
-    or bad parameters.
+    ``autoscale`` puts the elastic controller
+    (``docs/AUTOSCALING.md``) in the loop: every telemetry window feeds
+    :class:`~repro.autoscale.AutoScaler`, which may join/leave shards
+    (``shards`` then only sets the *starting* topology, bounded above
+    by ``autoscale_max_shards``) and grow/shrink replica groups under
+    ``autoscale_policy`` (defaults to
+    :data:`~repro.autoscale.DEFAULT_POLICY_SPEC`); the full decision
+    log lands in the report and a flight recorder is attached so the
+    topology history is reconstructable offline.  Raises
+    :class:`~repro.errors.ConfigurationError` for unknown names or bad
+    parameters.
     """
     scenario = SCENARIOS.get(name)
     if scenario is None:
@@ -297,6 +309,13 @@ def run_scenario(
         )
     clock = ManualClock()
     obs = ObsContext.create(clock=clock)
+    if autoscale:
+        # Attach the recorder *before* the cluster exists so the epoch-1
+        # install and every autoscaler decision land in the event ring:
+        # the offline-reconstruction contract for elastic runs.
+        from repro.obs import FlightRecorder
+
+        obs.attach_flight(FlightRecorder())
     cluster = ShardedCluster(
         shards=shards,
         seed=seed,
@@ -350,6 +369,28 @@ def run_scenario(
         pipeline=pipeline,
         tick_every_ns=int(tick_every_ms * NS_PER_MS),
     )
+
+    controller = None
+    if autoscale:
+        from repro.autoscale import AutoScaler, StabilityGuard
+
+        guard = StabilityGuard(
+            min_shards=1,
+            max_shards=autoscale_max_shards,
+            min_replicas=replicas,
+            max_replicas=replicas + 1,
+        )
+        controller = AutoScaler(
+            cluster,
+            policy=autoscale_policy,
+            guard=guard,
+            obs=obs,
+            # Members spawned mid-run must get the service-cost hook
+            # too, or their frames would execute for free.
+            on_topology_change=engine.install_service_model,
+        )
+        pipeline.attach_controller(controller)
+
     result = engine.run(ops)
 
     if faults is not None:
@@ -399,4 +440,11 @@ def run_scenario(
         for name in cluster.shards
         for backup in cluster.group(name).backups
     )
+    report.autoscale = autoscale
+    if controller is not None:
+        report.autoscale_decisions = [
+            d.to_dict() for d in controller.decisions
+        ]
+        report.autoscale_log = controller.log_lines()
+        report.autoscale_summary = controller.summary(result.duration_ns)
     return report

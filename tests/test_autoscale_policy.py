@@ -1,0 +1,187 @@
+"""Policy grammar, streak debounce and signal-plane units."""
+
+import pytest
+
+from repro.autoscale import (
+    DEFAULT_POLICY_SPEC,
+    PolicyEngine,
+    SignalPlane,
+    parse_policy,
+)
+from repro.autoscale.signals import DEFAULT_REFERENCES
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import ClusterTelemetry, ShardSample
+
+
+def _snap(tick, samples, t_ns=None):
+    """Build a telemetry snapshot from ``{shard: ShardSample kwargs}``."""
+    shards = {
+        name: ShardSample(shard=name, **kwargs)
+        for name, kwargs in samples.items()
+    }
+    return ClusterTelemetry(
+        tick=tick,
+        t_ns=t_ns if t_ns is not None else tick * 5_000_000,
+        window_ticks=2,
+        shards=shards,
+        faults={},
+    )
+
+
+class TestGrammar:
+    def test_default_spec_parses_to_four_rules(self):
+        rules = parse_policy(DEFAULT_POLICY_SPEC)
+        assert [r.kind for r in rules] == [
+            "scale-out", "scale-in", "replica-out", "replica-in",
+        ]
+        by_kind = {r.kind: r for r in rules}
+        assert by_kind["scale-out"].limit == 2_000_000  # 2ms in ns
+        assert by_kind["scale-in"].limit == 0.25
+        assert by_kind["replica-out"].limit == 24
+        assert by_kind["replica-in"].limit == 2
+
+    def test_units_and_clauses(self):
+        rules = parse_policy(
+            "scale-out:epc>64KiB:for=3:shard=shard-*,"
+            "scale-out:p99>800us"
+        )
+        assert rules[0].limit == 64 * 1024
+        assert rules[0].for_ticks == 3
+        assert rules[0].shard == "shard-*"
+        assert rules[1].limit == 800_000
+
+    def test_rule_name_round_trips_the_spec_text(self):
+        rule = parse_policy("scale-out:p99>2ms:for=2")[0]
+        assert rule.name == "scale-out:p99>2ms:for=2"
+        glob = parse_policy("replica-out:lag>8:shard=hot-*")[0]
+        assert glob.name == "replica-out:lag>8:shard=hot-*"
+        assert glob.matches("hot-1")
+        assert not glob.matches("cold-1")
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "grow:p99>2ms",  # unknown kind
+            "scale-out:p99<2ms",  # inverted direction
+            "scale-in:util>25%",  # inverted direction
+            "scale-out:p99>2ms:queue>4",  # two metrics
+            "scale-out:util>25%",  # metric not allowed for kind
+            "scale-in:util<25",  # percent missing
+            "scale-out:p99>2ms:for=0",  # for below 1
+            "scale-out:p99>2ms:wat=1",  # unknown clause
+            "scale-out:p99>-2ms",  # non-positive threshold
+            "scale-out:p99>fastms",  # unparseable number
+            "scale-out",  # no threshold clause
+            "",  # no rules at all
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_policy(spec)
+
+
+class TestStreaks:
+    def test_for_n_is_a_debounce_not_a_bucket(self):
+        engine = PolicyEngine.from_spec("scale-out:p99>1ms:for=3")
+        hot = {"s0": dict(ops=10, p99_ns=2_000_000)}
+        cold = {"s0": dict(ops=10, p99_ns=100_000)}
+        assert engine.evaluate(_snap(1, hot), {}) == []
+        assert engine.evaluate(_snap(2, hot), {}) == []
+        # One cold tick resets the streak entirely.
+        assert engine.evaluate(_snap(3, cold), {}) == []
+        assert engine.evaluate(_snap(4, hot), {}) == []
+        assert engine.evaluate(_snap(5, hot), {}) == []
+        ripe = engine.evaluate(_snap(6, hot), {})
+        assert len(ripe) == 1
+        assert ripe[0].action == "scale-out"
+        assert ripe[0].streak == 3
+
+    def test_one_proposal_per_rule_worst_offender_wins(self):
+        engine = PolicyEngine.from_spec("scale-out:p99>1ms")
+        snap = _snap(
+            1,
+            {
+                "a": dict(ops=10, p99_ns=3_000_000),
+                "b": dict(ops=10, p99_ns=9_000_000),
+                "c": dict(ops=10, p99_ns=500_000),
+            },
+        )
+        ripe = engine.evaluate(snap, {})
+        assert len(ripe) == 1
+        assert ripe[0].value == 9_000_000
+
+    def test_priority_order_pressure_relief_first(self):
+        engine = PolicyEngine.from_spec(
+            "replica-in:lag<2,scale-out:p99>1ms"
+        )
+        snap = _snap(1, {"a": dict(ops=10, p99_ns=3_000_000)})
+        ripe = engine.evaluate(snap, {"a": 2.0})
+        assert [p.action for p in ripe] == ["scale-out", "replica-in"]
+
+
+class TestScaleInIsClusterScoped:
+    def test_one_hot_shard_vetoes_shrinking(self):
+        engine = PolicyEngine.from_spec("scale-in:util<30%")
+        snap = _snap(1, {"a": dict(ops=10), "b": dict(ops=10)})
+        assert engine.evaluate(snap, {"a": 0.1, "b": 0.9}) == []
+
+    def test_targets_least_pressured_with_name_tiebreak(self):
+        engine = PolicyEngine.from_spec("scale-in:util<30%")
+        snap = _snap(
+            1, {"a": dict(ops=1), "b": dict(ops=1), "c": dict(ops=1)}
+        )
+        ripe = engine.evaluate(snap, {"a": 0.2, "b": 0.05, "c": 0.05})
+        assert len(ripe) == 1
+        assert ripe[0].shard == "b"  # 0.05 tie broken by name
+
+    def test_streak_is_cluster_wide(self):
+        engine = PolicyEngine.from_spec("scale-in:util<30%:for=2")
+        quiet = _snap(1, {"a": dict(ops=1), "b": dict(ops=1)})
+        assert engine.evaluate(quiet, {"a": 0.1, "b": 0.1}) == []
+        # A single hot tick anywhere resets the cluster-wide streak.
+        assert engine.evaluate(
+            _snap(2, {"a": dict(ops=1), "b": dict(ops=1)}),
+            {"a": 0.1, "b": 0.8},
+        ) == []
+        assert engine.evaluate(
+            _snap(3, {"a": dict(ops=1), "b": dict(ops=1)}),
+            {"a": 0.1, "b": 0.1},
+        ) == []
+        ripe = engine.evaluate(
+            _snap(4, {"a": dict(ops=1), "b": dict(ops=1)}),
+            {"a": 0.1, "b": 0.1},
+        )
+        assert len(ripe) == 1
+
+
+class TestSignalPlane:
+    def test_raw_is_max_normalized_component(self):
+        plane = SignalPlane({"p99": 1_000_000.0, "queue": 10.0})
+        snap = _snap(
+            1, {"a": dict(ops=5, p99_ns=500_000, queue_depth=8)}
+        )
+        views = plane.update(snap)
+        assert views["a"].raw == pytest.approx(0.8)  # queue dominates
+        assert views["a"].driver == "queue"
+
+    def test_ewma_smoothing_and_score_continuity(self):
+        plane = SignalPlane({"p99": 1_000_000.0}, alpha=0.5)
+        plane.update(_snap(1, {"a": dict(ops=5, p99_ns=2_000_000)}))
+        views = plane.update(_snap(2, {"a": dict(ops=5, p99_ns=0)}))
+        # score = 0.5*0 + 0.5*2.0 -- first tick seeds the EWMA at raw.
+        assert views["a"].score == pytest.approx(1.0)
+
+    def test_departed_shard_starts_cold_on_rejoin(self):
+        plane = SignalPlane({"p99": 1_000_000.0}, alpha=0.5)
+        plane.update(_snap(1, {"a": dict(ops=5, p99_ns=4_000_000)}))
+        plane.update(_snap(2, {"b": dict(ops=5, p99_ns=0)}))  # a departed
+        assert "a" not in plane.scores()
+        views = plane.update(_snap(3, {"a": dict(ops=5, p99_ns=1_000_000)}))
+        assert views["a"].score == pytest.approx(1.0)  # no stale history
+
+    def test_reference_fallbacks_and_overrides(self):
+        plane = SignalPlane({"p99": 5_000_000.0})
+        assert plane.references["p99"] == 5_000_000.0
+        assert plane.references["queue"] == DEFAULT_REFERENCES["queue"]
+        with pytest.raises(ValueError):
+            SignalPlane(alpha=0.0)

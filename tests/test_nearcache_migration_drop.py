@@ -1,0 +1,134 @@
+"""Eager near-cache drops when a topology change moves key ownership.
+
+Regression for the elastic-autoscaler interaction: when a voluntary
+join/leave migrates keys, a router that adopts the new shard map must
+*eagerly* drop cached entries whose owner moved -- not wait for each
+entry's lease to lapse or for a per-key revalidation to notice.  A
+moved entry's cached MAC can otherwise serve a stale hit for up to a
+full lease after the migration already landed the key (and future
+writes) on another shard.
+"""
+
+from repro.obs import ManualClock, ObsContext
+from repro.shard import ShardedClient, ShardedCluster
+
+LEASE_NS = 60_000_000_000  # 1 minute: leases never expire in-test
+
+
+def _setup(shards=2, seed=7, keys=30):
+    obs = ObsContext.create(clock=ManualClock())
+    cluster = ShardedCluster(shards=shards, seed=seed, obs=obs)
+    router = ShardedClient(
+        cluster, trace_ops=False, near_cache=True, cache_lease_ns=LEASE_NS
+    )
+    written = {}
+    for i in range(keys):
+        key = b"mig-%03d" % i
+        router.put(key, b"val-%03d" % i)
+        router.get(key)  # prime the cache
+        written[key] = b"val-%03d" % i
+    return cluster, router, written
+
+
+def _counter(router, name):
+    family = router.obs.registry._families.get(name)
+    if family is None:
+        return 0
+    return sum(child.value for child in family.children.values())
+
+
+class TestEagerDropOnJoin:
+    def test_moved_entries_dropped_at_refresh(self):
+        cluster, router, written = _setup()
+        before = cluster.shard_map
+        cluster.add_shard("joiner")
+        after = cluster.shard_map
+        moved = [
+            key for key in written
+            if before.owner(key) != after.owner(key)
+            and router.cache.peek(key) is not None
+        ]
+        assert moved  # the join moved some cached keys
+        assert router.refresh_map()
+        for key in moved:
+            assert router.cache.peek(key) is None
+        dropped = _counter(router, "client_cache_migration_drops_total")
+        assert dropped == len(moved)
+
+    def test_unmoved_entries_survive_the_refresh(self):
+        cluster, router, written = _setup()
+        before = cluster.shard_map
+        cluster.add_shard("joiner")
+        after = cluster.shard_map
+        kept = [
+            key for key in written
+            if before.owner(key) == after.owner(key)
+            and router.cache.peek(key) is not None
+        ]
+        assert kept
+        router.refresh_map()
+        for key in kept:
+            assert router.cache.peek(key) is not None
+
+    def test_moved_key_reads_fresh_value_from_new_owner(self):
+        cluster, router, written = _setup()
+        before = cluster.shard_map
+        cluster.add_shard("joiner")
+        router.refresh_map()
+        for key, value in written.items():
+            assert router.get(key) == value
+        # A post-migration overwrite is observed immediately -- no
+        # stale cached MAC can answer for the moved key.
+        moved = next(
+            key for key in written
+            if before.owner(key) != cluster.shard_map.owner(key)
+        )
+        router.put(moved, b"rewritten")
+        assert router.get(moved) == b"rewritten"
+
+
+class TestEagerDropOnLeave:
+    def test_retired_shards_entries_dropped(self):
+        cluster, router, written = _setup(shards=3)
+        victim = cluster.shards[0]
+        cached_on_victim = [
+            key for key in written
+            if cluster.shard_map.owner(key) == victim
+            and router.cache.peek(key) is not None
+        ]
+        assert cached_on_victim
+        cluster.remove_shard(victim)
+        router.refresh_map()
+        for key in cached_on_victim:
+            assert router.cache.peek(key) is None
+        for key, value in written.items():
+            assert router.get(key) == value
+
+    def test_autoscaler_initiated_join_triggers_the_same_drop(self):
+        from repro.autoscale import AutoScaler, StabilityGuard
+        from repro.obs.telemetry import ClusterTelemetry, ShardSample
+
+        cluster, router, written = _setup()
+        before = cluster.shard_map
+        scaler = AutoScaler(
+            cluster,
+            policy="scale-out:p99>1ms:for=1",
+            guard=StabilityGuard(max_shards=3),
+        )
+        snap = ClusterTelemetry(
+            tick=1,
+            t_ns=5_000_000,
+            window_ticks=2,
+            shards={
+                name: ShardSample(shard=name, ops=10, p99_ns=9_000_000)
+                for name in cluster.shards
+            },
+            faults={},
+        )
+        assert [d.outcome for d in scaler.on_snapshot(snap)] == ["applied"]
+        router.refresh_map()
+        for key in written:
+            if before.owner(key) != cluster.shard_map.owner(key):
+                assert router.cache.peek(key) is None
+        stats = router.cache.stats()
+        assert stats["invalidations"] > 0

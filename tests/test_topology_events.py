@@ -1,0 +1,140 @@
+"""Flight-recorder audit: every topology transition leaves an event.
+
+The offline story the recorder promises: an analyst replaying a dump
+can reconstruct the full membership history from the event ring alone.
+That only works if coverage is symmetric -- founding membership, every
+join/leave (operator- or autoscaler-initiated), every crash, promotion,
+route-around and restore, and every replica-group change must land in
+the ring, with ``epoch_install`` marking each routing change including
+epoch 1.
+"""
+
+from repro.obs import FlightRecorder, ManualClock, ObsContext
+from repro.shard import ShardedCluster
+
+
+def _cluster(shards=2, replicas=1, seed=5):
+    obs = ObsContext.create(clock=ManualClock())
+    obs.attach_flight(FlightRecorder())
+    cluster = ShardedCluster(
+        shards=shards, seed=seed, obs=obs, replicas=replicas
+    )
+    return cluster, obs
+
+
+def _kinds(obs):
+    return [event["kind"] for event in obs.flight.events]
+
+
+def _events(obs, kind):
+    return [e for e in obs.flight.events if e["kind"] == kind]
+
+
+class TestEpochInstallSymmetry:
+    def test_founding_membership_is_epoch_one(self):
+        _cluster_, obs = _cluster()
+        installs = _events(obs, "epoch_install")
+        assert len(installs) == 1
+        assert installs[0]["epoch"] == 1
+        assert installs[0]["shards"] == ["shard-0", "shard-1"]
+
+    def test_every_epoch_appears_exactly_once(self):
+        cluster, obs = _cluster(shards=2, replicas=1)
+        cluster.add_shard("joiner")
+        cluster.remove_shard("joiner")
+        cluster.crash_shard("shard-0")  # promotion bumps the epoch
+        cluster.restore_shard("shard-0")  # rebalanced back: epoch change
+        installs = _events(obs, "epoch_install")
+        epochs = [event["epoch"] for event in installs]
+        assert epochs == sorted(epochs)
+        assert epochs == list(range(1, cluster.epoch + 1))
+        # Each install names the full membership at that epoch.
+        assert all("shards" in event for event in installs)
+
+
+class TestTransitionCoverage:
+    def test_join_and_leave(self):
+        cluster, obs = _cluster()
+        cluster.add_shard("joiner")
+        kinds = _kinds(obs)
+        assert "shard_join" in kinds
+        assert "migration_start" in kinds
+        assert "migration_done" in kinds
+        cluster.remove_shard("joiner")
+        assert "shard_leave" in _kinds(obs)
+
+    def test_crash_promotion_route_around_restore(self):
+        cluster, obs = _cluster(shards=2, replicas=1)
+        cluster.crash_shard("shard-1")
+        kinds = _kinds(obs)
+        assert "shard_crash" in kinds
+        assert "promotion" in kinds
+        promo = _events(obs, "promotion")[0]
+        assert promo["group"] == "shard-1"
+        cluster.restore_shard("shard-1")
+        assert "shard_restore" in _kinds(obs)
+
+    def test_route_around_records_its_ring_change(self):
+        cluster, obs = _cluster(shards=2, replicas=0)
+        cluster.crash_shard("shard-1")  # no backup: stays dark
+        assert cluster.handle_shard_failure("shard-1")
+        kinds = _kinds(obs)
+        assert "route_around" in kinds
+        # The removal re-installed the map under a fresh epoch.
+        assert max(
+            e["epoch"] for e in _events(obs, "epoch_install")
+        ) == cluster.epoch
+
+    def test_replica_membership_events(self):
+        cluster, obs = _cluster(shards=1, replicas=0)
+        backup = cluster.add_replica("shard-0")
+        kinds = _kinds(obs)
+        assert "replica_join" in kinds
+        assert "backup_join" in kinds
+        join = _events(obs, "replica_join")[0]
+        assert join["shard"] == "shard-0"
+        assert join["backup"] == backup.shard_name
+        cluster.remove_replica("shard-0")
+        kinds = _kinds(obs)
+        assert "replica_leave" in kinds
+        assert "backup_leave" in kinds
+
+    def test_autoscaler_decisions_join_the_ring(self):
+        from repro.autoscale import AutoScaler, StabilityGuard
+        from repro.obs.telemetry import ClusterTelemetry, ShardSample
+
+        cluster, obs = _cluster(shards=1, replicas=0)
+        scaler = AutoScaler(
+            cluster,
+            policy="scale-out:p99>1ms:for=1",
+            guard=StabilityGuard(max_shards=2),
+        )
+        snap = ClusterTelemetry(
+            tick=1,
+            t_ns=5_000_000,
+            window_ticks=2,
+            shards={
+                "shard-0": ShardSample(
+                    shard="shard-0", ops=10, p99_ns=9_000_000
+                )
+            },
+            faults={},
+        )
+        scaler.on_snapshot(snap)
+        decisions = _events(obs, "autoscale_decision")
+        assert decisions and decisions[0]["outcome"] == "applied"
+        # The actuated join shows up through the same ring as an
+        # operator-initiated one -- plus the new epoch's install.
+        kinds = _kinds(obs)
+        assert "shard_join" in kinds
+        assert max(
+            e["epoch"] for e in _events(obs, "epoch_install")
+        ) == cluster.epoch
+
+    def test_dump_reconstructs_topology_history(self):
+        cluster, obs = _cluster(shards=2, replicas=1)
+        cluster.add_shard("late")
+        dump = obs.flight.trigger("audit")
+        kinds = [event["kind"] for event in dump["events"]]
+        assert kinds.count("epoch_install") == cluster.epoch
+        assert "shard_join" in kinds
